@@ -1,0 +1,54 @@
+//! Runs every table and figure binary in sequence (the paper's full
+//! evaluation). Equivalent to executing `table1`, `table2`, `fig6a`,
+//! `fig6b`, `fig7` and `fig8` one after another, plus the three
+//! ablations.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "table2",
+        "fig6a",
+        "fig6b",
+        "fig7",
+        "fig8",
+        "ablation_buffers",
+        "ablation_cache",
+        "ablation_slc",
+        "ablation_l2p_log",
+        "ablation_media",
+        "ablation_planes",
+        "ablation_sync",
+        "latency_vs_load",
+        "lifespan",
+    ];
+    // When invoked via `cargo run --bin all_figures`, the sibling binaries
+    // live next to this executable.
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("exe dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n########## {bin} ##########");
+        let path = dir.join(bin);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo for `cargo run` without prebuilt siblings.
+            Command::new("cargo")
+                .args(["run", "--release", "-p", "conzone-bench", "--bin", bin])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => failures.push(format!("{bin}: exit {s}")),
+            Err(e) => failures.push(format!("{bin}: {e}")),
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall tables and figures regenerated");
+    } else {
+        eprintln!("\nfailures:\n{}", failures.join("\n"));
+        std::process::exit(1);
+    }
+}

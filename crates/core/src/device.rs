@@ -1,0 +1,378 @@
+//! The `ConZone` device: construction, shared helpers and the
+//! [`StorageDevice`] / [`ZonedDevice`] trait implementations. The write,
+//! read and erase paths live in the sibling modules.
+
+use bytes::Bytes;
+use conzone_flash::FlashArray;
+use conzone_ftl::{L2pCache, MapBitmap, MappingTable};
+use conzone_types::{
+    Completion, Counters, DeviceConfig, DeviceError, IoKind, IoRequest, Lpn, LpnRange,
+    MapGranularity, SearchStrategy, SimTime, ZoneId, ZoneInfo, ZoneState, ZonedDevice,
+    StorageDevice,
+};
+
+use crate::breakdown::TimeBreakdown;
+use crate::buffer::WriteBuffer;
+use crate::slc::SlcRegion;
+use crate::zone::Zone;
+
+/// The consumer-grade zoned flash storage emulator (paper §III).
+///
+/// `ConZone` combines:
+///
+/// * zones bound one-to-one to reserved normal superblocks, with write
+///   pointers iterating the fixed striping rule (§III-B);
+/// * a configurable number of shared volatile write buffers, mapped to
+///   zones by `zone mod n` (§III-B);
+/// * an SLC secondary write buffer absorbing premature flushes and
+///   zone-tail alignment patches (§III-B, §III-E);
+/// * a hybrid page/chunk/zone mapping table with a limited LRU L2P cache
+///   and configurable miss-path search strategy (§III-C, §IV-D);
+/// * composite garbage collection: full GC inside the SLC region, direct
+///   erase on zone reset (§III-D).
+///
+/// ```
+/// use conzone_core::ConZone;
+/// use conzone_types::{DeviceConfig, IoRequest, SimTime, StorageDevice};
+///
+/// let mut dev = ConZone::new(DeviceConfig::tiny_for_tests());
+/// let write = IoRequest::write(0, 64 * 1024);
+/// let done = dev.submit(SimTime::ZERO, &write)?;
+/// let read = IoRequest::read(0, 4096);
+/// let c = dev.submit(done.finished, &read)?;
+/// assert!(c.finished > done.finished);
+/// # Ok::<(), conzone_types::DeviceError>(())
+/// ```
+#[derive(Debug)]
+pub struct ConZone {
+    pub(crate) cfg: DeviceConfig,
+    pub(crate) flash: FlashArray,
+    pub(crate) table: MappingTable,
+    pub(crate) cache: L2pCache,
+    pub(crate) bitmap: Option<MapBitmap>,
+    pub(crate) zones: Vec<Zone>,
+    pub(crate) buffers: Vec<WriteBuffer>,
+    pub(crate) slc: SlcRegion,
+    pub(crate) counters: Counters,
+    pub(crate) next_mapping_chip: u64,
+    /// Accumulated L2P mapping updates not yet persisted (paper §III-E).
+    pub(crate) l2p_log_pending: u64,
+    pub(crate) breakdown: TimeBreakdown,
+}
+
+impl ConZone {
+    /// Builds a device from a validated configuration.
+    pub fn new(cfg: DeviceConfig) -> ConZone {
+        let capacity = cfg.capacity_slices();
+        let chunk = cfg.chunk_slices();
+        let zone = cfg.zone_size_slices();
+        let bitmap = match cfg.search_strategy {
+            SearchStrategy::Bitmap => Some(MapBitmap::new(capacity)),
+            _ => None,
+        };
+        let buffers = (0..cfg.write_buffers)
+            .map(|_| WriteBuffer::new(cfg.geometry.slices_per_superpage(), cfg.data_backing))
+            .collect();
+        ConZone {
+            flash: FlashArray::new(&cfg),
+            table: MappingTable::new(capacity, chunk, zone),
+            cache: L2pCache::new(cfg.l2p_cache_entries(), chunk, zone),
+            bitmap,
+            zones: (0..cfg.zone_count()).map(|_| Zone::new()).collect(),
+            buffers,
+            slc: SlcRegion::new(&cfg.geometry),
+            counters: Counters::new(),
+            next_mapping_chip: 0,
+            l2p_log_pending: 0,
+            breakdown: TimeBreakdown::default(),
+            cfg,
+        }
+    }
+
+    /// Where host-visible device time has gone so far.
+    pub fn time_breakdown(&self) -> TimeBreakdown {
+        self.breakdown
+    }
+
+    /// Whether a zone is exposed as a conventional (in-place) zone.
+    #[inline]
+    pub(crate) fn is_conventional(&self, zone: ZoneId) -> bool {
+        (zone.raw() as usize) < self.cfg.conventional_zones
+    }
+
+    /// Records `n` L2P mapping-table updates in the persistence log.
+    #[inline]
+    pub(crate) fn note_l2p_updates(&mut self, n: u64) {
+        if self.cfg.l2p_log_entries > 0 {
+            self.l2p_log_pending += n;
+        }
+    }
+
+    /// Flushes the L2P update log to flash whenever it reaches the
+    /// configured threshold. The flush programs one mapping page on the
+    /// mapping media and blocks the current host request (paper §III-E:
+    /// "the flushing back of the L2P log may block host requests").
+    pub(crate) fn maybe_flush_l2p_log(&mut self, now: SimTime) -> SimTime {
+        let threshold = self.cfg.l2p_log_entries;
+        if threshold == 0 {
+            return now;
+        }
+        let mut t = now;
+        while self.l2p_log_pending >= threshold {
+            self.l2p_log_pending -= threshold;
+            self.counters.l2p_log_flushes += 1;
+            let chip = self.mapping_chip();
+            let bytes = self.cfg.geometry.page_bytes as u64;
+            let media = self.cfg.mapping_media;
+            let (_buffer_free, finish) = self.flash.timed_program(t, chip, media, bytes, 1);
+            t = finish;
+        }
+        self.breakdown.l2p_log += t - now;
+        t
+    }
+
+    /// Zone size in slices.
+    #[inline]
+    pub(crate) fn zone_slices(&self) -> u64 {
+        self.cfg.zone_size_slices()
+    }
+
+    /// Slices of a zone backed by the reserved superblock (the rest is the
+    /// SLC alignment patch).
+    #[inline]
+    pub(crate) fn backing_slices(&self) -> u64 {
+        self.cfg.zone_backing_bytes() / conzone_types::SLICE_BYTES
+    }
+
+    /// Slices per programming unit of the normal media.
+    #[inline]
+    pub(crate) fn unit_slices(&self) -> u64 {
+        self.cfg.geometry.slices_per_unit() as u64
+    }
+
+    /// First logical page of a zone.
+    #[inline]
+    pub(crate) fn zone_start(&self, zone: ZoneId) -> Lpn {
+        Lpn(zone.raw() * self.zone_slices())
+    }
+
+    /// Splits a request into its (single) target zone and zone-relative
+    /// slice offset, validating the boundary rule.
+    pub(crate) fn zone_and_offset(&self, range: LpnRange) -> Result<(ZoneId, u64), DeviceError> {
+        let zs = self.zone_slices();
+        let zone = ZoneId(range.start.raw() / zs);
+        if (zone.raw() as usize) >= self.zones.len() {
+            return Err(DeviceError::OutOfRange {
+                offset: range.start.byte_offset(),
+                capacity: self.cfg.capacity_bytes(),
+            });
+        }
+        Ok((zone, range.start.raw() % zs))
+    }
+
+    /// Number of sequential zones currently open (conventional zones have
+    /// no open/close lifecycle and never count against the limit).
+    pub(crate) fn open_zone_count(&self) -> usize {
+        self.zones
+            .iter()
+            .enumerate()
+            .filter(|(i, z)| *i >= self.cfg.conventional_zones && z.state == ZoneState::Open)
+            .count()
+    }
+
+    /// Round-robin chip for the next mapping-table fetch.
+    pub(crate) fn mapping_chip(&mut self) -> conzone_types::ChipId {
+        let chip = self.next_mapping_chip % self.cfg.geometry.nchips() as u64;
+        self.next_mapping_chip += 1;
+        conzone_types::ChipId(chip)
+    }
+
+    /// Records a page's aggregation level in the strategy bitmap, if one is
+    /// maintained.
+    pub(crate) fn note_bits(&mut self, lpn: Lpn, count: u64, granularity: MapGranularity) {
+        if let Some(bitmap) = &mut self.bitmap {
+            bitmap.set_range(lpn, count, granularity);
+        }
+    }
+
+    /// Read-only view of the internal L2P cache (for tests and reports).
+    pub fn l2p_cache(&self) -> &L2pCache {
+        &self.cache
+    }
+
+    /// Read-only view of the mapping table (for tests and reports).
+    pub fn mapping_table(&self) -> &MappingTable {
+        &self.table
+    }
+
+    /// Read-only view of the flash array (for tests and reports).
+    pub fn flash(&self) -> &FlashArray {
+        &self.flash
+    }
+
+    /// Free superblocks remaining in the SLC region.
+    pub fn slc_free_superblocks(&self) -> usize {
+        self.slc.free.len()
+    }
+
+    /// Wear and lifespan report (paper §I's lifespan motivation).
+    pub fn wear_report(&self) -> conzone_flash::WearReport {
+        let mut report = self.flash.wear_report();
+        report.host_bytes_written = self.counters.host_write_bytes;
+        report
+    }
+}
+
+impl StorageDevice for ConZone {
+    fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    fn submit(&mut self, now: SimTime, request: &IoRequest) -> Result<Completion, DeviceError> {
+        request.validate()?;
+        let end = request.offset + request.len;
+        if end > self.cfg.capacity_bytes() {
+            return Err(DeviceError::OutOfRange {
+                offset: request.offset,
+                capacity: self.cfg.capacity_bytes(),
+            });
+        }
+        let range = LpnRange::covering_bytes(request.offset, request.len)
+            .expect("validated request is non-empty");
+        match request.kind {
+            IoKind::Write => {
+                self.counters.host_write_ops += 1;
+                self.counters.host_write_bytes += request.len;
+                let finished = self.write_range(now, range, request.data.as_deref())?;
+                Ok(Completion {
+                    submitted: now,
+                    finished,
+                    data: None,
+                    assigned_offset: None,
+                })
+            }
+            IoKind::Append => {
+                self.counters.host_write_ops += 1;
+                self.counters.host_write_bytes += request.len;
+                let (finished, assigned) =
+                    self.append_range(now, range, request.data.as_deref())?;
+                Ok(Completion {
+                    submitted: now,
+                    finished,
+                    data: None,
+                    assigned_offset: Some(assigned),
+                })
+            }
+            IoKind::Read => {
+                self.counters.host_read_ops += 1;
+                self.counters.host_read_bytes += request.len;
+                let (finished, data) = self.read_range(now, range)?;
+                Ok(Completion {
+                    submitted: now,
+                    finished,
+                    data: data.map(Bytes::from),
+                    assigned_offset: None,
+                })
+            }
+        }
+    }
+
+    fn flush(&mut self, now: SimTime) -> Result<Completion, DeviceError> {
+        let mut t = now;
+        for buf in 0..self.buffers.len() {
+            t = self.flush_buffer(t, buf, true)?;
+        }
+        t = self.maybe_flush_l2p_log(t);
+        Ok(Completion {
+            submitted: now,
+            finished: t + self.cfg.host_overhead,
+            data: None,
+            assigned_offset: None,
+        })
+    }
+
+    fn counters(&self) -> Counters {
+        let mut c = self.counters;
+        let stats = self.flash.stats();
+        c.flash_program_bytes_slc = stats.program_bytes_slc;
+        c.flash_program_bytes_tlc = stats.program_bytes_tlc;
+        c.flash_program_bytes_qlc = stats.program_bytes_qlc;
+        c.flash_data_reads = stats.page_reads;
+        c.erases_slc = stats.erases_slc;
+        c.erases_normal = stats.erases_normal;
+        c.l2p_evictions = self.cache.evictions();
+        c
+    }
+
+    fn model_name(&self) -> &'static str {
+        "conzone"
+    }
+}
+
+impl ZonedDevice for ConZone {
+    fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    fn zone_size(&self) -> u64 {
+        self.cfg.zone_size_bytes()
+    }
+
+    fn zone_info(&self, zone: ZoneId) -> Result<ZoneInfo, DeviceError> {
+        let z = self
+            .zones
+            .get(zone.raw() as usize)
+            .ok_or(DeviceError::OutOfRange {
+                offset: zone.raw() * self.zone_size(),
+                capacity: self.cfg.capacity_bytes(),
+            })?;
+        Ok(ZoneInfo {
+            id: zone,
+            state: z.state,
+            write_pointer: z.wp_slices * conzone_types::SLICE_BYTES,
+            capacity: self.zone_size(),
+            size: self.zone_size(),
+            start: zone.raw() * self.zone_size(),
+        })
+    }
+
+    fn reset_zone(&mut self, now: SimTime, zone: ZoneId) -> Result<Completion, DeviceError> {
+        let finished = self.reset_zone_inner(now, zone)?;
+        Ok(Completion {
+            submitted: now,
+            finished,
+            data: None,
+            assigned_offset: None,
+        })
+    }
+
+    fn open_zone(&mut self, now: SimTime, zone: ZoneId) -> Result<Completion, DeviceError> {
+        let finished = self.open_zone_inner(now, zone)?;
+        Ok(Completion {
+            submitted: now,
+            finished,
+            data: None,
+            assigned_offset: None,
+        })
+    }
+
+    fn close_zone(&mut self, now: SimTime, zone: ZoneId) -> Result<Completion, DeviceError> {
+        let finished = self.close_zone_inner(now, zone)?;
+        Ok(Completion {
+            submitted: now,
+            finished,
+            data: None,
+            assigned_offset: None,
+        })
+    }
+
+    fn finish_zone(&mut self, now: SimTime, zone: ZoneId) -> Result<Completion, DeviceError> {
+        let finished = self.finish_zone_inner(now, zone)?;
+        Ok(Completion {
+            submitted: now,
+            finished,
+            data: None,
+            assigned_offset: None,
+        })
+    }
+}

@@ -1,0 +1,439 @@
+//! The write path (paper §III-B, Fig. 3).
+//!
+//! Writes land in the owner zone's shared volatile buffer. A buffer flush
+//! takes one of three paths:
+//!
+//! 1. data reaching a whole programming unit is programmed directly into
+//!    the zone's reserved normal blocks at its canonical location (①);
+//! 2. a premature flush (buffer conflict) partial-programs the sub-unit
+//!    remainder into the SLC secondary buffer (②);
+//! 3. when staged SLC data plus newly buffered data reach a programming
+//!    unit, the staged slices are read back, invalidated and programmed
+//!    together into the normal block (③).
+//!
+//! Zone tails beyond the backing superblock (the §III-E non-power-of-two
+//! patch) are partial-programmed into *reserved* SLC slices that still
+//! count as canonical for aggregation.
+
+use conzone_flash::FlashError;
+use conzone_types::{
+    ChipId, DeviceError, Lpn, LpnRange, MapGranularity, Ppa, SimTime, SuperblockId, ZoneId,
+    ZoneState, SLICE_BYTES,
+};
+
+use crate::device::ConZone;
+use crate::zone::StagedSlice;
+
+/// Wraps a flash-layer failure (an FTL logic violation) into a device error.
+pub(crate) fn internal(e: FlashError) -> DeviceError {
+    DeviceError::Unsupported(format!("internal flash error: {e}"))
+}
+
+impl ConZone {
+    /// Services one host write. Returns the completion time (before host
+    /// overhead is added by the caller's caller — overhead is added here).
+    pub(crate) fn write_range(
+        &mut self,
+        now: SimTime,
+        range: LpnRange,
+        payload: Option<&[u8]>,
+    ) -> Result<SimTime, DeviceError> {
+        let (zone_id, offset) = self.zone_and_offset(range)?;
+        if offset + range.count > self.zone_slices() {
+            return Err(DeviceError::ZoneBoundary { zone: zone_id });
+        }
+        if self.is_conventional(zone_id) {
+            return self.conventional_write(now, zone_id, offset, range, payload);
+        }
+        let zidx = zone_id.raw() as usize;
+        match self.zones[zidx].state {
+            ZoneState::Full => return Err(DeviceError::ZoneFull { zone: zone_id }),
+            // Closed zones reopen implicitly, like empty ones.
+            ZoneState::Empty | ZoneState::Closed => {
+                if self.open_zone_count() >= self.cfg.max_open_zones {
+                    return Err(DeviceError::TooManyOpenZones {
+                        limit: self.cfg.max_open_zones,
+                    });
+                }
+            }
+            ZoneState::Open => {}
+        }
+        let expected = self.zones[zidx].wp_slices;
+        if offset != expected {
+            return Err(DeviceError::NotWritePointer {
+                zone: zone_id,
+                expected: self.zone_start(zone_id).offset(expected),
+                got: range.start,
+            });
+        }
+        self.zones[zidx].state = ZoneState::Open;
+
+        // Snapshot sub-activity attribution so write_path stays exclusive
+        // of the combine / GC / log time accumulated inside the flushes.
+        let sub_before = self.breakdown.combine_read + self.breakdown.gc + self.breakdown.l2p_log;
+
+        let buf_idx = zone_id.raw() as usize % self.buffers.len();
+        let mut t = now;
+
+        // Conflicting zone-write-buffer mapping: evict the other zone's
+        // data (prematurely, if it is less than a programming unit).
+        let conflicting = match self.buffers[buf_idx].owner {
+            Some(owner) => owner != zone_id && !self.buffers[buf_idx].is_empty(),
+            None => false,
+        };
+        if conflicting {
+            self.counters.buffer_conflicts += 1;
+            t = self.flush_buffer(t, buf_idx, true)?;
+        }
+        if self.buffers[buf_idx].owner != Some(zone_id) {
+            self.buffers[buf_idx].release();
+            self.buffers[buf_idx].adopt(zone_id, offset);
+        }
+
+        // Append, flushing full superpages as they accumulate.
+        let mut remaining = range.count;
+        let mut pay_off = 0usize;
+        while remaining > 0 {
+            let take = remaining.min(self.buffers[buf_idx].room());
+            let chunk = payload.map(|p| &p[pay_off..pay_off + (take * SLICE_BYTES) as usize]);
+            self.buffers[buf_idx].append(take, chunk);
+            self.zones[zidx].wp_slices += take;
+            pay_off += (take * SLICE_BYTES) as usize;
+            remaining -= take;
+            if self.buffers[buf_idx].is_full() {
+                t = self.flush_buffer(t, buf_idx, false)?;
+            }
+        }
+
+        // Zone completed: drain everything and seal it.
+        if self.zones[zidx].wp_slices == self.zone_slices() {
+            t = self.flush_buffer(t, buf_idx, true)?;
+            self.buffers[buf_idx].release();
+            self.zones[zidx].state = ZoneState::Full;
+        }
+        // Exclusive write-path attribution: the combine / GC / log time
+        // accumulated inside the flushes is already charged elsewhere.
+        let sub_delta = self.breakdown.combine_read + self.breakdown.gc + self.breakdown.l2p_log
+            - sub_before;
+        self.breakdown.write_path += (t - now) - (t - now).min(sub_delta);
+        Ok(t + self.cfg.host_overhead)
+    }
+
+    /// Services a write to a conventional zone (paper §III-E): in-place
+    /// updates are allowed anywhere in the zone; data is page-mapped into
+    /// the SLC region, superseding any previous version.
+    fn conventional_write(
+        &mut self,
+        now: SimTime,
+        zone_id: ZoneId,
+        offset: u64,
+        range: LpnRange,
+        payload: Option<&[u8]>,
+    ) -> Result<SimTime, DeviceError> {
+        let zidx = zone_id.raw() as usize;
+        self.zones[zidx].state = ZoneState::Open;
+        // Supersede previous versions.
+        for lpn in range.iter() {
+            if let Some(entry) = self.table.get(lpn) {
+                self.flash.invalidate(entry.ppa).map_err(internal)?;
+                self.slc.owner.remove(&entry.ppa);
+                self.cache.invalidate_page(lpn);
+            }
+        }
+        let lpns: Vec<Lpn> = range.iter().collect();
+        let mut t = self.program_slc_batch(now, &lpns, payload, false, None)?;
+        self.counters.conventional_updates += range.count;
+        self.note_l2p_updates(range.count);
+        t = self.maybe_flush_l2p_log(t);
+        // The "write pointer" of a conventional zone reports the written
+        // high-water mark for inspection only.
+        let zone = &mut self.zones[zidx];
+        zone.wp_slices = zone.wp_slices.max(offset + range.count);
+        zone.flushed_slices = zone.wp_slices;
+        Ok(t + self.cfg.host_overhead)
+    }
+
+    /// Services a zone append (NVMe ZNS): the device places the data at
+    /// the zone's current write pointer and returns `(finish, assigned
+    /// byte offset)`. Conventional zones reject appends (they have no
+    /// write pointer).
+    pub(crate) fn append_range(
+        &mut self,
+        now: SimTime,
+        range: LpnRange,
+        payload: Option<&[u8]>,
+    ) -> Result<(SimTime, u64), DeviceError> {
+        let (zone_id, _) = self.zone_and_offset(range)?;
+        if self.is_conventional(zone_id) {
+            return Err(DeviceError::Unsupported(
+                "zone append targets a conventional zone".to_string(),
+            ));
+        }
+        let wp = self.zones[zone_id.raw() as usize].wp_slices;
+        let assigned = (zone_id.raw() * self.zone_slices() + wp) * SLICE_BYTES;
+        let landed = LpnRange::new(self.zone_start(zone_id).offset(wp), range.count);
+        if wp + range.count > self.zone_slices() {
+            return Err(DeviceError::ZoneBoundary { zone: zone_id });
+        }
+        let finished = self.write_range(now, landed, payload)?;
+        Ok((finished, assigned))
+    }
+
+    /// Flushes a write buffer. With `drain`, any sub-unit remainder is
+    /// premature-flushed to SLC and the buffer is released; otherwise the
+    /// remainder stays buffered.
+    pub(crate) fn flush_buffer(
+        &mut self,
+        now: SimTime,
+        buf_idx: usize,
+        drain: bool,
+    ) -> Result<SimTime, DeviceError> {
+        if self.buffers[buf_idx].is_empty() {
+            if drain {
+                self.buffers[buf_idx].release();
+            }
+            return Ok(now);
+        }
+        let zone_id = self.buffers[buf_idx]
+            .owner
+            .expect("non-empty buffer has an owner");
+        let zidx = zone_id.raw() as usize;
+        let zone_base = self.zone_start(zone_id);
+        let unit = self.unit_slices();
+        let backing = self.backing_slices();
+        let sb = self.cfg.geometry.zone_superblock(zone_id);
+
+        debug_assert_eq!(
+            self.buffers[buf_idx].start_offset, self.zones[zidx].flushed_slices,
+            "buffer must continue the zone's durable prefix"
+        );
+        let staged_len = self.zones[zidx].staged.len() as u64;
+        let run_start = self.zones[zidx].staged_start();
+        let run_end = self.buffers[buf_idx].end_offset();
+        debug_assert_eq!(run_start % unit, 0, "staged run starts unit-aligned");
+
+        let mut t = now;
+
+        // ── Path ① / ③: full canonical units below the backing boundary ──
+        let canon_end = run_end.min(backing);
+        let full_end = if canon_end > run_start {
+            run_start + ((canon_end - run_start) / unit) * unit
+        } else {
+            run_start
+        };
+        if full_end > run_start {
+            let mut staged_data: Option<Vec<u8>> = None;
+            if staged_len > 0 {
+                // Path ③: read the staged fragments out of SLC and
+                // invalidate them (striped blocks of Fig. 3).
+                let ppas: Vec<Ppa> = self.zones[zidx].staged.iter().map(|s| s.ppa).collect();
+                let read_start = t;
+                let out = self.flash.read_slices(t, &ppas).map_err(internal)?;
+                t = out.finish;
+                self.breakdown.combine_read += t.saturating_since(read_start);
+                staged_data = out.data;
+                for ppa in ppas {
+                    self.flash.invalidate(ppa).map_err(internal)?;
+                    self.slc.owner.remove(&ppa);
+                }
+                self.zones[zidx].staged.clear();
+                self.counters.slc_combines += 1;
+            }
+            let from_buffer = full_end - self.buffers[buf_idx].start_offset;
+            let buf_data = self.buffers[buf_idx].drain_front(from_buffer);
+            let payload: Option<Vec<u8>> = if self.cfg.data_backing {
+                let mut v = staged_data.unwrap_or_default();
+                v.extend_from_slice(&buf_data.unwrap_or_default());
+                Some(v)
+            } else {
+                None
+            };
+
+            let nunits = (full_end - run_start) / unit;
+            self.counters.full_flushes += nunits;
+            let mut finish = t;
+            for u in 0..nunits {
+                let off = run_start + u * unit;
+                let first_ppa = self.cfg.geometry.superblock_slice(sb, off);
+                let parts = self.cfg.geometry.decode_ppa(first_ppa);
+                let data_slice = payload.as_ref().map(|p| {
+                    &p[(u * unit * SLICE_BYTES) as usize..((u + 1) * unit * SLICE_BYTES) as usize]
+                });
+                let out = self
+                    .flash
+                    .program_unit(t, parts.chip, parts.block, data_slice)
+                    .map_err(internal)?;
+                debug_assert_eq!(
+                    out.first, first_ppa,
+                    "write pointer must match the reserved layout"
+                );
+                // Host-visible: the buffer frees once the transfer lands in
+                // the chip register; tPROG continues in the background.
+                finish = finish.max(out.buffer_free);
+                for i in 0..unit {
+                    self.table
+                        .set(zone_base.offset(off + i), first_ppa.offset(i), true);
+                }
+                self.note_bits(zone_base.offset(off), unit, MapGranularity::Page);
+                self.note_l2p_updates(unit);
+            }
+            t = finish;
+            self.zones[zidx].flushed_slices = full_end;
+            self.maybe_aggregate(zone_id, run_start, full_end);
+            t = self.maybe_flush_l2p_log(t);
+        }
+
+        // ── §III-E: zone-tail patch into reserved SLC slices ──
+        if run_end > backing && !self.buffers[buf_idx].is_empty() {
+            let patch_start = self.buffers[buf_idx].start_offset;
+            debug_assert!(patch_start >= backing, "canonical region fully flushed first");
+            let count = run_end - patch_start;
+            let pay = self.buffers[buf_idx].drain_front(count);
+            let lpns: Vec<Lpn> = (patch_start..run_end).map(|o| zone_base.offset(o)).collect();
+            t = self.program_slc_batch(t, &lpns, pay.as_deref(), true, None)?;
+            self.counters.patch_slices += count;
+            self.zones[zidx].flushed_slices = run_end;
+            self.maybe_aggregate(zone_id, patch_start, run_end);
+        }
+
+        // ── Path ②: premature flush of the sub-unit remainder ──
+        if drain && !self.buffers[buf_idx].is_empty() {
+            let start = self.buffers[buf_idx].start_offset;
+            let count = self.buffers[buf_idx].slices;
+            let pay = self.buffers[buf_idx].drain_front(count);
+            let lpns: Vec<Lpn> = (start..start + count).map(|o| zone_base.offset(o)).collect();
+            self.counters.premature_flushes += 1;
+            t = self.program_slc_batch(t, &lpns, pay.as_deref(), false, Some(zidx))?;
+            self.zones[zidx].flushed_slices = start + count;
+        }
+
+        if drain {
+            self.buffers[buf_idx].release();
+        }
+        Ok(t)
+    }
+
+    /// Partial-programs `lpns` into the SLC write stream, striping across
+    /// chips. Updates the mapping table (`canonical` flag as given), the
+    /// SLC owner map, and — for premature flushes — the zone's staged list.
+    pub(crate) fn program_slc_batch(
+        &mut self,
+        now: SimTime,
+        lpns: &[Lpn],
+        payload: Option<&[u8]>,
+        canonical: bool,
+        staged_zone: Option<usize>,
+    ) -> Result<SimTime, DeviceError> {
+        let nchips = self.cfg.geometry.nchips();
+        let spb = self.cfg.geometry.slices_per_block() as usize;
+        let spp = self.cfg.geometry.slices_per_page();
+        let mut t = now;
+        let mut finish = t;
+        let mut idx = 0usize;
+        while idx < lpns.len() {
+            let sb = match self.slc.active {
+                Some(sb) => sb,
+                None => {
+                    if self.slc.free.len() <= self.cfg.slc_gc_threshold && !self.slc.used.is_empty()
+                    {
+                        t = self.run_slc_gc(t)?;
+                        finish = finish.max(t);
+                    }
+                    // GC's own migration may already have opened a fresh
+                    // superblock; reuse it instead of double-activating.
+                    match self.slc.active {
+                        Some(sb) => sb,
+                        None => self.slc.activate_next().ok_or_else(|| {
+                            DeviceError::NoFreeSpace {
+                                at: t,
+                                what: "slc secondary buffer superblocks".to_string(),
+                            }
+                        })?,
+                    }
+                }
+            };
+            // Place one page's worth per chip per round, preferring idle
+            // chips so premature flushes never stall behind a long tPROG
+            // on a die that happens to be programming TLC.
+            let mut order: Vec<usize> = (0..nchips).collect();
+            order.sort_by_key(|&c| self.flash.chip_free_at(ChipId(c as u64)));
+            let mut any = false;
+            for &c in &order {
+                if idx >= lpns.len() {
+                    break;
+                }
+                let chip = ChipId(c as u64);
+                let avail = spb - self.flash.block(chip, sb.raw() as usize).cursor();
+                let n = spp.min(avail).min(lpns.len() - idx);
+                if n == 0 {
+                    continue;
+                }
+                any = true;
+                let pay = payload
+                    .map(|p| &p[idx * SLICE_BYTES as usize..(idx + n) * SLICE_BYTES as usize]);
+                let out = self
+                    .flash
+                    .program_slc(t, chip, sb.raw() as usize, n, pay)
+                    .map_err(internal)?;
+                finish = finish.max(out.buffer_free);
+                for i in 0..n {
+                    let lpn = lpns[idx + i];
+                    let ppa = out.first.offset(i as u64);
+                    self.table.set(lpn, ppa, canonical);
+                    self.slc.owner.insert(ppa, lpn);
+                    if let Some(z) = staged_zone {
+                        self.zones[z].staged.push(StagedSlice { lpn, ppa });
+                    }
+                }
+                self.note_bits(lpns[idx], n as u64, MapGranularity::Page);
+                self.note_l2p_updates(n as u64);
+                idx += n;
+            }
+            if !any {
+                // Active superblock exhausted on every chip.
+                self.slc.retire_active();
+            }
+        }
+        let finish = self.maybe_flush_l2p_log(finish);
+        Ok(finish)
+    }
+
+    /// Attempts chunk aggregation for every chunk completed in
+    /// `[from, to)`, and zone aggregation when the zone is fully durable
+    /// (paper §III-C ②, capped by `max_aggregation`).
+    pub(crate) fn maybe_aggregate(&mut self, zone_id: ZoneId, from: u64, to: u64) {
+        if self.cfg.max_aggregation == MapGranularity::Page {
+            return;
+        }
+        let zone_base = self.zone_start(zone_id);
+        let chunk = self.cfg.chunk_slices();
+        let flushed = self.zones[zone_id.raw() as usize].flushed_slices;
+        let pinned = conzone_ftl::pins_aggregates(self.cfg.search_strategy);
+        let first = from / chunk;
+        let last = (to - 1) / chunk;
+        for c in first..=last {
+            if (c + 1) * chunk <= flushed {
+                let lpn = zone_base.offset(c * chunk);
+                if self.table.try_aggregate_chunk(lpn) {
+                    self.note_bits(zone_base.offset(c * chunk), chunk, MapGranularity::Chunk);
+                    if pinned {
+                        self.cache.insert(lpn, MapGranularity::Chunk, true);
+                    }
+                }
+            }
+        }
+        if self.cfg.max_aggregation == MapGranularity::Zone && flushed == self.zone_slices() {
+            if self.table.try_aggregate_zone(zone_base) {
+                self.note_bits(zone_base, self.zone_slices(), MapGranularity::Zone);
+                if pinned {
+                    self.cache.insert(zone_base, MapGranularity::Zone, true);
+                }
+            }
+        }
+    }
+
+    /// The zone's reserved superblock (exposed for tests).
+    pub fn zone_superblock(&self, zone: ZoneId) -> SuperblockId {
+        self.cfg.geometry.zone_superblock(zone)
+    }
+}

@@ -1,0 +1,83 @@
+//! Per-zone bookkeeping.
+
+use conzone_types::{Lpn, Ppa, ZoneState};
+
+/// A slice of zone data staged in the SLC secondary write buffer, awaiting
+/// combination into the reserved normal blocks (paper §III-B path ③).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StagedSlice {
+    /// Logical page of the staged data.
+    pub lpn: Lpn,
+    /// Where it currently sits in SLC.
+    pub ppa: Ppa,
+}
+
+/// Internal state of one zone.
+#[derive(Debug, Clone)]
+pub(crate) struct Zone {
+    /// Lifecycle state.
+    pub state: ZoneState,
+    /// Host-visible write pointer: slices accepted so far (including data
+    /// still in the volatile buffer).
+    pub wp_slices: u64,
+    /// Slices durably placed (flashed canonically, staged in SLC, or patch),
+    /// i.e. `wp_slices` minus whatever sits in the volatile buffer.
+    pub flushed_slices: u64,
+    /// Premature-flush data staged in SLC: a contiguous run ending at
+    /// `flushed_slices`, beginning at a programming-unit-aligned offset.
+    pub staged: Vec<StagedSlice>,
+}
+
+impl Zone {
+    pub(crate) fn new() -> Zone {
+        Zone {
+            state: ZoneState::Empty,
+            wp_slices: 0,
+            flushed_slices: 0,
+            staged: Vec::new(),
+        }
+    }
+
+    /// Zone-relative offset where the staged run begins.
+    pub(crate) fn staged_start(&self) -> u64 {
+        self.flushed_slices - self.staged.len() as u64
+    }
+
+    /// Resets the zone to empty.
+    pub(crate) fn reset(&mut self) {
+        self.state = ZoneState::Empty;
+        self.wp_slices = 0;
+        self.flushed_slices = 0;
+        self.staged.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_zone_is_empty() {
+        let z = Zone::new();
+        assert_eq!(z.state, ZoneState::Empty);
+        assert_eq!(z.wp_slices, 0);
+        assert_eq!(z.staged_start(), 0);
+    }
+
+    #[test]
+    fn staged_start_tracks_run() {
+        let mut z = Zone::new();
+        z.wp_slices = 40;
+        z.flushed_slices = 36;
+        z.staged = (24..36)
+            .map(|i| StagedSlice {
+                lpn: Lpn(i),
+                ppa: Ppa(1000 + i),
+            })
+            .collect();
+        assert_eq!(z.staged_start(), 24);
+        z.reset();
+        assert_eq!(z.wp_slices, 0);
+        assert!(z.staged.is_empty());
+    }
+}

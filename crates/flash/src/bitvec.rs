@@ -1,0 +1,128 @@
+//! A compact fixed-size bit vector used for per-slice block state.
+
+/// Fixed-length bit vector backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates `len` bits, all clear.
+    pub fn new(len: usize) -> BitVec {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Sets bit `idx` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::new(130);
+        assert_eq!(v.len(), 130);
+        for i in (0..130).step_by(3) {
+            v.set(i, true);
+        }
+        for i in 0..130 {
+            assert_eq!(v.get(i), i % 3 == 0, "bit {i}");
+        }
+        v.set(0, false);
+        assert!(!v.get(0));
+    }
+
+    #[test]
+    fn count_and_iter_agree() {
+        let mut v = BitVec::new(200);
+        let idxs = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &idxs {
+            v.set(i, true);
+        }
+        assert_eq!(v.count_ones(), idxs.len());
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), idxs);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut v = BitVec::new(70);
+        v.set(69, true);
+        v.clear_all();
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        BitVec::new(10).get(10);
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-block NAND state: program cursor, slice validity and wear.
+//!
+//! A flash block programs strictly sequentially (the NAND append
+//! constraint) and erases as a whole. Multi-level-cell blocks program a
+//! whole multi-page programming unit at a time; SLC blocks may partial-
+//! program at 4 KiB slice granularity (paper §II-A).
+
+use conzone_types::CellType;
+
+use crate::bitvec::BitVec;
+use crate::error::FlashError;
+
+/// State of one flash block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    cell: CellType,
+    /// Next programmable slice index (NAND sequential-program cursor).
+    cursor: usize,
+    /// Slices that have been programmed since the last erase.
+    written: BitVec,
+    /// Programmed slices that still hold live data.
+    valid: BitVec,
+    erase_count: u64,
+    slices: usize,
+}
+
+impl Block {
+    /// Creates an erased block of `slices` 4 KiB slices.
+    pub fn new(cell: CellType, slices: usize) -> Block {
+        Block {
+            cell,
+            cursor: 0,
+            written: BitVec::new(slices),
+            valid: BitVec::new(slices),
+            erase_count: 0,
+            slices,
+        }
+    }
+
+    /// The block's cell technology.
+    #[inline]
+    pub fn cell(&self) -> CellType {
+        self.cell
+    }
+
+    /// Slices per block.
+    #[inline]
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Next programmable slice index.
+    #[inline]
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Whether the program cursor reached the end of the block.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.cursor == self.slices
+    }
+
+    /// Whether nothing has been programmed since the last erase.
+    #[inline]
+    pub fn is_erased(&self) -> bool {
+        self.cursor == 0
+    }
+
+    /// Times the block has been erased.
+    #[inline]
+    pub fn erase_count(&self) -> u64 {
+        self.erase_count
+    }
+
+    /// Live slices in the block.
+    #[inline]
+    pub fn valid_count(&self) -> usize {
+        self.valid.count_ones()
+    }
+
+    /// Iterates over the in-block indices of live slices.
+    pub fn iter_valid(&self) -> impl Iterator<Item = usize> + '_ {
+        self.valid.iter_ones()
+    }
+
+    /// Whether slice `idx` holds live data.
+    #[inline]
+    pub fn is_valid(&self, idx: usize) -> bool {
+        self.valid.get(idx)
+    }
+
+    /// Whether slice `idx` has been programmed since the last erase.
+    #[inline]
+    pub fn is_written(&self, idx: usize) -> bool {
+        self.written.get(idx)
+    }
+
+    /// Programs `count` slices at the cursor, marking them valid, and
+    /// returns the index of the first slice programmed.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::BlockFull`] when fewer than `count` slices remain.
+    pub fn program(&mut self, count: usize) -> Result<usize, FlashError> {
+        if self.cursor + count > self.slices {
+            return Err(FlashError::BlockFull {
+                cursor: self.cursor,
+                requested: count,
+                slices: self.slices,
+            });
+        }
+        let start = self.cursor;
+        for i in start..start + count {
+            self.written.set(i, true);
+            self.valid.set(i, true);
+        }
+        self.cursor += count;
+        Ok(start)
+    }
+
+    /// Marks a programmed slice dead (superseded or host-invalidated).
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::InvalidSlice`] if the slice was never programmed.
+    pub fn invalidate(&mut self, idx: usize) -> Result<(), FlashError> {
+        if !self.written.get(idx) {
+            return Err(FlashError::InvalidSlice { index: idx });
+        }
+        self.valid.set(idx, false);
+        Ok(())
+    }
+
+    /// Erases the block, clearing all state and bumping the wear counter.
+    pub fn erase(&mut self) {
+        self.cursor = 0;
+        self.written.clear_all();
+        self.valid.clear_all();
+        self.erase_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_program_and_validity() {
+        let mut b = Block::new(CellType::Slc, 8);
+        assert!(b.is_erased());
+        assert_eq!(b.program(3).unwrap(), 0);
+        assert_eq!(b.program(2).unwrap(), 3);
+        assert_eq!(b.cursor(), 5);
+        assert_eq!(b.valid_count(), 5);
+        assert!(b.is_valid(4));
+        assert!(!b.is_written(5));
+    }
+
+    #[test]
+    fn program_past_end_rejected() {
+        let mut b = Block::new(CellType::Tlc, 4);
+        b.program(4).unwrap();
+        assert!(b.is_full());
+        assert!(matches!(b.program(1), Err(FlashError::BlockFull { .. })));
+    }
+
+    #[test]
+    fn invalidate_and_iter_valid() {
+        let mut b = Block::new(CellType::Slc, 6);
+        b.program(5).unwrap();
+        b.invalidate(1).unwrap();
+        b.invalidate(3).unwrap();
+        assert_eq!(b.valid_count(), 3);
+        assert_eq!(b.iter_valid().collect::<Vec<_>>(), vec![0, 2, 4]);
+        // Idempotent on already-dead slices.
+        b.invalidate(1).unwrap();
+        assert_eq!(b.valid_count(), 3);
+        // But never-written slices are an error.
+        assert!(matches!(
+            b.invalidate(5),
+            Err(FlashError::InvalidSlice { .. })
+        ));
+    }
+
+    #[test]
+    fn erase_resets_and_counts_wear() {
+        let mut b = Block::new(CellType::Qlc, 4);
+        b.program(4).unwrap();
+        b.erase();
+        assert!(b.is_erased());
+        assert_eq!(b.valid_count(), 0);
+        assert_eq!(b.erase_count(), 1);
+        b.program(2).unwrap();
+        b.erase();
+        assert_eq!(b.erase_count(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Flash-layer errors.
+
+use core::fmt;
+
+use conzone_types::Ppa;
+
+/// Errors raised by the flash media model. These normally indicate a bug in
+/// the FTL above (programming rules violated) or a read of dead data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlashError {
+    /// Programming past the end of a block.
+    BlockFull {
+        /// Current program cursor (slices).
+        cursor: usize,
+        /// Slices requested.
+        requested: usize,
+        /// Slices per block.
+        slices: usize,
+    },
+    /// Operating on a slice that was never programmed.
+    InvalidSlice {
+        /// In-block slice index.
+        index: usize,
+    },
+    /// Reading a slice that is erased or invalidated.
+    ReadDead {
+        /// The offending physical address.
+        ppa: Ppa,
+    },
+    /// Partial (sub-unit) programming attempted on a multi-level-cell block.
+    PartialProgramOnMlc {
+        /// Slices attempted.
+        requested: usize,
+        /// Slices per programming unit of the block's media.
+        unit: usize,
+    },
+    /// Multi-level-cell programming not aligned to a programming unit.
+    UnalignedUnit {
+        /// Current cursor (slices).
+        cursor: usize,
+    },
+    /// Payload length does not match the programmed extent.
+    DataLength {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes provided.
+        got: usize,
+    },
+    /// Address component outside the geometry.
+    OutOfGeometry {
+        /// Description of the offending component.
+        what: String,
+    },
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::BlockFull {
+                cursor,
+                requested,
+                slices,
+            } => write!(
+                f,
+                "program of {requested} slices at cursor {cursor} exceeds block of {slices}"
+            ),
+            FlashError::InvalidSlice { index } => {
+                write!(f, "slice {index} was never programmed")
+            }
+            FlashError::ReadDead { ppa } => write!(f, "read of dead slice at {ppa}"),
+            FlashError::PartialProgramOnMlc { requested, unit } => write!(
+                f,
+                "partial program of {requested} slices on MLC media (unit is {unit} slices)"
+            ),
+            FlashError::UnalignedUnit { cursor } => {
+                write!(f, "unit program at unaligned cursor {cursor}")
+            }
+            FlashError::DataLength { expected, got } => {
+                write!(f, "payload of {got} bytes, expected {expected}")
+            }
+            FlashError::OutOfGeometry { what } => write!(f, "address outside geometry: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FlashError::ReadDead { ppa: Ppa(42) };
+        assert!(e.to_string().contains("Ppa(42)"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlashError>();
+    }
+}

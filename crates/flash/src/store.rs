@@ -1,0 +1,131 @@
+//! Optional data backing store for read-after-write verification.
+//!
+//! Timing studies over gigabytes of flash do not want to hold the data in
+//! host memory, so payload storage is opt-in
+//! ([`DeviceConfig::data_backing`](conzone_types::DeviceConfig)). When
+//! enabled, every programmed 4 KiB slice's bytes are retained and reads
+//! return them, letting integration and property tests assert data
+//! integrity through buffering, SLC staging, combines and GC migration.
+
+use std::collections::HashMap;
+
+use conzone_types::{Ppa, SLICE_BYTES};
+
+/// Per-slice payload store, keyed by physical address.
+#[derive(Debug, Default)]
+pub struct DataStore {
+    enabled: bool,
+    slices: HashMap<u64, Box<[u8]>>,
+}
+
+impl DataStore {
+    /// Creates a store; a disabled store ignores writes and returns `None`.
+    pub fn new(enabled: bool) -> DataStore {
+        DataStore {
+            enabled,
+            slices: HashMap::new(),
+        }
+    }
+
+    /// Whether payloads are retained.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Stores the bytes of one slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly 4 KiB.
+    pub fn put(&mut self, ppa: Ppa, data: &[u8]) {
+        if !self.enabled {
+            return;
+        }
+        assert_eq!(data.len() as u64, SLICE_BYTES, "slice payload must be 4 KiB");
+        self.slices.insert(ppa.raw(), data.into());
+    }
+
+    /// Fetches the bytes of one slice, if retained.
+    pub fn get(&self, ppa: Ppa) -> Option<&[u8]> {
+        self.slices.get(&ppa.raw()).map(|b| b.as_ref())
+    }
+
+    /// Moves a slice's payload to a new physical address (GC migration).
+    pub fn relocate(&mut self, from: Ppa, to: Ppa) {
+        if let Some(data) = self.slices.remove(&from.raw()) {
+            self.slices.insert(to.raw(), data);
+        }
+    }
+
+    /// Drops the payload of one slice.
+    pub fn remove(&mut self, ppa: Ppa) {
+        self.slices.remove(&ppa.raw());
+    }
+
+    /// Drops all payloads in `[first, first + count)` linear slice
+    /// addresses (used on block erase).
+    pub fn remove_range(&mut self, first: Ppa, count: u64) {
+        for i in 0..count {
+            self.slices.remove(&(first.raw() + i));
+        }
+    }
+
+    /// Number of retained slices.
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Whether no payloads are retained.
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice_of(byte: u8) -> Vec<u8> {
+        vec![byte; SLICE_BYTES as usize]
+    }
+
+    #[test]
+    fn disabled_store_ignores_everything() {
+        let mut s = DataStore::new(false);
+        s.put(Ppa(1), &slice_of(7));
+        assert!(s.get(Ppa(1)).is_none());
+        assert!(s.is_empty());
+        assert!(!s.is_enabled());
+    }
+
+    #[test]
+    fn put_get_relocate_remove() {
+        let mut s = DataStore::new(true);
+        s.put(Ppa(5), &slice_of(1));
+        assert_eq!(s.get(Ppa(5)).unwrap()[0], 1);
+        s.relocate(Ppa(5), Ppa(9));
+        assert!(s.get(Ppa(5)).is_none());
+        assert_eq!(s.get(Ppa(9)).unwrap()[0], 1);
+        s.remove(Ppa(9));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn remove_range_clears_block() {
+        let mut s = DataStore::new(true);
+        for i in 0..10 {
+            s.put(Ppa(100 + i), &slice_of(i as u8));
+        }
+        s.remove_range(Ppa(100), 5);
+        assert_eq!(s.len(), 5);
+        assert!(s.get(Ppa(104)).is_none());
+        assert!(s.get(Ppa(105)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "4 KiB")]
+    fn wrong_size_payload_panics() {
+        DataStore::new(true).put(Ppa(0), &[0u8; 100]);
+    }
+}

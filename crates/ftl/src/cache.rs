@@ -1,0 +1,298 @@
+//! The volatile L2P cache (paper §III-C).
+//!
+//! Cache entries carry three domains — logical address, mapping granularity
+//! and physical address — and lookups translate the logical address into
+//! LZA, LCA and LPA, matching each in turn. Eviction is LRU; the pinned
+//! configuration of §IV-D keeps aggregated entries resident and evicts the
+//! entries they cover.
+
+use conzone_types::{Lpn, MapGranularity};
+
+use crate::lru::{InsertOutcome, LruCache};
+
+/// Cache key: the aggregation level plus the aligned index at that level
+/// (LZA, LCA or LPA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Aggregation level of the entry.
+    pub granularity: MapGranularity,
+    /// Zone / chunk / page index at that level.
+    pub index: u64,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Hit at the given granularity.
+    Hit(MapGranularity),
+    /// No entry covers the page.
+    Miss,
+}
+
+/// The L2P cache.
+///
+/// ```
+/// use conzone_ftl::{L2pCache, LookupResult};
+/// use conzone_types::{Lpn, MapGranularity};
+///
+/// let mut cache = L2pCache::new(64, 4, 16);
+/// cache.insert(Lpn(5), MapGranularity::Chunk, false);
+/// // Any page of chunk 1 now hits at chunk granularity.
+/// assert_eq!(cache.lookup(Lpn(7)), LookupResult::Hit(MapGranularity::Chunk));
+/// assert_eq!(cache.lookup(Lpn(9)), LookupResult::Miss);
+/// ```
+#[derive(Debug)]
+pub struct L2pCache {
+    lru: LruCache<CacheKey, ()>,
+    chunk_slices: u64,
+    zone_slices: u64,
+}
+
+impl L2pCache {
+    /// Creates a cache of `capacity` entries over the given chunk/zone
+    /// tiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or either tile size is zero.
+    pub fn new(capacity: usize, chunk_slices: u64, zone_slices: u64) -> L2pCache {
+        assert!(chunk_slices > 0 && zone_slices > 0);
+        L2pCache {
+            lru: LruCache::new(capacity),
+            chunk_slices,
+            zone_slices,
+        }
+    }
+
+    /// Capacity in entries.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.lru.capacity()
+    }
+
+    /// Resident entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Total LRU evictions so far.
+    #[inline]
+    pub fn evictions(&self) -> u64 {
+        self.lru.evictions()
+    }
+
+    fn key_for(&self, lpn: Lpn, granularity: MapGranularity) -> CacheKey {
+        let index = match granularity {
+            MapGranularity::Page => lpn.raw(),
+            MapGranularity::Chunk => lpn.raw() / self.chunk_slices,
+            MapGranularity::Zone => lpn.raw() / self.zone_slices,
+        };
+        CacheKey { granularity, index }
+    }
+
+    /// Looks up a logical page, trying LZA, then LCA, then LPA (paper
+    /// Fig. 4 Ⅰ). A hit promotes the entry to most-recently-used.
+    pub fn lookup(&mut self, lpn: Lpn) -> LookupResult {
+        for granularity in [
+            MapGranularity::Zone,
+            MapGranularity::Chunk,
+            MapGranularity::Page,
+        ] {
+            let key = self.key_for(lpn, granularity);
+            if self.lru.get(&key).is_some() {
+                return LookupResult::Hit(granularity);
+            }
+        }
+        LookupResult::Miss
+    }
+
+    /// Whether any entry covers `lpn`, without touching recency.
+    pub fn covers(&self, lpn: Lpn) -> bool {
+        [
+            MapGranularity::Zone,
+            MapGranularity::Chunk,
+            MapGranularity::Page,
+        ]
+        .into_iter()
+        .any(|g| self.lru.contains(&self.key_for(lpn, g)))
+    }
+
+    /// Inserts the entry covering `lpn` at `granularity`. When `pinned` is
+    /// set (the §IV-D design), aggregated entries stay resident and the
+    /// entries they cover are removed.
+    pub fn insert(&mut self, lpn: Lpn, granularity: MapGranularity, pinned: bool) -> InsertOutcome {
+        if granularity > MapGranularity::Page {
+            self.evict_covered(lpn, granularity);
+        }
+        let key = self.key_for(lpn, granularity);
+        self.lru.insert(key, (), pinned)
+    }
+
+    /// Removes entries strictly below `granularity` that the new aggregated
+    /// entry covers ("the covered L2P mapping entries are evicted",
+    /// §IV-D).
+    fn evict_covered(&mut self, lpn: Lpn, granularity: MapGranularity) {
+        let (lo, hi) = match granularity {
+            MapGranularity::Zone => {
+                let z = lpn.raw() / self.zone_slices;
+                (z * self.zone_slices, (z + 1) * self.zone_slices)
+            }
+            MapGranularity::Chunk => {
+                let c = lpn.raw() / self.chunk_slices;
+                (c * self.chunk_slices, (c + 1) * self.chunk_slices)
+            }
+            MapGranularity::Page => return,
+        };
+        let chunk_slices = self.chunk_slices;
+        self.lru.retain_not(|k| match k.granularity {
+            MapGranularity::Page => k.index >= lo && k.index < hi,
+            MapGranularity::Chunk if granularity == MapGranularity::Zone => {
+                let start = k.index * chunk_slices;
+                start >= lo && start < hi
+            }
+            _ => false,
+        });
+    }
+
+    /// Invalidates any entry covering `lpn` (mapping changed: overwrite, GC
+    /// migration or zone reset).
+    pub fn invalidate_page(&mut self, lpn: Lpn) {
+        for granularity in [
+            MapGranularity::Zone,
+            MapGranularity::Chunk,
+            MapGranularity::Page,
+        ] {
+            let key = self.key_for(lpn, granularity);
+            self.lru.remove(&key);
+        }
+    }
+
+    /// Invalidates every entry of the zone containing `lpn`.
+    pub fn invalidate_zone(&mut self, zone_start: Lpn) {
+        let z = zone_start.raw() / self.zone_slices;
+        let lo = z * self.zone_slices;
+        let hi = lo + self.zone_slices;
+        let chunk_slices = self.chunk_slices;
+        let zone_slices = self.zone_slices;
+        self.lru.retain_not(|k| match k.granularity {
+            MapGranularity::Page => k.index >= lo && k.index < hi,
+            MapGranularity::Chunk => {
+                let start = k.index * chunk_slices;
+                start >= lo && start < hi
+            }
+            MapGranularity::Zone => k.index * zone_slices == lo,
+        });
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.lru.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> L2pCache {
+        L2pCache::new(8, 4, 16)
+    }
+
+    #[test]
+    fn lookup_priority_zone_chunk_page() {
+        let mut c = cache();
+        c.insert(Lpn(0), MapGranularity::Page, false);
+        c.insert(Lpn(0), MapGranularity::Chunk, false);
+        c.insert(Lpn(0), MapGranularity::Zone, false);
+        assert_eq!(c.lookup(Lpn(0)), LookupResult::Hit(MapGranularity::Zone));
+    }
+
+    #[test]
+    fn chunk_hit_covers_whole_chunk_only() {
+        let mut c = cache();
+        c.insert(Lpn(4), MapGranularity::Chunk, false);
+        assert_eq!(c.lookup(Lpn(6)), LookupResult::Hit(MapGranularity::Chunk));
+        assert_eq!(c.lookup(Lpn(3)), LookupResult::Miss);
+        assert_eq!(c.lookup(Lpn(8)), LookupResult::Miss);
+    }
+
+    #[test]
+    fn aggregated_insert_evicts_covered() {
+        let mut c = cache();
+        for i in 0..4 {
+            c.insert(Lpn(i), MapGranularity::Page, false);
+        }
+        assert_eq!(c.len(), 4);
+        c.insert(Lpn(0), MapGranularity::Chunk, false);
+        // The four page entries are gone; only the chunk entry remains.
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(Lpn(2)), LookupResult::Hit(MapGranularity::Chunk));
+    }
+
+    #[test]
+    fn zone_insert_evicts_covered_chunks_and_pages() {
+        let mut c = cache();
+        c.insert(Lpn(0), MapGranularity::Chunk, false);
+        c.insert(Lpn(5), MapGranularity::Page, false);
+        c.insert(Lpn(17), MapGranularity::Page, false); // other zone
+        c.insert(Lpn(0), MapGranularity::Zone, false);
+        assert_eq!(c.len(), 2); // zone entry + other-zone page
+        assert_eq!(c.lookup(Lpn(17)), LookupResult::Hit(MapGranularity::Page));
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let mut c = cache(); // capacity 8
+        for i in 0..9 {
+            c.insert(Lpn(i * 16), MapGranularity::Page, false);
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.lookup(Lpn(0)), LookupResult::Miss, "oldest evicted");
+    }
+
+    #[test]
+    fn pinned_aggregates_survive_pressure() {
+        let mut c = cache();
+        c.insert(Lpn(0), MapGranularity::Zone, true);
+        for i in 0..20 {
+            c.insert(Lpn(100 + i), MapGranularity::Page, false);
+        }
+        assert_eq!(c.lookup(Lpn(5)), LookupResult::Hit(MapGranularity::Zone));
+    }
+
+    #[test]
+    fn invalidate_page_and_zone() {
+        let mut c = cache();
+        c.insert(Lpn(0), MapGranularity::Chunk, false);
+        c.invalidate_page(Lpn(2));
+        assert_eq!(c.lookup(Lpn(0)), LookupResult::Miss);
+
+        c.insert(Lpn(16), MapGranularity::Zone, false);
+        c.insert(Lpn(20), MapGranularity::Page, false);
+        c.insert(Lpn(0), MapGranularity::Page, false);
+        c.invalidate_zone(Lpn(16));
+        assert_eq!(c.lookup(Lpn(20)), LookupResult::Miss);
+        assert_eq!(c.lookup(Lpn(0)), LookupResult::Hit(MapGranularity::Page));
+    }
+
+    #[test]
+    fn covers_does_not_touch_recency() {
+        let mut c = L2pCache::new(2, 4, 16);
+        c.insert(Lpn(0), MapGranularity::Page, false);
+        c.insert(Lpn(1), MapGranularity::Page, false);
+        assert!(c.covers(Lpn(0)));
+        // Insert a third entry: LRU victim must still be Lpn(0) because
+        // covers() did not promote it.
+        c.insert(Lpn(2), MapGranularity::Page, false);
+        assert!(!c.covers(Lpn(0)));
+        assert!(c.covers(Lpn(1)));
+    }
+}

@@ -1,0 +1,47 @@
+//! Flash-translation-layer building blocks for the ConZone emulator.
+//!
+//! Implements the read-path machinery of paper §III-C:
+//!
+//! * [`MappingTable`] — the page-granularity L2P table whose two reserved
+//!   *map bits* record page / chunk / zone aggregation, with the
+//!   canonical-placement rule that gates aggregation;
+//! * [`L2pCache`] — the limited volatile cache with LZA → LCA → LPA lookup,
+//!   LRU replacement and optional pinning of aggregated entries;
+//! * [`MapBitmap`] — the in-SRAM map-bit mirror of the Bitmap strategy;
+//! * [`mapping_fetches`] — the per-miss flash-fetch cost of each
+//!   [`SearchStrategy`](conzone_types::SearchStrategy);
+//! * [`LruCache`] — the generic pinned-LRU underlying the L2P cache (also
+//!   used by the Legacy baseline's prefetching cache).
+//!
+//! ```
+//! use conzone_ftl::{L2pCache, LookupResult, MappingTable};
+//! use conzone_types::{Lpn, MapGranularity, Ppa};
+//!
+//! let mut table = MappingTable::new(64, 4, 16);
+//! let mut cache = L2pCache::new(8, 4, 16);
+//! for i in 0..4 {
+//!     table.set(Lpn(i), Ppa(100 + i), true);
+//! }
+//! assert!(table.try_aggregate_chunk(Lpn(0)));
+//! cache.insert(Lpn(0), MapGranularity::Chunk, false);
+//! assert_eq!(cache.lookup(Lpn(3)), LookupResult::Hit(MapGranularity::Chunk));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bitmap;
+mod cache;
+mod lru;
+mod mapping;
+mod strategy;
+
+pub use bitmap::MapBitmap;
+pub use cache::{CacheKey, L2pCache, LookupResult};
+pub use lru::{InsertOutcome, LruCache};
+pub use mapping::{MapEntry, MappingTable};
+pub use strategy::{mapping_fetches, pins_aggregates, sram_overhead_bytes};
+
+#[cfg(test)]
+mod proptests;

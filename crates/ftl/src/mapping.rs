@@ -1,0 +1,392 @@
+//! The page-granularity L2P mapping table with hybrid-aggregation map bits.
+//!
+//! Per paper §III-C, "the FTL still uses page mapping to record all mapping
+//! information"; two reserved bits in each entry record whether the entry
+//! belongs to an aggregated chunk- or zone-level run. Aggregation is
+//! possible only for data placed at its *canonical* reserved physical
+//! location (the per-zone reserved normal blocks plus the reserved SLC
+//! patch pages of §III-E); data staged in ordinary SLC buffer blocks can
+//! never aggregate because its physical contiguity is not guaranteed.
+
+use conzone_types::{ChunkId, Lpn, MapGranularity, Ppa, ZoneId};
+
+/// One decoded mapping-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapEntry {
+    /// Physical slice holding the logical page.
+    pub ppa: Ppa,
+    /// Aggregation level recorded in the entry's map bits.
+    pub granularity: MapGranularity,
+    /// Whether the data sits at its canonical reserved location.
+    pub canonical: bool,
+}
+
+/// The full L2P mapping table.
+///
+/// The table is held in emulator RAM; its *flash residency* is modelled by
+/// the timed mapping fetches the device performs on L2P cache misses.
+#[derive(Debug)]
+pub struct MappingTable {
+    /// `ppas[lpn]` — physical address, or `None` while unmapped.
+    ppas: Vec<Option<Ppa>>,
+    /// Two map bits + canonical flag per entry, packed into a byte.
+    flags: Vec<u8>,
+    chunk_slices: u64,
+    zone_slices: u64,
+}
+
+const CANONICAL_FLAG: u8 = 0b100;
+
+impl MappingTable {
+    /// Creates an empty table for `capacity_slices` logical pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `chunk_slices` divides `zone_slices` and both are
+    /// non-zero.
+    pub fn new(capacity_slices: u64, chunk_slices: u64, zone_slices: u64) -> MappingTable {
+        assert!(chunk_slices > 0 && zone_slices > 0);
+        assert_eq!(
+            zone_slices % chunk_slices,
+            0,
+            "chunks must tile zones exactly"
+        );
+        MappingTable {
+            ppas: vec![None; capacity_slices as usize],
+            flags: vec![0; capacity_slices as usize],
+            chunk_slices,
+            zone_slices,
+        }
+    }
+
+    /// Logical capacity in slices.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.ppas.len() as u64
+    }
+
+    /// Slices per chunk.
+    #[inline]
+    pub fn chunk_slices(&self) -> u64 {
+        self.chunk_slices
+    }
+
+    /// Slices per zone.
+    #[inline]
+    pub fn zone_slices(&self) -> u64 {
+        self.zone_slices
+    }
+
+    /// The chunk containing a logical page.
+    #[inline]
+    pub fn chunk_of(&self, lpn: Lpn) -> ChunkId {
+        ChunkId(lpn.raw() / self.chunk_slices)
+    }
+
+    /// The zone containing a logical page.
+    #[inline]
+    pub fn zone_of(&self, lpn: Lpn) -> ZoneId {
+        ZoneId(lpn.raw() / self.zone_slices)
+    }
+
+    /// Looks up one logical page.
+    pub fn get(&self, lpn: Lpn) -> Option<MapEntry> {
+        let idx = lpn.raw() as usize;
+        let ppa = (*self.ppas.get(idx)?)?;
+        let flags = self.flags[idx];
+        Some(MapEntry {
+            ppa,
+            granularity: MapGranularity::from_bits(flags & 0b11)
+                .expect("table never stores the reserved bit pattern"),
+            canonical: flags & CANONICAL_FLAG != 0,
+        })
+    }
+
+    /// Installs or updates one entry at page granularity. `canonical`
+    /// records whether `ppa` is the slice's reserved location, which gates
+    /// later aggregation.
+    ///
+    /// Updating a page that belonged to an aggregated chunk or zone breaks
+    /// that aggregation, so the covering run is demoted back to page map
+    /// bits (keeping the "aggregation level is uniform across its range"
+    /// invariant that the cache and bitmap rely on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is beyond the table capacity.
+    pub fn set(&mut self, lpn: Lpn, ppa: Ppa, canonical: bool) {
+        let idx = lpn.raw() as usize;
+        assert!(idx < self.ppas.len(), "lpn {lpn} beyond capacity");
+        match MapGranularity::from_bits(self.flags[idx] & 0b11) {
+            Some(MapGranularity::Chunk) => {
+                let start = lpn.raw() / self.chunk_slices * self.chunk_slices;
+                self.set_range_bits(start, self.chunk_slices, MapGranularity::Page);
+            }
+            Some(MapGranularity::Zone) => {
+                let start = lpn.raw() / self.zone_slices * self.zone_slices;
+                self.set_range_bits(start, self.zone_slices, MapGranularity::Page);
+            }
+            _ => {}
+        }
+        self.ppas[idx] = Some(ppa);
+        self.flags[idx] = MapGranularity::Page.to_bits()
+            | if canonical { CANONICAL_FLAG } else { 0 };
+    }
+
+    /// Moves an entry to a new physical address, preserving its map bits
+    /// and canonical flag (GC migration relocates data without changing
+    /// its aggregation state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is unmapped.
+    pub fn relocate(&mut self, lpn: Lpn, ppa: Ppa) {
+        let idx = lpn.raw() as usize;
+        assert!(
+            idx < self.ppas.len() && self.ppas[idx].is_some(),
+            "relocating unmapped lpn {lpn}"
+        );
+        self.ppas[idx] = Some(ppa);
+    }
+
+    /// Unmaps one entry (host overwrote or the zone was reset). Like
+    /// [`MappingTable::set`], punching a hole into an aggregated range
+    /// demotes the covering run back to page bits.
+    pub fn unmap(&mut self, lpn: Lpn) {
+        let idx = lpn.raw() as usize;
+        if idx < self.ppas.len() {
+            match MapGranularity::from_bits(self.flags[idx] & 0b11) {
+                Some(MapGranularity::Chunk) => {
+                    let start = lpn.raw() / self.chunk_slices * self.chunk_slices;
+                    self.set_range_bits(start, self.chunk_slices, MapGranularity::Page);
+                }
+                Some(MapGranularity::Zone) => {
+                    let start = lpn.raw() / self.zone_slices * self.zone_slices;
+                    self.set_range_bits(start, self.zone_slices, MapGranularity::Page);
+                }
+                _ => {}
+            }
+            self.ppas[idx] = None;
+            self.flags[idx] = 0;
+        }
+    }
+
+    /// Unmaps every entry of a zone.
+    pub fn unmap_zone(&mut self, zone: ZoneId) {
+        let start = zone.raw() * self.zone_slices;
+        for lpn in start..(start + self.zone_slices).min(self.capacity()) {
+            self.unmap(Lpn(lpn));
+        }
+    }
+
+    fn range_aggregatable(&self, start: u64, len: u64) -> bool {
+        let end = (start + len).min(self.capacity());
+        if end - start < len {
+            return false;
+        }
+        (start..end).all(|i| {
+            self.ppas[i as usize].is_some() && self.flags[i as usize] & CANONICAL_FLAG != 0
+        })
+    }
+
+    fn set_range_bits(&mut self, start: u64, len: u64, granularity: MapGranularity) {
+        for i in start..start + len {
+            let f = &mut self.flags[i as usize];
+            *f = (*f & !0b11) | granularity.to_bits();
+        }
+    }
+
+    /// Attempts to aggregate the chunk containing `lpn`: succeeds when every
+    /// page of the chunk is mapped canonically (paper §III-C ②). Returns
+    /// whether the chunk is now (or already was) aggregated at chunk level
+    /// or better.
+    pub fn try_aggregate_chunk(&mut self, lpn: Lpn) -> bool {
+        let chunk = self.chunk_of(lpn);
+        let start = chunk.raw() * self.chunk_slices;
+        if let Some(e) = self.get(Lpn(start)) {
+            if e.granularity >= MapGranularity::Chunk {
+                return true;
+            }
+        }
+        if self.range_aggregatable(start, self.chunk_slices) {
+            self.set_range_bits(start, self.chunk_slices, MapGranularity::Chunk);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Attempts to aggregate the zone containing `lpn`: succeeds when every
+    /// page of the zone is mapped canonically. Returns whether the zone is
+    /// now aggregated.
+    pub fn try_aggregate_zone(&mut self, lpn: Lpn) -> bool {
+        let zone = self.zone_of(lpn);
+        let start = zone.raw() * self.zone_slices;
+        if let Some(e) = self.get(Lpn(start)) {
+            if e.granularity == MapGranularity::Zone {
+                return true;
+            }
+        }
+        if self.range_aggregatable(start, self.zone_slices) {
+            self.set_range_bits(start, self.zone_slices, MapGranularity::Zone);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The aggregation level currently recorded for `lpn` (`None` if
+    /// unmapped).
+    pub fn granularity_of(&self, lpn: Lpn) -> Option<MapGranularity> {
+        self.get(lpn).map(|e| e.granularity)
+    }
+
+    /// Number of mapped entries (for tests and reports).
+    pub fn mapped_count(&self) -> u64 {
+        self.ppas.iter().filter(|p| p.is_some()).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> MappingTable {
+        // 2 zones of 16 slices, chunks of 4.
+        MappingTable::new(32, 4, 16)
+    }
+
+    #[test]
+    fn set_get_unmap() {
+        let mut t = table();
+        assert!(t.get(Lpn(3)).is_none());
+        t.set(Lpn(3), Ppa(77), true);
+        let e = t.get(Lpn(3)).unwrap();
+        assert_eq!(e.ppa, Ppa(77));
+        assert_eq!(e.granularity, MapGranularity::Page);
+        assert!(e.canonical);
+        t.unmap(Lpn(3));
+        assert!(t.get(Lpn(3)).is_none());
+    }
+
+    #[test]
+    fn chunk_aggregation_requires_all_canonical() {
+        let mut t = table();
+        for i in 0..3 {
+            t.set(Lpn(i), Ppa(100 + i), true);
+        }
+        assert!(!t.try_aggregate_chunk(Lpn(0)), "incomplete chunk");
+        t.set(Lpn(3), Ppa(103), false); // staged in SLC: not canonical
+        assert!(!t.try_aggregate_chunk(Lpn(0)), "non-canonical page");
+        t.set(Lpn(3), Ppa(103), true);
+        assert!(t.try_aggregate_chunk(Lpn(0)));
+        for i in 0..4 {
+            assert_eq!(t.granularity_of(Lpn(i)), Some(MapGranularity::Chunk));
+        }
+        // Pages outside the chunk are untouched.
+        assert_eq!(t.granularity_of(Lpn(4)), None);
+    }
+
+    #[test]
+    fn zone_aggregation_covers_all_chunks() {
+        let mut t = table();
+        for i in 16..32 {
+            t.set(Lpn(i), Ppa(200 + i), true);
+        }
+        assert!(t.try_aggregate_zone(Lpn(20)));
+        for i in 16..32 {
+            assert_eq!(t.granularity_of(Lpn(i)), Some(MapGranularity::Zone));
+        }
+        // Re-aggregating is idempotent.
+        assert!(t.try_aggregate_zone(Lpn(16)));
+    }
+
+    #[test]
+    fn page_update_demotes_broken_aggregation() {
+        let mut t = table();
+        for i in 0..4 {
+            t.set(Lpn(i), Ppa(10 + i), true);
+        }
+        t.try_aggregate_chunk(Lpn(0));
+        // An update breaks the chunk's contiguity: every covered entry
+        // demotes back to page bits, so a later try_aggregate re-checks
+        // the whole range instead of trusting a stale fast path.
+        t.set(Lpn(2), Ppa(99), false);
+        assert_eq!(t.granularity_of(Lpn(2)), Some(MapGranularity::Page));
+        assert_eq!(t.granularity_of(Lpn(1)), Some(MapGranularity::Page));
+        assert!(!t.try_aggregate_chunk(Lpn(0)), "non-canonical page blocks");
+        t.set(Lpn(2), Ppa(99), true);
+        assert!(t.try_aggregate_chunk(Lpn(0)), "repaired chunk re-aggregates");
+    }
+
+    #[test]
+    fn unmap_zone_clears_range() {
+        let mut t = table();
+        for i in 0..32 {
+            t.set(Lpn(i), Ppa(i), true);
+        }
+        t.unmap_zone(ZoneId(1));
+        assert_eq!(t.mapped_count(), 16);
+        assert!(t.get(Lpn(16)).is_none());
+        assert!(t.get(Lpn(15)).is_some());
+    }
+
+    #[test]
+    fn chunk_and_zone_of() {
+        let t = table();
+        assert_eq!(t.chunk_of(Lpn(5)), ChunkId(1));
+        assert_eq!(t.zone_of(Lpn(17)), ZoneId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn set_out_of_range_panics() {
+        table().set(Lpn(32), Ppa(0), true);
+    }
+
+    #[test]
+    fn relocate_preserves_flags() {
+        let mut t = table();
+        for i in 0..4 {
+            t.set(Lpn(i), Ppa(10 + i), true);
+        }
+        t.try_aggregate_chunk(Lpn(0));
+        t.relocate(Lpn(2), Ppa(500));
+        let e = t.get(Lpn(2)).unwrap();
+        assert_eq!(e.ppa, Ppa(500));
+        assert_eq!(e.granularity, MapGranularity::Chunk);
+        assert!(e.canonical);
+    }
+
+    #[test]
+    #[should_panic(expected = "relocating unmapped")]
+    fn relocate_unmapped_panics() {
+        table().relocate(Lpn(0), Ppa(1));
+    }
+}
+
+#[cfg(test)]
+mod demotion_tests {
+    use super::*;
+
+    #[test]
+    fn unmap_demotes_covering_aggregation() {
+        let mut t = MappingTable::new(32, 4, 16);
+        for i in 0..16 {
+            t.set(Lpn(i), Ppa(i), true);
+        }
+        assert!(t.try_aggregate_zone(Lpn(0)));
+        t.unmap(Lpn(7));
+        assert_eq!(t.get(Lpn(7)), None);
+        for i in (0..16).filter(|i| *i != 7) {
+            assert_eq!(
+                t.granularity_of(Lpn(i)),
+                Some(MapGranularity::Page),
+                "lpn {i} demoted"
+            );
+        }
+        // The fast path cannot claim a stale aggregation afterwards.
+        assert!(!t.try_aggregate_chunk(Lpn(4)), "hole blocks chunk 1");
+        assert!(t.try_aggregate_chunk(Lpn(0)), "chunk 0 re-aggregates");
+    }
+}

@@ -1,0 +1,51 @@
+//! Host-side harness for the ConZone emulator.
+//!
+//! This crate plays the role FIO and the file system play in the paper's
+//! evaluation (§IV): it generates well-defined request streams against any
+//! [`StorageDevice`](conzone_types::StorageDevice) model and collects
+//! bandwidth, IOPS, latency-percentile and write-amplification reports.
+//!
+//! * [`FioJob`] / [`run_job`] — fio-like synchronous jobs (sequential or
+//!   random, read or write, 1..n threads at queue depth 1);
+//! * [`JobReport`] — bandwidth / KIOPS / tail-latency / WAF summary;
+//! * [`payload_for`] — deterministic data generation for integrity
+//!   verification across the device's buffering and GC paths;
+//! * [`F2fsLite`] — a six-log F2FS-like allocator reproducing the
+//!   ≤6-open-zones access pattern of consumer devices (§II-B).
+//!
+//! ```
+//! use conzone_core::ConZone;
+//! use conzone_host::{run_job, AccessPattern, FioJob};
+//! use conzone_types::DeviceConfig;
+//!
+//! let mut dev = ConZone::new(DeviceConfig::tiny_for_tests());
+//! let job = FioJob::new(AccessPattern::SeqWrite, 256 * 1024)
+//!     .zone_bytes(1024 * 1024)
+//!     .bytes_per_thread(2 * 1024 * 1024);
+//! let report = run_job(&mut dev, &job)?;
+//! assert!(report.bandwidth_mibs() > 0.0);
+//! # Ok::<(), conzone_host::HostError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod f2fs;
+mod fio_file;
+mod job;
+mod runner;
+mod trace;
+mod verify;
+mod workloads;
+
+pub use f2fs::{F2fsLite, F2fsStats, Temperature};
+pub use fio_file::{parse_fio_jobs, NamedJob, ParseFioError};
+pub use job::{AccessPattern, FioJob};
+pub use runner::{run_job, HostError, JobReport};
+pub use trace::{
+    replay_budget, replay_counters, replay_trace, MobileTraceBuilder, ParseTraceError, Trace,
+    TraceKind, TraceOp,
+};
+pub use verify::payload_for;
+pub use workloads::WorkloadPreset;

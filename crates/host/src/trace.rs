@@ -1,0 +1,480 @@
+//! Trace-driven workloads: parse, synthesise and replay I/O traces.
+//!
+//! The text format is one operation per line, blkparse-style:
+//!
+//! ```text
+//! # time_ns  op  offset_bytes  length_bytes
+//! 0          W   0             131072
+//! 250000     R   65536         4096
+//! 1000000    D   0             16777216      # zone reset (discard)
+//! ```
+//!
+//! Comments (`#`) and blank lines are ignored. Replay issues each
+//! operation no earlier than its timestamp (open-loop), or back to back
+//! (closed-loop) when `respect_timestamps` is off.
+
+use conzone_sim::{LatencyHistogram, SimRng};
+use conzone_types::{Counters, IoRequest, SimDuration, SimTime, ZonedDevice, SLICE_BYTES};
+
+use crate::runner::{HostError, JobReport};
+
+/// One trace operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Issue time relative to trace start.
+    pub at: SimTime,
+    /// What to do.
+    pub kind: TraceKind,
+    /// Byte offset.
+    pub offset: u64,
+    /// Byte length.
+    pub len: u64,
+}
+
+/// Operation kind in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Host read.
+    Read,
+    /// Host write.
+    Write,
+    /// Discard: reset the zone containing `offset` (zoned devices only).
+    Discard,
+}
+
+/// A parsed or generated trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    ops: Vec<TraceOp>,
+}
+
+/// Error from parsing a trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an operation (kept in insertion order).
+    pub fn push(&mut self, op: TraceOp) {
+        self.ops.push(op);
+    }
+
+    /// The operations in order.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total bytes moved by reads and writes.
+    pub fn total_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| o.kind != TraceKind::Discard)
+            .map(|o| o.len)
+            .sum()
+    }
+
+    /// Parses the text format described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Trace, ParseTraceError> {
+        let mut trace = Trace::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let body = raw.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = body.split_whitespace().collect();
+            if fields.len() != 4 {
+                return Err(ParseTraceError {
+                    line,
+                    message: format!("expected 4 fields, found {}", fields.len()),
+                });
+            }
+            let at = fields[0].parse::<u64>().map_err(|e| ParseTraceError {
+                line,
+                message: format!("bad timestamp: {e}"),
+            })?;
+            let kind = match fields[1] {
+                "R" | "r" => TraceKind::Read,
+                "W" | "w" => TraceKind::Write,
+                "D" | "d" => TraceKind::Discard,
+                other => {
+                    return Err(ParseTraceError {
+                        line,
+                        message: format!("unknown op '{other}' (expected R, W or D)"),
+                    })
+                }
+            };
+            let offset = fields[2].parse::<u64>().map_err(|e| ParseTraceError {
+                line,
+                message: format!("bad offset: {e}"),
+            })?;
+            let len = fields[3].parse::<u64>().map_err(|e| ParseTraceError {
+                line,
+                message: format!("bad length: {e}"),
+            })?;
+            trace.push(TraceOp {
+                at: SimTime::from_nanos(at),
+                kind,
+                offset,
+                len,
+            });
+        }
+        Ok(trace)
+    }
+
+    /// Serialises back to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# time_ns op offset_bytes length_bytes\n");
+        for op in &self.ops {
+            let k = match op.kind {
+                TraceKind::Read => 'R',
+                TraceKind::Write => 'W',
+                TraceKind::Discard => 'D',
+            };
+            out.push_str(&format!(
+                "{} {} {} {}\n",
+                op.at.as_nanos(),
+                k,
+                op.offset,
+                op.len
+            ));
+        }
+        out
+    }
+}
+
+/// Builder for a synthetic mobile-like trace: bursts of sequential media
+/// writes, a stream of small synchronous metadata writes, and zipf-skewed
+/// random reads — the consumer access pattern the paper targets.
+#[derive(Debug, Clone)]
+pub struct MobileTraceBuilder {
+    zone_bytes: u64,
+    zones: u64,
+    seed: u64,
+    bursts: u64,
+    burst_bytes: u64,
+    metadata_every: u64,
+    reads: u64,
+    read_skew: f64,
+}
+
+impl MobileTraceBuilder {
+    /// Targets a zoned device of `zones` zones of `zone_bytes` each.
+    pub fn new(zone_bytes: u64, zones: u64) -> MobileTraceBuilder {
+        MobileTraceBuilder {
+            zone_bytes,
+            zones,
+            seed: 0x0b11e_7ace,
+            bursts: 4,
+            burst_bytes: 8 * 1024 * 1024,
+            metadata_every: 2 * 1024 * 1024,
+            reads: 2000,
+            read_skew: 1.1,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of media write bursts (e.g. photos).
+    pub fn bursts(mut self, n: u64) -> Self {
+        self.bursts = n;
+        self
+    }
+
+    /// Bytes per burst.
+    pub fn burst_bytes(mut self, bytes: u64) -> Self {
+        self.burst_bytes = bytes;
+        self
+    }
+
+    /// Number of 4 KiB random reads appended after the writes.
+    pub fn reads(mut self, n: u64) -> Self {
+        self.reads = n;
+        self
+    }
+
+    /// Zipf skew of the reads (0.0 = uniform, ~1.0 = typical hot/cold).
+    pub fn read_skew(mut self, skew: f64) -> Self {
+        self.read_skew = skew;
+        self
+    }
+
+    /// Builds the trace. Writes are strictly sequential per zone (media in
+    /// even zones, metadata in zone 1); reads are zipf-skewed over the
+    /// written media region.
+    pub fn build(self) -> Trace {
+        let mut rng = SimRng::new(self.seed);
+        let mut trace = Trace::new();
+        let chunk = 512 * 1024u64;
+        let mut t = 0u64;
+        let mut media_zone = 0u64;
+        let mut media_off = 0u64;
+        let mut meta_off = 0u64;
+        let mut written_media: Vec<(u64, u64)> = Vec::new(); // (offset, len)
+
+        let mut used_zones: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        used_zones.insert(0);
+        for _ in 0..self.bursts {
+            let mut streamed = 0;
+            while streamed < self.burst_bytes {
+                if media_off == self.zone_bytes {
+                    media_zone = (media_zone + 2) % (self.zones & !1).max(2);
+                    if !used_zones.insert(media_zone) {
+                        // Revisiting a zone: the host discards it first and
+                        // its old extents disappear from the read footprint.
+                        trace.push(TraceOp {
+                            at: SimTime::from_nanos(t),
+                            kind: TraceKind::Discard,
+                            offset: media_zone * self.zone_bytes,
+                            len: self.zone_bytes,
+                        });
+                        let lo = media_zone * self.zone_bytes;
+                        let hi = lo + self.zone_bytes;
+                        written_media.retain(|(off, _)| *off < lo || *off >= hi);
+                    }
+                    media_off = 0;
+                }
+                let offset = media_zone * self.zone_bytes + media_off;
+                trace.push(TraceOp {
+                    at: SimTime::from_nanos(t),
+                    kind: TraceKind::Write,
+                    offset,
+                    len: chunk,
+                });
+                written_media.push((offset, chunk));
+                media_off += chunk;
+                streamed += chunk;
+                t += 200_000; // 200 us between submissions
+                if streamed % self.metadata_every == 0 {
+                    trace.push(TraceOp {
+                        at: SimTime::from_nanos(t),
+                        kind: TraceKind::Write,
+                        offset: self.zone_bytes + meta_off,
+                        len: 16 * 1024,
+                    });
+                    meta_off += 16 * 1024;
+                    t += 100_000;
+                }
+            }
+            t += 5_000_000; // 5 ms between bursts
+        }
+
+        // Zipf-ish skewed reads over written media extents: rank sampled
+        // with probability ∝ rank^-skew via inversion on a harmonic CDF.
+        let n = written_media.len().max(1);
+        let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(self.read_skew)).collect();
+        let total: f64 = weights.iter().sum();
+        for _ in 0..self.reads {
+            let mut x = rng.f64() * total;
+            let mut rank = 0;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    rank = i;
+                    break;
+                }
+                x -= w;
+            }
+            let (base, len) = written_media[rank % written_media.len()];
+            let slice = rng.below(len / SLICE_BYTES) * SLICE_BYTES;
+            trace.push(TraceOp {
+                at: SimTime::from_nanos(t),
+                kind: TraceKind::Read,
+                offset: base + slice,
+                len: SLICE_BYTES,
+            });
+            t += 50_000;
+        }
+        trace
+    }
+}
+
+/// Replays a trace against a zoned device, honouring timestamps as
+/// earliest-issue times (`open_loop`) or issuing back to back.
+///
+/// # Errors
+///
+/// Propagates device errors with the offending offset.
+pub fn replay_trace<D: ZonedDevice + ?Sized>(
+    dev: &mut D,
+    trace: &Trace,
+    start: SimTime,
+    open_loop: bool,
+) -> Result<JobReport, HostError> {
+    let before = dev.counters();
+    let mut hist = LatencyHistogram::new();
+    let mut read_hist = LatencyHistogram::new();
+    let mut write_hist = LatencyHistogram::new();
+    let mut t = start;
+    let mut bytes = 0u64;
+    let mut ops = 0u64;
+    let mut finished = start;
+    for op in trace.ops() {
+        let issue = if open_loop { t.max(start + (op.at - SimTime::ZERO)) } else { t };
+        let completion = match op.kind {
+            TraceKind::Read => dev.submit(issue, &IoRequest::read(op.offset, op.len)),
+            TraceKind::Write => dev.submit(issue, &IoRequest::write(op.offset, op.len)),
+            TraceKind::Discard => {
+                let zone = dev.zone_of(op.offset);
+                dev.reset_zone(issue, zone)
+            }
+        }
+        .map_err(|source| HostError::Device {
+            offset: op.offset,
+            source,
+        })?;
+        hist.record(completion.latency());
+        match op.kind {
+            TraceKind::Read => read_hist.record(completion.latency()),
+            TraceKind::Write => write_hist.record(completion.latency()),
+            TraceKind::Discard => {}
+        }
+        if op.kind != TraceKind::Discard {
+            bytes += op.len;
+        }
+        ops += 1;
+        finished = finished.max(completion.finished);
+        t = completion.finished;
+    }
+    let after = dev.counters();
+    Ok(JobReport {
+        model: dev.model_name(),
+        started: start,
+        finished,
+        bytes,
+        ops,
+        latency: hist.summary(),
+        read_latency: read_hist.summary(),
+        write_latency: write_hist.summary(),
+        counters: after.since(&before),
+    })
+}
+
+/// Convenience: the counter delta a replay produced.
+pub fn replay_counters(report: &JobReport) -> &Counters {
+    &report.counters
+}
+
+/// Upper bound on how long a closed-loop replay of `trace` can take,
+/// assuming every op costs at most `per_op`: a sanity budget for tests.
+pub fn replay_budget(trace: &Trace, per_op: SimDuration) -> SimDuration {
+    per_op * trace.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conzone_core::ConZone;
+    use conzone_types::DeviceConfig;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "\
+# a comment
+0 W 0 131072
+250000 R 65536 4096   # inline comment
+
+1000000 D 0 16777216
+";
+        let trace = Trace::parse(text).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.ops()[0].kind, TraceKind::Write);
+        assert_eq!(trace.ops()[1].at, SimTime::from_nanos(250_000));
+        assert_eq!(trace.ops()[2].kind, TraceKind::Discard);
+        assert_eq!(trace.total_bytes(), 131072 + 4096);
+
+        let reparsed = Trace::parse(&trace.to_text()).unwrap();
+        assert_eq!(reparsed.ops(), trace.ops());
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = Trace::parse("0 W 0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = Trace::parse("0 X 0 4096\n").unwrap_err();
+        assert!(err.message.contains("unknown op"));
+        let err = Trace::parse("zero W 0 4096\n").unwrap_err();
+        assert!(err.message.contains("timestamp"));
+    }
+
+    #[test]
+    fn mobile_trace_replays_on_conzone() {
+        let mut dev = ConZone::new(DeviceConfig::tiny_for_tests());
+        let trace = MobileTraceBuilder::new(dev.zone_size(), dev.zone_count() as u64)
+            .bursts(2)
+            .burst_bytes(1024 * 1024)
+            .reads(200)
+            .build();
+        assert!(!trace.is_empty());
+        let report = replay_trace(&mut dev, &trace, SimTime::ZERO, false).unwrap();
+        assert_eq!(report.ops, trace.len() as u64);
+        assert!(report.bandwidth_mibs() > 0.0);
+        assert!(report.counters.host_read_ops >= 200);
+    }
+
+    #[test]
+    fn open_loop_respects_timestamps() {
+        let mut dev = ConZone::new(DeviceConfig::tiny_for_tests());
+        let mut trace = Trace::new();
+        trace.push(TraceOp {
+            at: SimTime::ZERO,
+            kind: TraceKind::Write,
+            offset: 0,
+            len: 4096,
+        });
+        trace.push(TraceOp {
+            at: SimTime::from_nanos(50_000_000), // 50 ms idle gap
+            kind: TraceKind::Write,
+            offset: 4096,
+            len: 4096,
+        });
+        let r = replay_trace(&mut dev, &trace, SimTime::ZERO, true).unwrap();
+        assert!(r.finished >= SimTime::from_nanos(50_000_000));
+        let mut dev = ConZone::new(DeviceConfig::tiny_for_tests());
+        let r = replay_trace(&mut dev, &trace, SimTime::ZERO, false).unwrap();
+        assert!(r.finished < SimTime::from_nanos(50_000_000), "closed loop ignores gaps");
+    }
+
+    #[test]
+    fn budget_helper() {
+        let trace = Trace::parse("0 W 0 4096\n1 W 4096 4096\n").unwrap();
+        assert_eq!(
+            replay_budget(&trace, SimDuration::from_micros(100)),
+            SimDuration::from_micros(200)
+        );
+    }
+}

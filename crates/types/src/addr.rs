@@ -1,0 +1,256 @@
+//! Logical and physical address newtypes.
+//!
+//! The emulator manages space at a 4 KiB *slice* granularity — the host
+//! sector unit, the SLC partial-programming unit, and the mapping-table
+//! granularity all coincide at 4 KiB (paper §II-A/§III-C):
+//!
+//! * [`Lpn`] — logical page number, a 4 KiB logical slice index.
+//! * [`Ppa`] — physical page address, a 4 KiB physical slice index
+//!   (decode it with [`Geometry`](crate::Geometry)).
+//! * [`ZoneId`], [`ChunkId`] — coarser logical units used by hybrid mapping:
+//!   the LZA / LCA of the paper's read path.
+//! * [`SuperblockId`], [`ChipId`], [`ChannelId`] — physical grouping units.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes in one slice: the logical sector, mapping granule and SLC
+/// programming unit (4 KiB).
+pub const SLICE_BYTES: u64 = 4096;
+
+macro_rules! index_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl From<u64> for $name {
+            #[inline]
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<$name> for u64 {
+            #[inline]
+            fn from(v: $name) -> u64 {
+                v.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+index_newtype!(
+    /// Logical page number: index of a 4 KiB slice in the logical address
+    /// space (the LPA of the paper's read path).
+    Lpn
+);
+
+index_newtype!(
+    /// Physical page address: linear index of a 4 KiB slice in the flash
+    /// array. Decode into (chip, block, page, slice) with
+    /// [`Geometry::decode_ppa`](crate::Geometry::decode_ppa).
+    Ppa
+);
+
+index_newtype!(
+    /// Zone index (the LZA of the paper's read path). One zone maps onto one
+    /// superblock of reserved normal flash blocks.
+    ZoneId
+);
+
+index_newtype!(
+    /// Logical chunk index (the LCA of the paper's read path). A chunk is a
+    /// fixed-size run of logical pages — 4 MiB (1024 slices) by default.
+    ChunkId
+);
+
+index_newtype!(
+    /// Superblock index: flash blocks at the same per-chip offset across all
+    /// chips form one superblock (paper §II-A).
+    SuperblockId
+);
+
+index_newtype!(
+    /// Flash chip (die) index across all channels.
+    ChipId
+);
+
+index_newtype!(
+    /// Flash channel index.
+    ChannelId
+);
+
+impl Lpn {
+    /// First byte covered by this logical page.
+    #[inline]
+    pub const fn byte_offset(self) -> u64 {
+        self.0 * SLICE_BYTES
+    }
+
+    /// Logical page containing `byte` (which need not be aligned).
+    #[inline]
+    pub const fn containing(byte: u64) -> Lpn {
+        Lpn(byte / SLICE_BYTES)
+    }
+
+    /// The `n`-th page after this one.
+    #[inline]
+    pub const fn offset(self, n: u64) -> Lpn {
+        Lpn(self.0 + n)
+    }
+}
+
+impl Ppa {
+    /// The `n`-th physical slice after this one.
+    #[inline]
+    pub const fn offset(self, n: u64) -> Ppa {
+        Ppa(self.0 + n)
+    }
+}
+
+/// A contiguous run of logical pages `[start, start + count)`.
+///
+/// ```
+/// use conzone_types::{Lpn, LpnRange};
+///
+/// let r = LpnRange::new(Lpn(4), 3);
+/// assert!(r.contains(Lpn(6)));
+/// assert_eq!(r.iter().count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LpnRange {
+    /// First logical page in the run.
+    pub start: Lpn,
+    /// Number of logical pages in the run.
+    pub count: u64,
+}
+
+impl LpnRange {
+    /// Creates a range of `count` pages starting at `start`.
+    #[inline]
+    pub const fn new(start: Lpn, count: u64) -> Self {
+        LpnRange { start, count }
+    }
+
+    /// Builds the smallest aligned range covering `[offset, offset + len)`
+    /// in bytes. Returns `None` when `len` is zero.
+    pub fn covering_bytes(offset: u64, len: u64) -> Option<Self> {
+        if len == 0 {
+            return None;
+        }
+        let first = offset / SLICE_BYTES;
+        let last = (offset + len - 1) / SLICE_BYTES;
+        Some(LpnRange::new(Lpn(first), last - first + 1))
+    }
+
+    /// One past the last page in the range.
+    #[inline]
+    pub const fn end(self) -> Lpn {
+        Lpn(self.start.0 + self.count)
+    }
+
+    /// Bytes covered by the range.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.count * SLICE_BYTES
+    }
+
+    /// Whether the range is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether `lpn` lies inside the range.
+    #[inline]
+    pub const fn contains(self, lpn: Lpn) -> bool {
+        lpn.0 >= self.start.0 && lpn.0 < self.start.0 + self.count
+    }
+
+    /// Iterates over each page in the range.
+    pub fn iter(self) -> impl Iterator<Item = Lpn> {
+        (self.start.0..self.start.0 + self.count).map(Lpn)
+    }
+}
+
+impl fmt::Display for LpnRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.start.0, self.start.0 + self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpn_byte_conversions() {
+        assert_eq!(Lpn(3).byte_offset(), 3 * 4096);
+        assert_eq!(Lpn::containing(4095), Lpn(0));
+        assert_eq!(Lpn::containing(4096), Lpn(1));
+    }
+
+    #[test]
+    fn range_covering_bytes() {
+        // 1 byte straddling nothing: one slice.
+        assert_eq!(
+            LpnRange::covering_bytes(0, 1),
+            Some(LpnRange::new(Lpn(0), 1))
+        );
+        // Exactly one slice.
+        assert_eq!(
+            LpnRange::covering_bytes(4096, 4096),
+            Some(LpnRange::new(Lpn(1), 1))
+        );
+        // Unaligned span crossing a boundary.
+        assert_eq!(
+            LpnRange::covering_bytes(4000, 200),
+            Some(LpnRange::new(Lpn(0), 2))
+        );
+        assert_eq!(LpnRange::covering_bytes(123, 0), None);
+    }
+
+    #[test]
+    fn range_iteration_and_contains() {
+        let r = LpnRange::new(Lpn(10), 4);
+        let pages: Vec<_> = r.iter().collect();
+        assert_eq!(pages, vec![Lpn(10), Lpn(11), Lpn(12), Lpn(13)]);
+        assert!(r.contains(Lpn(10)));
+        assert!(r.contains(Lpn(13)));
+        assert!(!r.contains(Lpn(14)));
+        assert_eq!(r.end(), Lpn(14));
+        assert_eq!(r.bytes(), 4 * 4096);
+    }
+
+    #[test]
+    fn newtype_conversions() {
+        let z: ZoneId = 7u64.into();
+        assert_eq!(u64::from(z), 7);
+        assert_eq!(z.raw(), 7);
+        assert_eq!(z.to_string(), "ZoneId(7)");
+    }
+
+    #[test]
+    fn ppa_offset() {
+        assert_eq!(Ppa(5).offset(3), Ppa(8));
+    }
+}

@@ -1,0 +1,240 @@
+//! Device statistics counters.
+//!
+//! [`Counters`] is a passive, public-field statistics record exposed by all
+//! device models; the host harness derives write amplification and cache
+//! hit rates from it.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative event counters of a device model.
+///
+/// All byte counts are raw bytes; all op counts are events. The struct is a
+/// plain data record (public fields) so harnesses can snapshot and diff it.
+///
+/// ```
+/// use conzone_types::Counters;
+///
+/// let mut c = Counters::default();
+/// c.host_write_bytes = 4096;
+/// c.flash_program_bytes_tlc = 8192;
+/// assert_eq!(c.write_amplification(), 2.0);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Bytes the host read.
+    pub host_read_bytes: u64,
+    /// Bytes the host wrote.
+    pub host_write_bytes: u64,
+    /// Host read requests.
+    pub host_read_ops: u64,
+    /// Host write requests.
+    pub host_write_ops: u64,
+
+    /// Bytes programmed into SLC flash.
+    pub flash_program_bytes_slc: u64,
+    /// Bytes programmed into TLC flash.
+    pub flash_program_bytes_tlc: u64,
+    /// Bytes programmed into QLC flash.
+    pub flash_program_bytes_qlc: u64,
+    /// Flash page reads for host data.
+    pub flash_data_reads: u64,
+    /// Flash page reads for mapping-table fetches.
+    pub flash_mapping_reads: u64,
+    /// Flash block erases in the SLC region.
+    pub erases_slc: u64,
+    /// Flash block erases in the normal region.
+    pub erases_normal: u64,
+
+    /// L2P cache hits at zone granularity.
+    pub l2p_hits_zone: u64,
+    /// L2P cache hits at chunk granularity.
+    pub l2p_hits_chunk: u64,
+    /// L2P cache hits at page granularity.
+    pub l2p_hits_page: u64,
+    /// L2P cache misses (mapping fetched from flash).
+    pub l2p_misses: u64,
+    /// Cache entries evicted by LRU replacement.
+    pub l2p_evictions: u64,
+
+    /// Write-buffer flushes triggered before a full programming unit
+    /// accumulated (paper Fig. 1 (b) W.2).
+    pub premature_flushes: u64,
+    /// Write-buffer flushes of complete programming units.
+    pub full_flushes: u64,
+    /// Times an incoming write found its buffer owned by a different zone
+    /// (the Fig. 6 (b) conflict event).
+    pub buffer_conflicts: u64,
+    /// SLC fragments combined with buffered data and rewritten to the
+    /// normal region (paper §III-B path ③).
+    pub slc_combines: u64,
+    /// Slices written to SLC as zone-tail alignment patches (§III-E).
+    pub patch_slices: u64,
+
+    /// L2P persistence-log flushes to flash (paper §III-E).
+    pub l2p_log_flushes: u64,
+    /// In-place conventional-zone slice updates.
+    pub conventional_updates: u64,
+    /// SLC garbage-collection runs.
+    pub gc_runs: u64,
+    /// Valid 4 KiB slices migrated by SLC GC.
+    pub gc_migrated_slices: u64,
+    /// Zone resets handled.
+    pub zone_resets: u64,
+}
+
+impl Counters {
+    /// Creates an all-zero counter set (same as `Default`).
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Total bytes programmed into flash, all media.
+    #[inline]
+    pub fn flash_program_bytes(&self) -> u64 {
+        self.flash_program_bytes_slc + self.flash_program_bytes_tlc + self.flash_program_bytes_qlc
+    }
+
+    /// Write amplification factor: flash bytes programmed per host byte
+    /// written. Returns 0.0 when nothing has been written.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_write_bytes == 0 {
+            0.0
+        } else {
+            self.flash_program_bytes() as f64 / self.host_write_bytes as f64
+        }
+    }
+
+    /// Total L2P cache hits at any granularity.
+    #[inline]
+    pub fn l2p_hits(&self) -> u64 {
+        self.l2p_hits_zone + self.l2p_hits_chunk + self.l2p_hits_page
+    }
+
+    /// L2P cache miss ratio in `[0, 1]`. Returns 0.0 with no lookups.
+    pub fn l2p_miss_rate(&self) -> f64 {
+        let total = self.l2p_hits() + self.l2p_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2p_misses as f64 / total as f64
+        }
+    }
+
+    /// Difference `self - earlier`, for interval statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds `self`.
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        macro_rules! diff {
+            ($($f:ident),* $(,)?) => {
+                Counters { $($f: self.$f - earlier.$f),* }
+            };
+        }
+        diff!(
+            host_read_bytes,
+            host_write_bytes,
+            host_read_ops,
+            host_write_ops,
+            flash_program_bytes_slc,
+            flash_program_bytes_tlc,
+            flash_program_bytes_qlc,
+            flash_data_reads,
+            flash_mapping_reads,
+            erases_slc,
+            erases_normal,
+            l2p_hits_zone,
+            l2p_hits_chunk,
+            l2p_hits_page,
+            l2p_misses,
+            l2p_evictions,
+            premature_flushes,
+            full_flushes,
+            buffer_conflicts,
+            slc_combines,
+            patch_slices,
+            l2p_log_flushes,
+            conventional_updates,
+            gc_runs,
+            gc_migrated_slices,
+            zone_resets,
+        )
+    }
+}
+
+impl core::fmt::Display for Counters {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "host {}r/{}w MiB | flash {} MiB programmed (waf {:.3}) |              l2p {:.1}% miss | {} conflicts, {} premature, {} combines |              {} gc, {} resets",
+            self.host_read_bytes >> 20,
+            self.host_write_bytes >> 20,
+            self.flash_program_bytes() >> 20,
+            self.write_amplification(),
+            self.l2p_miss_rate() * 100.0,
+            self.buffer_conflicts,
+            self.premature_flushes,
+            self.slc_combines,
+            self.gc_runs,
+            self.zone_resets,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waf_counts_all_media() {
+        let mut c = Counters::new();
+        c.host_write_bytes = 100;
+        c.flash_program_bytes_slc = 50;
+        c.flash_program_bytes_tlc = 100;
+        assert_eq!(c.write_amplification(), 1.5);
+    }
+
+    #[test]
+    fn waf_zero_when_idle() {
+        assert_eq!(Counters::new().write_amplification(), 0.0);
+        assert_eq!(Counters::new().l2p_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = Counters::new();
+        c.l2p_hits_page = 2;
+        c.l2p_hits_chunk = 1;
+        c.l2p_misses = 1;
+        assert_eq!(c.l2p_hits(), 3);
+        assert_eq!(c.l2p_miss_rate(), 0.25);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut c = Counters::new();
+        c.host_write_bytes = 4 << 20;
+        c.flash_program_bytes_tlc = 6 << 20;
+        c.buffer_conflicts = 3;
+        let s = c.to_string();
+        assert!(s.contains("4w MiB"), "{s}");
+        assert!(s.contains("waf 1.500"), "{s}");
+        assert!(s.contains("3 conflicts"), "{s}");
+    }
+
+    #[test]
+    fn since_diffs_every_field() {
+        let mut early = Counters::new();
+        early.host_write_bytes = 10;
+        early.gc_runs = 1;
+        let mut late = early;
+        late.host_write_bytes = 25;
+        late.gc_runs = 3;
+        late.zone_resets = 2;
+        let d = late.since(&early);
+        assert_eq!(d.host_write_bytes, 15);
+        assert_eq!(d.gc_runs, 2);
+        assert_eq!(d.zone_resets, 2);
+        assert_eq!(d.host_read_bytes, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Shared vocabulary types for the ConZone emulator workspace.
+//!
+//! This crate defines the units every other crate speaks in:
+//!
+//! * [`SimTime`] / [`SimDuration`] — the simulated nanosecond clock;
+//! * [`Lpn`], [`Ppa`], [`ZoneId`], [`ChunkId`], … — logical and physical
+//!   address newtypes at the 4 KiB slice granularity;
+//! * [`Geometry`] — the physical organisation of the flash array (channels,
+//!   chips, blocks, pages, programming units, superblocks);
+//! * [`DeviceConfig`] — a validated device configuration with the paper's
+//!   Table II media timings as defaults;
+//! * [`StorageDevice`] / [`ZonedDevice`] — the trait all device models
+//!   implement so the host harness can drive them interchangeably;
+//! * [`Counters`] — the statistics record from which bandwidth, write
+//!   amplification and cache hit rates are derived.
+//!
+//! ```
+//! use conzone_types::{DeviceConfig, Geometry, MapGranularity};
+//!
+//! let cfg = DeviceConfig::builder(Geometry::tiny())
+//!     .chunk_bytes(256 * 1024)
+//!     .max_aggregation(MapGranularity::Chunk)
+//!     .build()?;
+//! assert_eq!(cfg.zone_size_bytes(), 1024 * 1024);
+//! # Ok::<(), conzone_types::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod config;
+mod counters;
+mod device;
+mod error;
+mod geometry;
+mod time;
+
+pub use addr::{
+    ChannelId, ChipId, ChunkId, Lpn, LpnRange, Ppa, SuperblockId, ZoneId, SLICE_BYTES,
+};
+pub use config::{
+    CellType, DeviceConfig, DeviceConfigBuilder, MapGranularity, MediaLatency, MediaTimings,
+    SearchStrategy, ZonePadding,
+};
+pub use counters::Counters;
+pub use device::{Completion, IoKind, IoRequest, StorageDevice, ZoneInfo, ZoneState, ZonedDevice};
+pub use error::{ConfigError, DeviceError};
+pub use geometry::{Geometry, PpaParts};
+pub use time::{SimDuration, SimTime};
+
+#[cfg(test)]
+mod proptests;

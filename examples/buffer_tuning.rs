@@ -1,0 +1,69 @@
+//! Hardware design-space exploration: how many write buffers and how much
+//! SLC does a consumer zoned device need?
+//!
+//! This is the kind of internal-hardware question ConZone exists to answer
+//! (paper §I: "explore the internal architecture and management
+//! strategies"). We sweep the two sizing knobs against an F2FS-like
+//! six-writer workload and print the resulting bandwidth / write
+//! amplification surface.
+//!
+//! ```sh
+//! cargo run --release --example buffer_tuning
+//! ```
+
+use conzone::host::{run_job, AccessPattern, FioJob};
+use conzone::types::{DeviceConfig, Geometry};
+use conzone::ConZone;
+
+/// Six interleaved zone writers with 48 KiB sync granularity (the §II-B
+/// worst case) against a given buffer count and SLC region size.
+fn evaluate(buffers: usize, slc_blocks: usize) -> (f64, f64) {
+    let mut geometry = Geometry::consumer_1p5gb();
+    geometry.slc_blocks_per_chip = slc_blocks;
+    let cfg = DeviceConfig::builder(geometry)
+        .write_buffers(buffers)
+        .build()
+        .expect("sweep config");
+    let zone = cfg.zone_size_bytes();
+    let mut dev = ConZone::new(cfg);
+    let job = FioJob::new(AccessPattern::SeqWrite, 48 * 1024)
+        .zone_bytes(zone)
+        .threads(6)
+        .with_thread_zones((0..6u64).map(|z| vec![z]).collect())
+        .bytes_per_thread(zone / 2);
+    let r = run_job(&mut dev, &job).expect("sweep run");
+    (r.bandwidth_mibs(), r.waf())
+}
+
+fn main() {
+    let buffer_counts = [1usize, 2, 3, 4, 6];
+    let slc_sizes = [4usize, 8, 16];
+
+    println!("six F2FS-style writers, 48 KiB sync writes\n");
+    println!("bandwidth MiB/s (write amplification)\n");
+    print!("{:>10}", "buffers");
+    for slc in slc_sizes {
+        print!("{:>20}", format!("slc={slc} blk/chip"));
+    }
+    println!();
+    let mut best = (0usize, 0usize, 0.0f64);
+    for buffers in buffer_counts {
+        print!("{buffers:>10}");
+        for slc in slc_sizes {
+            let (bw, waf) = evaluate(buffers, slc);
+            print!("{:>20}", format!("{bw:.0} ({waf:.2})"));
+            if bw > best.2 {
+                best = (buffers, slc, bw);
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nbest point: {} buffers with {} SLC blocks/chip at {:.0} MiB/s.\n\
+         the buffer count dominates: with six buffers the six logs never\n\
+         contend, so the SLC region barely matters; below that, SLC\n\
+         absorbs the churn but costs write amplification — the trade-off\n\
+         the paper's conclusion says it is working on.",
+        best.0, best.1, best.2
+    );
+}

@@ -1,0 +1,105 @@
+//! F2FS-style aging: six open logs, overwrites, deletes and segment
+//! cleaning on a ConZone device.
+//!
+//! Consumer devices run F2FS (paper §I/§II-B): up to six logs write
+//! sequentially into their own zones while cleaning migrates live blocks
+//! and resets victims. This example ages a device through several
+//! overwrite generations and reports how write amplification builds up
+//! from three sources: device-side SLC buffering, file-system cleaning
+//! and zone resets.
+//!
+//! ```sh
+//! cargo run --release --example f2fs_aging
+//! ```
+
+use conzone::host::{F2fsLite, Temperature};
+use conzone::types::{DeviceConfig, Geometry, SimTime, StorageDevice};
+use conzone::ConZone;
+
+const FILES: u64 = 16;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A modest, nearly-full device so aging converges quickly:
+    // 20 zones of 16 MiB against a ~128 MiB live working set.
+    let mut geometry = Geometry::consumer_1p5gb();
+    geometry.blocks_per_chip = 28; // 8 SLC + 20 normal superblocks
+    let cfg = DeviceConfig::builder(geometry).max_open_zones(8).build()?;
+    let zone_mib = cfg.zone_size_bytes() >> 20;
+    let mut dev = ConZone::new(cfg);
+    let mut fs = F2fsLite::new(&dev);
+    println!(
+        "device: {} zones x {} MiB; f2fs-lite with 6 logs\n",
+        fs.free_zones(),
+        zone_mib
+    );
+
+    let mut t = SimTime::ZERO;
+    let blocks_per_file = 2048; // 8 MiB files
+    println!("gen   files  live MiB  free zones  cleanings  migrated  waf(dev)  host MiB");
+    // Generation 0 lays the working set down; later generations overwrite
+    // *parts* of each file, so zones hold a live/stale mixture and
+    // cleaning must migrate.
+    for file in 0..FILES {
+        t = fs.write_file(&mut dev, t, file, 0, blocks_per_file, Temperature::Warm)?;
+    }
+    'aging: for generation in 0..8u64 {
+        for file in 0..FILES {
+            let temp = match file % 3 {
+                0 => Temperature::Hot,
+                1 => Temperature::Warm,
+                _ => Temperature::Cold,
+            };
+            // Overwrite a quarter of the file at a rotating offset.
+            let start = (generation * 512 + file * 128) % (blocks_per_file - 512);
+            match fs.write_file(&mut dev, t, file, start, 512, temp) {
+                Ok(t2) => t = t2,
+                Err(e) => {
+                    println!("aging stopped at generation {generation}: {e}");
+                    break 'aging;
+                }
+            }
+        }
+        // Delete and recreate a few files each generation.
+        for file in (0..FILES).filter(|f| f % 8 == generation % 8) {
+            fs.delete_file(file);
+            match fs.write_file(&mut dev, t, file, 0, blocks_per_file, Temperature::Warm) {
+                Ok(t2) => t = t2,
+                Err(e) => {
+                    println!("aging stopped at generation {generation}: {e}");
+                    break 'aging;
+                }
+            }
+        }
+        let s = fs.stats();
+        let c = dev.counters();
+        println!(
+            "{generation:>3}   {:>5}  {:>8}  {:>10}  {:>9}  {:>8}  {:>8.3}  {:>8}",
+            FILES,
+            (fs.live_blocks() * 4096) >> 20,
+            fs.free_zones(),
+            s.cleanings,
+            s.migrated_blocks,
+            c.write_amplification(),
+            c.host_write_bytes >> 20,
+        );
+    }
+
+    let s = fs.stats();
+    let c = dev.counters();
+    println!(
+        "\nafter aging: {} zone resets reached the device, {} MiB migrated by\n\
+         cleaning, device waf {:.3} (SLC share {:.1} %), simulated time {:.2} s",
+        c.zone_resets,
+        (s.migrated_blocks * 4096) >> 20,
+        c.write_amplification(),
+        100.0 * c.flash_program_bytes_slc as f64 / c.flash_program_bytes().max(1) as f64,
+        t.as_secs_f64(),
+    );
+    println!(
+        "note: F2FS's six logs over two device write buffers keep a steady\n\
+         trickle of premature flushes ({} in total) — the contention the\n\
+         paper's §II-B arithmetic predicts.",
+        c.premature_flushes
+    );
+    Ok(())
+}

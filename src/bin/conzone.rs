@@ -1,0 +1,536 @@
+//! The `conzone` command-line tool: run workloads, replay traces and
+//! inspect device configurations without writing Rust.
+//!
+//! ```text
+//! conzone info  [--config paper|tiny]
+//! conzone run   [--device conzone|legacy|femu] [--pattern seqwrite|seqread|randread|randwrite]
+//!               [--bs 512k] [--threads 4] [--size 256m] [--region 1g]
+//!               [--strategy bitmap|multiple|pinned] [--aggregation page|chunk|zone]
+//!               [--cache 12k] [--buffers 2] [--seed N]
+//! conzone replay <trace-file> [--device ...] [--open-loop]
+//! conzone gen-trace [--bursts 8] [--burst-bytes 8m] [--reads 5000] [--out trace.txt]
+//! ```
+
+use std::process::ExitCode;
+
+use conzone::host::{
+    parse_fio_jobs, replay_trace, run_job, AccessPattern, FioJob, MobileTraceBuilder, Trace,
+    WorkloadPreset,
+};
+use conzone::types::{
+    DeviceConfig, Geometry, MapGranularity, SearchStrategy, SimTime, StorageDevice, ZoneId,
+    ZonedDevice,
+};
+use conzone::{ConZone, FemuZns, LegacyDevice};
+
+/// Parses "4k", "512K", "16m", "1g" or plain bytes.
+fn parse_size(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1024u64),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1024 * 1024),
+        Some('g') | Some('G') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|e| format!("bad size '{s}': {e}"))
+}
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+#[derive(Debug, Default)]
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        args.flags.push((key.to_string(), it.next().unwrap().clone()));
+                    }
+                    _ => args.switches.push(key.to_string()),
+                }
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    fn size(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            Some(v) => parse_size(v),
+            None => Ok(default),
+        }
+    }
+
+    fn num(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn build_config(args: &Args) -> Result<DeviceConfig, String> {
+    let geometry = match args.get("config").unwrap_or("paper") {
+        "paper" => Geometry::consumer_1p5gb(),
+        "tiny" => Geometry::tiny(),
+        other => return Err(format!("unknown --config '{other}' (paper|tiny)")),
+    };
+    let strategy = match args.get("strategy").unwrap_or("bitmap") {
+        "bitmap" => SearchStrategy::Bitmap,
+        "multiple" => SearchStrategy::Multiple,
+        "pinned" => SearchStrategy::Pinned,
+        other => return Err(format!("unknown --strategy '{other}'")),
+    };
+    let aggregation = match args.get("aggregation").unwrap_or("zone") {
+        "page" => MapGranularity::Page,
+        "chunk" => MapGranularity::Chunk,
+        "zone" => MapGranularity::Zone,
+        other => return Err(format!("unknown --aggregation '{other}'")),
+    };
+    let mut builder = DeviceConfig::builder(geometry)
+        .search_strategy(strategy)
+        .max_aggregation(aggregation)
+        .l2p_cache_bytes(args.size("cache", 12 * 1024)?)
+        .write_buffers(args.num("buffers", 2)? as usize)
+        .seed(args.num("seed", 0x5eed_c0de)?);
+    if args.get("config") == Some("tiny") {
+        builder = builder.chunk_bytes(256 * 1024);
+    }
+    if let Some(v) = args.get("l2p-log") {
+        builder = builder.l2p_log_entries(parse_size(v)?);
+    }
+    if let Some(v) = args.get("conventional") {
+        builder = builder.conventional_zones(v.parse().map_err(|e| format!("bad --conventional: {e}"))?);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let cfg = build_config(args)?;
+    let g = &cfg.geometry;
+    println!("geometry : {} ch x {} chips, {} blocks/chip ({} SLC), {} pages/block",
+        g.channels, g.chips_per_channel, g.blocks_per_chip, g.slc_blocks_per_chip, g.pages_per_block);
+    println!("media    : {} normal region, {} mapping media, {} MiB/s per channel",
+        cfg.normal_cell, cfg.mapping_media, cfg.channel_bytes_per_sec >> 20);
+    println!("zones    : {} x {} MiB (backing {} MiB, patch {} KiB)",
+        cfg.zone_count(), cfg.zone_size_bytes() >> 20, cfg.zone_backing_bytes() >> 20,
+        cfg.zone_patch_slices() * 4);
+    println!("buffers  : {} x {} KiB superpage write buffers", cfg.write_buffers,
+        g.superpage_bytes() >> 10);
+    println!("l2p      : {} entry cache ({} KiB), {} strategy, {} max aggregation",
+        cfg.l2p_cache_entries(), cfg.l2p_cache_bytes >> 10, cfg.search_strategy,
+        cfg.max_aggregation);
+    println!("capacity : {} MiB logical", cfg.capacity_bytes() >> 20);
+    if cfg.conventional_zones > 0 {
+        println!("conv     : {} conventional zones", cfg.conventional_zones);
+    }
+    if cfg.l2p_log_entries > 0 {
+        println!("l2p log  : flush every {} updates", cfg.l2p_log_entries);
+    }
+    Ok(())
+}
+
+fn print_report(report: &conzone::host::JobReport) {
+    println!(
+        "{}: {:.0} MiB/s, {:.1} KIOPS over {}",
+        report.model,
+        report.bandwidth_mibs(),
+        report.kiops(),
+        report.duration()
+    );
+    println!(
+        "latency  : mean {} p50 {} p99 {} p99.9 {}",
+        report.latency.mean, report.latency.p50, report.latency.p99, report.latency.p999
+    );
+    let c = &report.counters;
+    println!(
+        "device   : waf {:.3}, l2p miss {:.1}%, {} conflicts, {} premature, {} gc runs",
+        c.write_amplification(),
+        c.l2p_miss_rate() * 100.0,
+        c.buffer_conflicts,
+        c.premature_flushes,
+        c.gc_runs
+    );
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    // A fio-style INI job file runs every section in order on one device.
+    if let Some(path) = args.get("job") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let jobs = parse_fio_jobs(&text).map_err(|e| e.to_string())?;
+        let cfg = build_config(args)?;
+        let zone_bytes = cfg.zone_size_bytes();
+        let mut dev = ConZone::new(cfg);
+        let mut t = SimTime::ZERO;
+        for named in jobs {
+            let mut job = named.job.start_at(t);
+            if job.pattern == AccessPattern::SeqWrite {
+                job = job.zone_bytes(zone_bytes);
+            }
+            let report = run_job(&mut dev, &job).map_err(|e| e.to_string())?;
+            t = report.finished;
+            println!("[{}]", named.name);
+            print_report(&report);
+        }
+        println!("time     : {}", dev.time_breakdown());
+        return Ok(());
+    }
+    let cfg = build_config(args)?;
+    let pattern = match args.get("pattern").unwrap_or("seqwrite") {
+        "seqwrite" => AccessPattern::SeqWrite,
+        "seqread" => AccessPattern::SeqRead,
+        "randread" => AccessPattern::RandRead,
+        "randwrite" => AccessPattern::RandWrite,
+        other => match other.strip_prefix("mixed") {
+            // e.g. --pattern mixed70 = 70 % reads (fio rwmixread=70).
+            Some(pct) => AccessPattern::Mixed {
+                read_percent: pct
+                    .parse::<u8>()
+                    .ok()
+                    .filter(|p| *p <= 100)
+                    .ok_or_else(|| format!("bad mixed percentage in '{other}'"))?,
+            },
+            None => return Err(format!("unknown --pattern '{other}'")),
+        },
+    };
+    let bs = args.size("bs", 512 * 1024)?;
+    let size = args.size("size", 256 << 20)?;
+    let region = args.size("region", size)?;
+    let threads = args.num("threads", 1)? as usize;
+    let zone_bytes = cfg.zone_size_bytes();
+
+    let mut job = FioJob::new(pattern, bs)
+        .threads(threads)
+        .region(0, region)
+        .bytes_per_thread(size / threads as u64)
+        .seed(args.num("seed", 7)?);
+
+    let device = args.get("device").unwrap_or("conzone");
+    // Reads need data on the device first.
+    let needs_fill = pattern.is_read();
+    let report = match device {
+        "conzone" => {
+            let mut dev = ConZone::new(cfg);
+            job = job.zone_bytes(zone_bytes);
+            if needs_fill {
+                let fill = FioJob::new(AccessPattern::SeqWrite, 512 * 1024)
+                    .zone_bytes(zone_bytes)
+                    .region(0, region)
+                    .bytes_per_thread(region);
+                let f = run_job(&mut dev, &fill).map_err(|e| e.to_string())?;
+                job = job.start_at(f.finished);
+            }
+            let report = run_job(&mut dev, &job).map_err(|e| e.to_string())?;
+            println!("time     : {}", dev.time_breakdown());
+            report
+        }
+        "legacy" => {
+            let mut dev = LegacyDevice::new(cfg);
+            if needs_fill {
+                let fill = FioJob::new(AccessPattern::SeqWrite, 512 * 1024)
+                    .region(0, region)
+                    .bytes_per_thread(region);
+                let f = run_job(&mut dev, &fill).map_err(|e| e.to_string())?;
+                job = job.start_at(f.finished);
+            }
+            run_job(&mut dev, &job).map_err(|e| e.to_string())?
+        }
+        "femu" => {
+            let mut dev = FemuZns::new(cfg);
+            let femu_zone = dev.config().geometry.superblock_bytes();
+            job = job.zone_bytes(femu_zone);
+            if needs_fill {
+                let stride = femu_zone;
+                let fill_region = (region / stride) * stride;
+                let fill = FioJob::new(AccessPattern::SeqWrite, 512 * 1024)
+                    .zone_bytes(femu_zone)
+                    .region(0, fill_region)
+                    .bytes_per_thread(fill_region);
+                let f = run_job(&mut dev, &fill).map_err(|e| e.to_string())?;
+                job = job.region(0, fill_region).start_at(f.finished);
+            }
+            run_job(&mut dev, &job).map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown --device '{other}'")),
+    };
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: conzone replay <trace-file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = Trace::parse(&text).map_err(|e| e.to_string())?;
+    println!(
+        "replaying {} ops ({:.1} MiB) from {path}",
+        trace.len(),
+        trace.total_bytes() as f64 / (1 << 20) as f64
+    );
+    let cfg = build_config(args)?;
+    let open_loop = args.has("open-loop");
+    let report = match args.get("device").unwrap_or("conzone") {
+        "conzone" => {
+            let mut dev = ConZone::new(cfg);
+            replay_trace(&mut dev, &trace, SimTime::ZERO, open_loop).map_err(|e| e.to_string())?
+        }
+        "femu" => {
+            let mut dev = FemuZns::new(cfg);
+            replay_trace(&mut dev, &trace, SimTime::ZERO, open_loop).map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("replay supports zoned devices only, not '{other}'")),
+    };
+    print_report(&report);
+    Ok(())
+}
+
+/// Writes a little data into a fresh device and prints the zone map —
+/// a demonstration of zone states more than a tool, but handy for
+/// sanity-checking a configuration.
+fn cmd_zones(args: &Args) -> Result<(), String> {
+    let cfg = build_config(args)?;
+    let conventional = cfg.conventional_zones;
+    let mut dev = ConZone::new(cfg);
+    // Touch a few zones so the map shows something.
+    let zs = dev.zone_size();
+    let first_seq = conventional as u64;
+    let mut t = SimTime::ZERO;
+    for (i, len) in [(first_seq, zs), (first_seq + 1, 64 * 1024)] {
+        let mut off = i * zs;
+        let mut left = len;
+        while left > 0 {
+            let chunk = left.min(512 * 1024);
+            t = dev
+                .submit(t, &conzone::types::IoRequest::write(off, chunk))
+                .map_err(|e| e.to_string())?
+                .finished;
+            off += chunk;
+            left -= chunk;
+        }
+    }
+    t = dev
+        .finish_zone(t, ZoneId(first_seq + 2))
+        .map_err(|e| e.to_string())?
+        .finished;
+    let _ = t;
+    println!("zone  type          state   wp (KiB)  size (MiB)");
+    for z in 0..dev.zone_count() as u64 {
+        let info = dev.zone_info(ZoneId(z)).map_err(|e| e.to_string())?;
+        let kind = if (z as usize) < conventional {
+            "conventional"
+        } else {
+            "sequential"
+        };
+        println!(
+            "{z:>4}  {kind:<12}  {:<6}  {:>8}  {:>10}",
+            format!("{:?}", info.state),
+            info.write_pointer >> 10,
+            info.size >> 20
+        );
+        if z >= first_seq + 3 && z + 2 < dev.zone_count() as u64 {
+            println!("  ...  ({} more empty zones)", dev.zone_count() as u64 - z - 1);
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gen_trace(args: &Args) -> Result<(), String> {
+    let cfg = build_config(args)?;
+    let trace = match args.get("preset") {
+        Some(name) => {
+            let preset = WorkloadPreset::from_name(name).ok_or_else(|| {
+                format!(
+                    "unknown --preset '{name}' (expected one of: {})",
+                    WorkloadPreset::ALL
+                        .iter()
+                        .map(|p| p.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+            preset.build(
+                cfg.zone_size_bytes(),
+                cfg.zone_count() as u64,
+                args.num("seed", 7)?,
+            )
+        }
+        None => MobileTraceBuilder::new(cfg.zone_size_bytes(), cfg.zone_count() as u64)
+            .bursts(args.num("bursts", 8)?)
+            .burst_bytes(args.size("burst-bytes", 8 << 20)?)
+            .reads(args.num("reads", 5000)?)
+            .seed(args.num("seed", 7)?)
+            .build(),
+    };
+    let text = trace.to_text();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {} ops to {path}", trace.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+const USAGE: &str = "\
+conzone — zoned flash storage emulator for consumer devices
+
+usage:
+  conzone info      [--config paper|tiny] [--strategy ...] [--cache 12k]
+  conzone zones     [--config paper|tiny] [--conventional 2]
+  conzone run       [--job file.fio] [--device conzone|legacy|femu]
+                    [--pattern seqwrite|seqread|randread|randwrite|mixedNN]
+                    [--bs 512k] [--threads 4] [--size 256m] [--region 1g]
+                    [--strategy bitmap|multiple|pinned] [--aggregation page|chunk|zone]
+                    [--cache 12k] [--buffers 2] [--l2p-log 4096] [--conventional 2]
+  conzone replay    <trace-file> [--device conzone|femu] [--open-loop]
+  conzone gen-trace [--preset boot|app-install|camera-burst|social-scroll]
+                    [--bursts 8] [--burst-bytes 8m] [--reads 5000] [--out trace.txt]
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.positional.first().map(String::as_str) {
+        Some("info") => cmd_info(&args),
+        Some("zones") => cmd_zones(&args),
+        Some("run") => cmd_run(&args),
+        Some("replay") => cmd_replay(&args),
+        Some("gen-trace") => cmd_gen_trace(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_sizes() {
+        assert_eq!(parse_size("4096").unwrap(), 4096);
+        assert_eq!(parse_size("4k").unwrap(), 4096);
+        assert_eq!(parse_size("512K").unwrap(), 512 * 1024);
+        assert_eq!(parse_size("16m").unwrap(), 16 << 20);
+        assert_eq!(parse_size("1G").unwrap(), 1 << 30);
+        assert!(parse_size("x").is_err());
+        assert!(parse_size("4q").is_err());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let a = args(&["run", "--bs", "4k", "--open-loop", "--device", "femu"]);
+        assert_eq!(a.positional, vec!["run"]);
+        assert_eq!(a.get("bs"), Some("4k"));
+        assert_eq!(a.get("device"), Some("femu"));
+        assert!(a.has("open-loop"));
+        assert!(!a.has("bs"));
+        assert_eq!(a.size("bs", 0).unwrap(), 4096);
+        assert_eq!(a.num("threads", 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let a = args(&["run", "--bs", "4k", "--bs", "8k"]);
+        assert_eq!(a.size("bs", 0).unwrap(), 8192);
+    }
+
+    #[test]
+    fn config_builds_for_both_presets() {
+        assert!(build_config(&args(&["info"])).is_ok());
+        assert!(build_config(&args(&["info", "--config", "tiny"])).is_ok());
+        assert!(build_config(&args(&["info", "--config", "nope"])).is_err());
+        let cfg = build_config(&args(&[
+            "info",
+            "--strategy",
+            "pinned",
+            "--aggregation",
+            "chunk",
+            "--cache",
+            "1k",
+            "--conventional",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.search_strategy, SearchStrategy::Pinned);
+        assert_eq!(cfg.max_aggregation, MapGranularity::Chunk);
+        assert_eq!(cfg.l2p_cache_entries(), 256);
+        assert_eq!(cfg.conventional_zones, 2);
+    }
+
+    #[test]
+    fn run_command_smoke() {
+        // A tiny in-process run through the real command path.
+        let a = args(&[
+            "run", "--config", "tiny", "--bs", "128k", "--size", "2m", "--region", "2m",
+        ]);
+        cmd_run(&a).expect("run ok");
+        let a = args(&[
+            "run", "--config", "tiny", "--pattern", "randread", "--bs", "4k", "--size",
+            "256k", "--region", "2m",
+        ]);
+        cmd_run(&a).expect("randread ok");
+    }
+
+    #[test]
+    fn gen_and_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("conzone-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.txt");
+        let path_str = path.to_str().unwrap();
+        let a = args(&[
+            "gen-trace", "--config", "tiny", "--bursts", "2", "--burst-bytes", "512k",
+            "--reads", "50", "--out", path_str,
+        ]);
+        cmd_gen_trace(&a).expect("gen ok");
+        let a = args(&["replay", path_str, "--config", "tiny"]);
+        cmd_replay(&a).expect("replay ok");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end tests of the `conzone` CLI binary.
+
+use std::process::Command;
+
+fn conzone(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_conzone"))
+        .args(args)
+        .output()
+        .expect("spawn conzone");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let (ok, stdout, _) = conzone(&[]);
+    assert!(ok);
+    assert!(stdout.contains("usage:"));
+    let (ok, _, stderr) = conzone(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn info_reports_paper_configuration() {
+    let (ok, stdout, _) = conzone(&["info"]);
+    assert!(ok);
+    assert!(stdout.contains("96 x 16 MiB"), "{stdout}");
+    assert!(stdout.contains("3072 entry cache"), "{stdout}");
+    let (ok, stdout, _) = conzone(&["info", "--config", "tiny", "--conventional", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("2 conventional zones"), "{stdout}");
+    let (ok, _, stderr) = conzone(&["info", "--config", "bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --config"));
+}
+
+#[test]
+fn run_seqwrite_and_randread() {
+    let (ok, stdout, stderr) = conzone(&[
+        "run", "--config", "tiny", "--bs", "128k", "--size", "2m", "--region", "2m",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("MiB/s"), "{stdout}");
+    assert!(stdout.contains("time     :"), "breakdown printed: {stdout}");
+
+    let (ok, stdout, stderr) = conzone(&[
+        "run", "--config", "tiny", "--pattern", "randread", "--bs", "4k", "--size", "512k",
+        "--region", "2m", "--device", "femu",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("femu:"), "{stdout}");
+}
+
+#[test]
+fn zones_lists_states() {
+    let (ok, stdout, _) = conzone(&["zones", "--config", "tiny", "--conventional", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("conventional"), "{stdout}");
+    assert!(stdout.contains("sequential"), "{stdout}");
+    assert!(stdout.contains("Full"), "{stdout}");
+}
+
+#[test]
+fn gen_trace_replay_roundtrip() {
+    let dir = std::env::temp_dir().join("conzone-cli-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("e2e-trace.txt");
+    let path = path.to_str().unwrap();
+    let (ok, stdout, stderr) = conzone(&[
+        "gen-trace", "--config", "tiny", "--bursts", "2", "--burst-bytes", "512k", "--reads",
+        "100", "--out", path,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote"), "{stdout}");
+    let (ok, stdout, stderr) = conzone(&["replay", path, "--config", "tiny"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("replaying"), "{stdout}");
+    assert!(stdout.contains("conzone:"), "{stdout}");
+    std::fs::remove_file(path).ok();
+    // Replay of a missing file fails cleanly.
+    let (ok, _, stderr) = conzone(&["replay", "/nonexistent/trace.txt"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn run_fio_job_file() {
+    let dir = std::env::temp_dir().join("conzone-cli-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("job.fio");
+    std::fs::write(
+        &path,
+        "[global]\nbs=256k\nsize=2m\n\n[fill]\nrw=write\n\n[reads]\nrw=randread\nbs=4k\nio_size=256k\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = conzone(&["run", "--config", "tiny", "--job", path.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("[fill]"), "{stdout}");
+    assert!(stdout.contains("[reads]"), "{stdout}");
+    assert!(stdout.contains("time     :"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+    // Unsupported keys fail loudly.
+    std::fs::write(&path, "[j]\nioengine=libaio\n").unwrap();
+    let (ok, _, stderr) = conzone(&["run", "--config", "tiny", "--job", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unsupported key"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+}

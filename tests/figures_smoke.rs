@@ -1,0 +1,201 @@
+//! Shape-level smoke tests of every paper experiment, at reduced scale so
+//! they run in the normal test suite. The full-scale runs live in the
+//! `conzone-bench` binaries; these tests pin the *directions* the paper
+//! reports so a regression that flips a conclusion fails CI.
+
+use conzone::host::{run_job, AccessPattern, FioJob};
+use conzone::types::{
+    DeviceConfig, Geometry, MapGranularity, SearchStrategy, SimTime, StorageDevice,
+};
+use conzone::{ConZone, FemuZns, LegacyDevice};
+
+fn paper_small() -> conzone::types::DeviceConfigBuilder {
+    // The paper geometry shrunk to 24 normal zones to keep tests fast.
+    let mut g = Geometry::consumer_1p5gb();
+    g.blocks_per_chip = 32;
+    DeviceConfig::builder(g)
+}
+
+fn fill(dev: &mut impl StorageDevice, bytes: u64, zone: u64) -> SimTime {
+    let job = FioJob::new(AccessPattern::SeqWrite, 512 * 1024)
+        .zone_bytes(zone)
+        .region(0, bytes)
+        .bytes_per_thread(bytes);
+    run_job(dev, &job).expect("fill").finished
+}
+
+fn randread(dev: &mut impl StorageDevice, range: u64, ops: u64, start: SimTime) -> conzone::host::JobReport {
+    let job = FioJob::new(AccessPattern::RandRead, 4096)
+        .region(0, range)
+        .ops_per_thread(ops)
+        .bytes_per_thread(u64::MAX)
+        .start_at(start);
+    run_job(dev, &job).expect("randread")
+}
+
+/// Fig. 6(a) direction: ConZone sequential read is at least Legacy's, and
+/// the FEMU model's reads collapse under VM jitter.
+#[test]
+fn fig6a_shape() {
+    let zone = 16 * 1024 * 1024u64;
+    let volume = 8 * zone;
+
+    let mut cz = ConZone::new(
+        paper_small()
+            .max_aggregation(MapGranularity::Chunk)
+            .build()
+            .unwrap(),
+    );
+    let t = fill(&mut cz, volume, zone);
+    let job = FioJob::new(AccessPattern::SeqRead, 512 * 1024)
+        .region(0, volume)
+        .bytes_per_thread(volume)
+        .start_at(t);
+    let cz_read = run_job(&mut cz, &job).expect("cz read");
+
+    let mut lg = LegacyDevice::new(paper_small().build().unwrap());
+    let job = FioJob::new(AccessPattern::SeqWrite, 512 * 1024)
+        .region(0, volume)
+        .bytes_per_thread(volume);
+    let w = run_job(&mut lg, &job).expect("lg write");
+    let job = FioJob::new(AccessPattern::SeqRead, 512 * 1024)
+        .region(0, volume)
+        .bytes_per_thread(volume)
+        .start_at(w.finished);
+    let lg_read = run_job(&mut lg, &job).expect("lg read");
+
+    let mut fm = FemuZns::new(paper_small().build().unwrap());
+    let fz = fm.config().geometry.superblock_bytes();
+    let fvol = 8 * fz;
+    let t = fill(&mut fm, fvol, fz);
+    let job = FioJob::new(AccessPattern::SeqRead, 512 * 1024)
+        .region(0, fvol)
+        .bytes_per_thread(fvol)
+        .start_at(t);
+    let fm_read = run_job(&mut fm, &job).expect("fm read");
+
+    assert!(
+        cz_read.bandwidth_mibs() >= lg_read.bandwidth_mibs() * 0.99,
+        "conzone read {} vs legacy {}",
+        cz_read.bandwidth_mibs(),
+        lg_read.bandwidth_mibs()
+    );
+    assert!(
+        fm_read.bandwidth_mibs() < cz_read.bandwidth_mibs() * 0.8,
+        "femu read {} vs conzone {}",
+        fm_read.bandwidth_mibs(),
+        cz_read.bandwidth_mibs()
+    );
+}
+
+/// Fig. 6(b) direction: same-parity zones conflict, costing bandwidth and
+/// write amplification.
+#[test]
+fn fig6b_shape() {
+    let run = |zones: [u64; 2]| {
+        let mut dev = ConZone::new(paper_small().build().unwrap());
+        let zone = dev.config().zone_size_bytes();
+        let job = FioJob::new(AccessPattern::SeqWrite, 48 * 1024)
+            .zone_bytes(zone)
+            .threads(2)
+            .with_thread_zones(vec![vec![zones[0]], vec![zones[1]]])
+            .bytes_per_thread(zone / 2);
+        let r = run_job(&mut dev, &job).expect("fig6b");
+        (r.bandwidth_mibs(), r.waf(), r.counters.buffer_conflicts)
+    };
+    let (bw_conflict, waf_conflict, conflicts) = run([0, 2]);
+    let (bw_clean, waf_clean, no_conflicts) = run([0, 1]);
+    assert!(conflicts > 0 && no_conflicts == 0);
+    assert!(bw_clean > bw_conflict * 1.3, "{bw_clean} vs {bw_conflict}");
+    assert!(waf_conflict > waf_clean, "{waf_conflict} vs {waf_clean}");
+}
+
+/// Fig. 7 direction: page-mapping KIOPS decays with read range, hybrid
+/// stays flat.
+#[test]
+fn fig7_shape() {
+    let zone = 16 * 1024 * 1024u64;
+    let volume = 16 * zone; // 256 MiB
+    let ops = 4000;
+
+    let run = |agg: MapGranularity, range: u64| {
+        let mut dev = ConZone::new(paper_small().max_aggregation(agg).build().unwrap());
+        let t = fill(&mut dev, volume, zone);
+        let warm = randread(&mut dev, range, ops, t);
+        randread(&mut dev, range, ops, warm.finished).kiops()
+    };
+
+    let page_small = run(MapGranularity::Page, 1 << 20);
+    let page_large = run(MapGranularity::Page, volume);
+    let hybrid_small = run(MapGranularity::Zone, 1 << 20);
+    let hybrid_large = run(MapGranularity::Zone, volume);
+
+    assert!(
+        page_large < page_small * 0.9,
+        "page decays: {page_small} -> {page_large}"
+    );
+    assert!(
+        (hybrid_large / hybrid_small - 1.0).abs() < 0.05,
+        "hybrid flat: {hybrid_small} -> {hybrid_large}"
+    );
+    assert!(hybrid_large > page_large, "hybrid wins at range");
+}
+
+/// Fig. 8 direction: at the same miss rate, MULTIPLE pays more than
+/// BITMAP; PINNED eliminates the misses.
+#[test]
+fn fig8_shape() {
+    let zone = 16 * 1024 * 1024u64;
+    let volume = 20 * zone;
+    let ops = 4000;
+
+    let run = |strategy: SearchStrategy, agg: MapGranularity| {
+        let mut dev = ConZone::new(
+            paper_small()
+                .search_strategy(strategy)
+                .max_aggregation(agg)
+                .l2p_cache_bytes(256) // 64 entries vs 80 chunks
+                .build()
+                .unwrap(),
+        );
+        let t = fill(&mut dev, volume, zone);
+        let r = randread(&mut dev, volume, ops, t);
+        (r.kiops(), r.counters.l2p_miss_rate())
+    };
+    let (bitmap_kiops, bitmap_miss) = run(SearchStrategy::Bitmap, MapGranularity::Chunk);
+    let (multiple_kiops, multiple_miss) = run(SearchStrategy::Multiple, MapGranularity::Chunk);
+    let (pinned_kiops, pinned_miss) = run(SearchStrategy::Pinned, MapGranularity::Zone);
+
+    assert!((bitmap_miss - multiple_miss).abs() < 0.02, "same operating point");
+    assert!(bitmap_miss > 0.05, "misses actually happen: {bitmap_miss}");
+    assert!(
+        multiple_kiops < bitmap_kiops,
+        "multiple pays: {multiple_kiops} vs {bitmap_kiops}"
+    );
+    assert!(pinned_miss < 0.02, "pinned absorbs misses: {pinned_miss}");
+    assert!(pinned_kiops >= bitmap_kiops);
+}
+
+/// Table II: the timing model reproduces the published latencies exactly.
+#[test]
+fn table2_shape() {
+    use conzone::flash::FlashArray;
+    use conzone::types::ChipId;
+    let cfg = DeviceConfig::builder(Geometry::tiny())
+        .chunk_bytes(256 * 1024)
+        .model_channel_bandwidth(false)
+        .build()
+        .unwrap();
+    let mut a = FlashArray::new(&cfg);
+    let slc = a.program_slc(SimTime::ZERO, ChipId(0), 0, 1, None).unwrap();
+    assert_eq!((slc.finish - SimTime::ZERO).as_micros_f64(), 75.0);
+    let tlc = a.program_unit(SimTime::ZERO, ChipId(1), 4, None).unwrap();
+    assert_eq!((tlc.finish - SimTime::ZERO).as_micros_f64(), 937.5);
+    let read = a
+        .read_slices(SimTime::from_nanos(10_000_000), &[slc.first])
+        .unwrap();
+    assert_eq!(
+        (read.finish - SimTime::from_nanos(10_000_000)).as_micros_f64(),
+        20.0
+    );
+}
