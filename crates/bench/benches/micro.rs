@@ -11,8 +11,8 @@ use conzone_flash::FlashArray;
 use conzone_ftl::{L2pCache, MapBitmap, MappingTable};
 use conzone_host::{run_job, AccessPattern, FioJob};
 use conzone_types::{
-    CellType, ChipId, DeviceConfig, IoRequest, Lpn, MapGranularity, Ppa, SimTime,
-    StorageDevice, ZonedDevice,
+    CellType, ChipId, DeviceConfig, IoRequest, Lpn, MapGranularity, Ppa, SimTime, StorageDevice,
+    ZonedDevice,
 };
 
 fn bench_l2p_cache(c: &mut Criterion) {
@@ -151,6 +151,53 @@ fn bench_device_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tracing tax on the hot write path: a detached [`Probe`] must cost
+/// nothing (the `null_probe` case is the regression gate — it should stay
+/// within ±2 % of `device_paths/conzone_seq_write_512k`, which has no
+/// probe calls at all in the seed), and an attached ring sink should stay
+/// cheap enough to leave on during figure runs.
+fn bench_probe_overhead(c: &mut Criterion) {
+    use conzone_sim::RingBufferSink;
+    use conzone_types::Probe;
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("probe_overhead");
+    group.throughput(Throughput::Bytes(8 * 512 * 1024));
+
+    let seq_burst = |mut dev: ConZone| {
+        let mut t = SimTime::ZERO;
+        for i in 0..8u64 {
+            let req = IoRequest::write(i * 512 * 1024, 512 * 1024);
+            t = dev.submit(t, &req).expect("write").finished;
+        }
+        t
+    };
+
+    group.bench_function("seq_write_null_probe", |b| {
+        b.iter_with_setup(
+            || {
+                let mut dev = ConZone::new(DeviceConfig::paper_evaluation());
+                dev.set_probe(Probe::disabled());
+                dev
+            },
+            |dev| black_box(seq_burst(dev)),
+        );
+    });
+
+    group.bench_function("seq_write_ring_sink", |b| {
+        let sink = Arc::new(RingBufferSink::with_capacity(64 * 1024));
+        b.iter_with_setup(
+            || {
+                let mut dev = ConZone::new(DeviceConfig::paper_evaluation());
+                dev.set_probe(Probe::attached(sink.clone()));
+                dev
+            },
+            |dev| black_box(seq_burst(dev)),
+        );
+    });
+    group.finish();
+}
+
 fn bench_conflict_and_gc(c: &mut Criterion) {
     let mut group = c.benchmark_group("stress_paths");
 
@@ -230,6 +277,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_l2p_cache, bench_mapping_table, bench_flash_timing, bench_device_paths,
-        bench_conflict_and_gc
+        bench_probe_overhead, bench_conflict_and_gc
 }
 criterion_main!(benches);

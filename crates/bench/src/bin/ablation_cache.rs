@@ -57,7 +57,10 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect()
     })
     .expect("crossbeam scope");
     print_table(

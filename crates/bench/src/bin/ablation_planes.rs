@@ -10,7 +10,7 @@
 //! (cache programming, internal staging SRAM) that no geometry knob
 //! recovers — see EXPERIMENTS.md.
 
-use conzone_bench::{print_table, ExpectedRelation, print_expectations};
+use conzone_bench::{print_expectations, print_table, ExpectedRelation};
 use conzone_core::ConZone;
 use conzone_host::{run_job, AccessPattern, FioJob};
 use conzone_types::{DeviceConfig, Geometry};

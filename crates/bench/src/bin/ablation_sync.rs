@@ -22,11 +22,7 @@ fn run_sync<D: StorageDevice>(dev: &mut D, zone_bytes: u64, bs: u64) -> (f64, f6
         .bytes_per_thread(volume)
         .fsync_every(1);
     let r = run_job(dev, &job).expect("sync run");
-    (
-        r.bandwidth_mibs(),
-        r.latency.p50.as_micros_f64(),
-        r.waf(),
-    )
+    (r.bandwidth_mibs(), r.latency.p50.as_micros_f64(), r.waf())
 }
 
 fn main() {

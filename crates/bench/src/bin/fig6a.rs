@@ -8,8 +8,8 @@
 //! Legacy (~1 % ST / ~10 % MT), FEMU write above ZMS, FEMU read far below.
 
 use conzone_bench::{
-    conzone_device, femu_device, legacy_device, mibs, print_expectations, print_table,
-    run_seq_rw, ExpectedRelation,
+    conzone_device, femu_device, legacy_device, mibs, print_expectations, print_table, run_seq_rw,
+    ExpectedRelation,
 };
 use conzone_types::{MapGranularity, SearchStrategy, StorageDevice};
 
@@ -32,7 +32,11 @@ fn main() {
             mibs(&r),
             format!("{:.3}", w.waf()),
         ]);
-        results.push((format!("conzone-{tag}"), w.bandwidth_mibs(), r.bandwidth_mibs()));
+        results.push((
+            format!("conzone-{tag}"),
+            w.bandwidth_mibs(),
+            r.bandwidth_mibs(),
+        ));
 
         let mut lg = legacy_device();
         let (w, r) = run_seq_rw(&mut lg, threads, None).expect("legacy run");
@@ -42,7 +46,11 @@ fn main() {
             mibs(&r),
             format!("{:.3}", w.waf()),
         ]);
-        results.push((format!("legacy-{tag}"), w.bandwidth_mibs(), r.bandwidth_mibs()));
+        results.push((
+            format!("legacy-{tag}"),
+            w.bandwidth_mibs(),
+            r.bandwidth_mibs(),
+        ));
 
         let mut fm = femu_device();
         let femu_zone = fm.config().geometry.superblock_bytes();
@@ -53,7 +61,11 @@ fn main() {
             mibs(&r),
             format!("{:.3}", w.waf()),
         ]);
-        results.push((format!("femu-{tag}"), w.bandwidth_mibs(), r.bandwidth_mibs()));
+        results.push((
+            format!("femu-{tag}"),
+            w.bandwidth_mibs(),
+            r.bandwidth_mibs(),
+        ));
     }
 
     print_table(

@@ -7,39 +7,55 @@
 //! latency.
 
 use conzone_bench::{
-    conzone_device, fill_zoned, kiops, print_expectations, print_table, randread_job, us,
-    ExpectedRelation,
+    conzone_device, event_totals, fill_zoned, kiops, print_expectations, print_table, randread_job,
+    trace_out_path, trace_sink, us, write_chrome_trace, ExpectedRelation,
 };
 use conzone_host::run_job;
-use conzone_types::{MapGranularity, SearchStrategy, SimTime};
+use conzone_types::{
+    DeviceEvent, L2pOutcome, MapGranularity, Probe, SearchStrategy, SimTime, TraceRecord,
+};
 
-const RANGES: [(u64, &str); 3] = [
-    (1 << 20, "1MiB"),
-    (16 << 20, "16MiB"),
-    (1 << 30, "1GiB"),
-];
+const RANGES: [(u64, &str); 3] = [(1 << 20, "1MiB"), (16 << 20, "16MiB"), (1 << 30, "1GiB")];
 const OPS: u64 = 20_000;
 
-fn run_mapping(max_aggregation: MapGranularity) -> Vec<(f64, f64, f64)> {
-    RANGES
-        .iter()
-        .map(|&(range, _)| {
-            let mut dev = conzone_device(max_aggregation, SearchStrategy::Bitmap);
-            // Same data volume in every case: fill 1 GiB once.
-            let t = fill_zoned(&mut dev, 1 << 30, 16 << 20, SimTime::ZERO).expect("fill");
-            // Warm the L2P cache to steady state so the measured tail
-            // reflects capacity misses, not cold-start compulsory misses.
-            let warm = run_job(&mut dev, &randread_job(range, OPS / 2, t).seed(7))
-                .expect("warmup");
-            let r = run_job(&mut dev, &randread_job(range, OPS, warm.finished))
-                .expect("randread");
-            (
-                r.kiops(),
-                r.latency.p999.as_micros_f64(),
-                r.counters.l2p_miss_rate(),
-            )
-        })
-        .collect()
+struct MappingRun {
+    /// Per range: (KIOPS, p99.9 µs, L2P miss rate).
+    perf: Vec<(f64, f64, f64)>,
+    /// Per range: event counts by kind from the measured phase's trace.
+    events: Vec<[u64; DeviceEvent::KIND_COUNT]>,
+    /// Drained trace of the last (largest-range) measured phase.
+    last_trace: Vec<TraceRecord>,
+}
+
+fn run_mapping(max_aggregation: MapGranularity) -> MappingRun {
+    let mut perf = Vec::new();
+    let mut events = Vec::new();
+    let mut last_trace = Vec::new();
+    for &(range, _) in RANGES.iter() {
+        let mut dev = conzone_device(max_aggregation, SearchStrategy::Bitmap);
+        // Same data volume in every case: fill 1 GiB once.
+        let t = fill_zoned(&mut dev, 1 << 30, 16 << 20, SimTime::ZERO).expect("fill");
+        // Warm the L2P cache to steady state so the measured tail
+        // reflects capacity misses, not cold-start compulsory misses.
+        let warm = run_job(&mut dev, &randread_job(range, OPS / 2, t).seed(7)).expect("warmup");
+        // Trace only the measured phase: the probe attaches after warmup.
+        let sink = trace_sink();
+        dev.set_probe(Probe::attached(sink.clone()));
+        let r = run_job(&mut dev, &randread_job(range, OPS, warm.finished)).expect("randread");
+        perf.push((
+            r.kiops(),
+            r.latency.p999.as_micros_f64(),
+            r.counters.l2p_miss_rate(),
+        ));
+        let records = sink.drain();
+        events.push(event_totals(&records));
+        last_trace = records;
+    }
+    MappingRun {
+        perf,
+        events,
+        last_trace,
+    }
 }
 
 fn main() {
@@ -50,12 +66,12 @@ fn main() {
     for (i, &(_, label)) in RANGES.iter().enumerate() {
         rows.push(vec![
             label.to_string(),
-            format!("{:.1}", page[i].0),
-            format!("{:.1}", page[i].1),
-            format!("{:.1}%", page[i].2 * 100.0),
-            format!("{:.1}", hybrid[i].0),
-            format!("{:.1}", hybrid[i].1),
-            format!("{:.1}%", hybrid[i].2 * 100.0),
+            format!("{:.1}", page.perf[i].0),
+            format!("{:.1}", page.perf[i].1),
+            format!("{:.1}%", page.perf[i].2 * 100.0),
+            format!("{:.1}", hybrid.perf[i].0),
+            format!("{:.1}", hybrid.perf[i].1),
+            format!("{:.1}%", hybrid.perf[i].2 * 100.0),
         ]);
     }
     print_table(
@@ -72,8 +88,49 @@ fn main() {
         &rows,
     );
 
-    let page_drop16 = (1.0 - page[1].0 / page[0].0) * 100.0;
-    let page_drop1g = (1.0 - page[2].0 / page[0].0) * 100.0;
+    // The same story told by the event trace: hybrid mapping turns the
+    // page-mapping misses into hits, request by request.
+    let hit_idx = DeviceEvent::L2pLookup {
+        outcome: L2pOutcome::HitZone,
+    }
+    .kind_index();
+    let miss_idx = DeviceEvent::L2pLookup {
+        outcome: L2pOutcome::Miss,
+    }
+    .kind_index();
+    let mut event_rows = Vec::new();
+    for (i, &(_, label)) in RANGES.iter().enumerate() {
+        event_rows.push(vec![
+            label.to_string(),
+            page.events[i][hit_idx].to_string(),
+            page.events[i][miss_idx].to_string(),
+            hybrid.events[i][hit_idx].to_string(),
+            hybrid.events[i][miss_idx].to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 7 trace: L2P lookup events in the measured phase",
+        &[
+            "range",
+            "page hits",
+            "page misses",
+            "hybrid hits",
+            "hybrid misses",
+        ],
+        &event_rows,
+    );
+
+    if let Some(path) = trace_out_path() {
+        write_chrome_trace(&path, &hybrid.last_trace).expect("write trace");
+        println!(
+            "wrote Chrome trace of the hybrid 1 GiB measured phase \
+             ({} events) to {path}",
+            hybrid.last_trace.len()
+        );
+    }
+
+    let page_drop16 = (1.0 - page.perf[1].0 / page.perf[0].0) * 100.0;
+    let page_drop1g = (1.0 - page.perf[2].0 / page.perf[0].0) * 100.0;
     println!(
         "\npage-mapping KIOPS drop vs 1 MiB range: 16 MiB {page_drop16:.1} % \
          (paper 16.5 %), 1 GiB {page_drop1g:.1} % (paper 33.5 %)"
@@ -82,8 +139,8 @@ fn main() {
     print_expectations(&[
         ExpectedRelation {
             claim: "both mechanisms match at 1 MiB (everything cached, ~20 KIOPS)",
-            holds: (page[0].0 / hybrid[0].0 - 1.0).abs() < 0.05,
-            evidence: format!("{:.1} vs {:.1} KIOPS", page[0].0, hybrid[0].0),
+            holds: (page.perf[0].0 / hybrid.perf[0].0 - 1.0).abs() < 0.05,
+            evidence: format!("{:.1} vs {:.1} KIOPS", page.perf[0].0, hybrid.perf[0].0),
         },
         ExpectedRelation {
             claim: "page mapping degrades at 16 MiB (paper −16.5 %)",
@@ -97,18 +154,18 @@ fn main() {
         },
         ExpectedRelation {
             claim: "hybrid mapping stays flat across ranges",
-            holds: (hybrid[2].0 / hybrid[0].0 - 1.0).abs() < 0.05,
-            evidence: format!("{:.1} vs {:.1} KIOPS", hybrid[0].0, hybrid[2].0),
+            holds: (hybrid.perf[2].0 / hybrid.perf[0].0 - 1.0).abs() < 0.05,
+            evidence: format!("{:.1} vs {:.1} KIOPS", hybrid.perf[0].0, hybrid.perf[2].0),
         },
         ExpectedRelation {
             claim: "hybrid tail latency stays ~50 us at 1 GiB",
-            holds: hybrid[2].1 < 80.0,
-            evidence: format!("p99.9 {:.1} us", hybrid[2].1),
+            holds: hybrid.perf[2].1 < 80.0,
+            evidence: format!("p99.9 {:.1} us", hybrid.perf[2].1),
         },
         ExpectedRelation {
             claim: "page-mapping tail latency grows with range",
-            holds: page[2].1 > hybrid[2].1,
-            evidence: format!("{:.1} vs {:.1} us", page[2].1, hybrid[2].1),
+            holds: page.perf[2].1 > hybrid.perf[2].1,
+            evidence: format!("{:.1} vs {:.1} us", page.perf[2].1, hybrid.perf[2].1),
         },
     ]);
 

@@ -148,12 +148,12 @@ fn run_conzone() -> Outcome {
     }
 
     let write_new = |dev: &mut ConZone,
-                         t: &mut SimTime,
-                         open_zone: &mut Option<usize>,
-                         free_zones: &mut VecDeque<usize>,
-                         zone_written: &mut Vec<usize>,
-                         zone_live: &mut Vec<Vec<bool>>,
-                         live: &mut Vec<(usize, usize)>| {
+                     t: &mut SimTime,
+                     open_zone: &mut Option<usize>,
+                     free_zones: &mut VecDeque<usize>,
+                     zone_written: &mut Vec<usize>,
+                     zone_live: &mut Vec<Vec<bool>>,
+                     live: &mut Vec<(usize, usize)>| {
         let (z, s) = alloc_slot(dev, t, open_zone, free_zones, zone_written, epz, zone_bytes);
         zone_live[z][s] = true;
         live.push((z, s));
@@ -161,8 +161,13 @@ fn run_conzone() -> Outcome {
 
     for _ in 0..live_target {
         write_new(
-            &mut dev, &mut t, &mut open_zone, &mut free_zones, &mut zone_written,
-            &mut zone_live, &mut live,
+            &mut dev,
+            &mut t,
+            &mut open_zone,
+            &mut free_zones,
+            &mut zone_written,
+            &mut zone_live,
+            &mut live,
         );
         user_extents += 1;
     }
@@ -184,11 +189,18 @@ fn run_conzone() -> Outcome {
             let live_slots: Vec<usize> = (0..epz).filter(|&s| zone_live[victim_zone][s]).collect();
             for s in live_slots {
                 let src = victim_zone as u64 * zone_bytes + s as u64 * EXTENT;
-                let c = dev.submit(t, &IoRequest::read(src, EXTENT)).expect("clean read");
+                let c = dev
+                    .submit(t, &IoRequest::read(src, EXTENT))
+                    .expect("clean read");
                 t = c.finished;
                 let (nz, ns) = alloc_slot(
-                    &mut dev, &mut t, &mut open_zone, &mut free_zones, &mut zone_written,
-                    epz, zone_bytes,
+                    &mut dev,
+                    &mut t,
+                    &mut open_zone,
+                    &mut free_zones,
+                    &mut zone_written,
+                    epz,
+                    zone_bytes,
                 );
                 zone_live[nz][ns] = true;
                 // Re-point the live record.
@@ -200,14 +212,22 @@ fn run_conzone() -> Outcome {
                 zone_live[victim_zone][s] = false;
                 host_copied += 1;
             }
-            t = dev.reset_zone(t, ZoneId(victim_zone as u64)).expect("reset").finished;
+            t = dev
+                .reset_zone(t, ZoneId(victim_zone as u64))
+                .expect("reset")
+                .finished;
             zone_written[victim_zone] = 0;
             free_zones.push_back(victim_zone);
         }
 
         write_new(
-            &mut dev, &mut t, &mut open_zone, &mut free_zones, &mut zone_written,
-            &mut zone_live, &mut live,
+            &mut dev,
+            &mut t,
+            &mut open_zone,
+            &mut free_zones,
+            &mut zone_written,
+            &mut zone_live,
+            &mut live,
         );
         user_extents += 1;
     }

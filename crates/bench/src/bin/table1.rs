@@ -15,14 +15,14 @@ fn main() {
 
     // Probe: low-latency media means the model can express sub-25 µs reads
     // (SLC) without a virtualization overhead floor above that.
-    let cz_low_latency =
-        cz.config().timings.slc.read.as_micros_f64() <= 25.0 && cz.config().host_overhead.as_micros_f64() < 20.0;
+    let cz_low_latency = cz.config().timings.slc.read.as_micros_f64() <= 25.0
+        && cz.config().host_overhead.as_micros_f64() < 20.0;
     // FEMU's jitter model has a ~25 µs median per I/O on top of media.
     let femu_low_latency = false;
 
     // Probe: heterogeneous media = SLC region + multi-level normal region.
-    let cz_hetero = cz.config().geometry.slc_blocks_per_chip > 0
-        && cz.config().normal_cell != CellType::Slc;
+    let cz_hetero =
+        cz.config().geometry.slc_blocks_per_chip > 0 && cz.config().normal_cell != CellType::Slc;
 
     let rows = vec![
         vec![
@@ -37,7 +37,12 @@ fn main() {
             "No".into(),
             "No".into(),
             "No".into(),
-            if cz_hetero { "Yes (SLC + TLC/QLC)" } else { "No" }.into(),
+            if cz_hetero {
+                "Yes (SLC + TLC/QLC)"
+            } else {
+                "No"
+            }
+            .into(),
         ],
         vec![
             "# of write buffers".to_string(),
@@ -63,7 +68,13 @@ fn main() {
     ];
     print_table(
         "Table I: zoned flash storage emulators",
-        &["feature", "FEMU", "ConfZNS", "NVMeVirt", "ConZone (this repo)"],
+        &[
+            "feature",
+            "FEMU",
+            "ConfZNS",
+            "NVMeVirt",
+            "ConZone (this repo)",
+        ],
         &rows,
     );
 

@@ -8,12 +8,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
 use conzone_core::ConZone;
 use conzone_femu::FemuZns;
 use conzone_host::{run_job, AccessPattern, FioJob, HostError, JobReport};
 use conzone_legacy::LegacyDevice;
+use conzone_sim::{export, LatencyHistogram, LatencySummary, RingBufferSink};
 use conzone_types::{
-    DeviceConfig, Geometry, MapGranularity, SearchStrategy, SimTime, StorageDevice,
+    DeviceConfig, DeviceEvent, Geometry, MapGranularity, SearchStrategy, SimTime, StorageDevice,
+    TraceRecord,
 };
 
 /// The paper's §IV-A configuration: TLC media, 2 channels × 2 chips,
@@ -180,6 +184,93 @@ pub fn us(d: conzone_types::SimDuration) -> String {
     format!("{:.1}", d.as_micros_f64())
 }
 
+/// A ring sink big enough for one measured phase of a figure run
+/// (256 Ki events, ~10 MiB), for attaching to a device under test.
+pub fn trace_sink() -> Arc<RingBufferSink> {
+    Arc::new(RingBufferSink::with_capacity(256 * 1024))
+}
+
+/// Event counts per [`DeviceEvent::kind_index`] of a drained trace.
+pub fn event_totals(records: &[TraceRecord]) -> [u64; DeviceEvent::KIND_COUNT] {
+    let mut totals = [0u64; DeviceEvent::KIND_COUNT];
+    for r in records {
+        totals[r.event.kind_index()] += 1;
+    }
+    totals
+}
+
+/// Rows `(kind, count, first µs, last µs)` per event kind present in a
+/// drained trace, ready for [`print_table`].
+pub fn trace_summary_rows(records: &[TraceRecord]) -> Vec<Vec<String>> {
+    // (kind index, name, count, first ns, last ns)
+    let mut by_kind: Vec<(usize, &'static str, u64, u64, u64)> = Vec::new();
+    for r in records {
+        let idx = r.event.kind_index();
+        let t = r.time.as_nanos();
+        match by_kind.iter_mut().find(|e| e.0 == idx) {
+            Some(e) => {
+                e.2 += 1;
+                e.3 = e.3.min(t);
+                e.4 = e.4.max(t);
+            }
+            None => by_kind.push((idx, r.event.kind_name(), 1, t, t)),
+        }
+    }
+    by_kind.sort_by_key(|e| e.0);
+    by_kind
+        .into_iter()
+        .map(|(_, name, count, first, last)| {
+            vec![
+                name.to_string(),
+                count.to_string(),
+                format!("{:.1}", first as f64 / 1000.0),
+                format!("{:.1}", last as f64 / 1000.0),
+            ]
+        })
+        .collect()
+}
+
+/// GC pause distribution from paired `GcBegin`/`GcEnd` events in a
+/// drained trace.
+pub fn gc_pauses(records: &[TraceRecord]) -> LatencySummary {
+    let mut hist = LatencyHistogram::new();
+    let mut begin: Option<SimTime> = None;
+    for r in records {
+        match r.event {
+            DeviceEvent::GcBegin { .. } => begin = Some(r.time),
+            DeviceEvent::GcEnd { .. } => {
+                if let Some(b) = begin.take() {
+                    hist.record(r.time - b);
+                }
+            }
+            _ => {}
+        }
+    }
+    hist.summary()
+}
+
+/// `--trace-out <path>` passed to the current binary: where to write a
+/// Chrome trace-event file of the measured run, if requested.
+pub fn trace_out_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Writes a drained trace as Chrome trace-event JSON (loadable in
+/// Perfetto / about:tracing).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_chrome_trace(path: &str, records: &[TraceRecord]) -> std::io::Result<()> {
+    std::fs::write(path, export::chrome_trace(records).to_string())
+}
+
 /// A paper-stated relationship between two measured values, checked and
 /// reported by the harness (the ZMS hardware itself is closed; the paper
 /// gives these relations in §IV-B/§IV-C/§IV-D prose).
@@ -226,6 +317,30 @@ mod tests {
         assert_eq!(j.block_bytes, 512 * 1024);
         assert_eq!(j.threads, 4);
         assert_eq!(j.bytes_per_thread, 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn trace_helpers_summarize_a_real_run() {
+        use conzone_types::Probe;
+        let mut dev = ConZone::new(DeviceConfig::tiny_for_tests());
+        let sink = trace_sink();
+        dev.set_probe(Probe::attached(sink.clone()));
+        let job = FioJob::new(AccessPattern::SeqWrite, 256 * 1024)
+            .zone_bytes(1024 * 1024)
+            .region(0, 2 * 1024 * 1024)
+            .bytes_per_thread(2 * 1024 * 1024);
+        run_job(&mut dev, &job).expect("write");
+        let records = sink.drain();
+        assert!(!records.is_empty());
+        let totals = event_totals(&records);
+        assert_eq!(totals.iter().sum::<u64>(), records.len() as u64);
+        let rows = trace_summary_rows(&records);
+        assert!(!rows.is_empty());
+        for row in &rows {
+            assert_eq!(row.len(), 4);
+        }
+        // A pure sequential write on a fresh device runs no GC.
+        assert_eq!(gc_pauses(&records).count, 0);
     }
 
     #[test]

@@ -6,12 +6,13 @@
 //! provide (§I: "understand and efficiently improve the hardware design").
 
 use conzone_types::SimDuration;
+use serde::{Deserialize, Serialize};
 
 /// Cumulative host-visible time by internal activity.
 ///
 /// All categories measure *request-blocking* simulated time, so overlapped
 /// background work (tPROG behind `buffer_free`) does not appear here.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimeBreakdown {
     /// Mapping-table fetches on L2P cache misses (read path Ⅱ).
     pub mapping_fetch: SimDuration,
@@ -39,6 +40,21 @@ impl TimeBreakdown {
             + self.gc
             + self.l2p_log
             + self.erase
+    }
+
+    /// Every category with its stable name, in declaration order — the
+    /// shape serializers and exporters should use so category names travel
+    /// with the numbers.
+    pub fn categories(&self) -> [(&'static str, SimDuration); 7] {
+        [
+            ("mapping_fetch", self.mapping_fetch),
+            ("data_read", self.data_read),
+            ("write_path", self.write_path),
+            ("combine_read", self.combine_read),
+            ("gc", self.gc),
+            ("l2p_log", self.l2p_log),
+            ("erase", self.erase),
+        ]
     }
 
     /// Fraction of attributed time spent in `part`, in `[0, 1]`.
@@ -86,5 +102,25 @@ mod tests {
         assert!((b.share(b.data_read) - 0.5).abs() < 1e-9);
         assert_eq!(TimeBreakdown::default().share(SimDuration::ZERO), 0.0);
         assert!(b.to_string().contains("50.0%"));
+    }
+
+    #[test]
+    fn categories_cover_every_field() {
+        let b = TimeBreakdown {
+            mapping_fetch: SimDuration::from_nanos(1),
+            data_read: SimDuration::from_nanos(2),
+            write_path: SimDuration::from_nanos(4),
+            combine_read: SimDuration::from_nanos(8),
+            gc: SimDuration::from_nanos(16),
+            l2p_log: SimDuration::from_nanos(32),
+            erase: SimDuration::from_nanos(64),
+        };
+        let cats = b.categories();
+        let sum: u64 = cats.iter().map(|(_, d)| d.as_nanos()).sum();
+        assert_eq!(sum, b.total().as_nanos(), "no field missing or doubled");
+        let mut names: Vec<&str> = cats.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cats.len(), "category names are distinct");
     }
 }

@@ -7,8 +7,8 @@ use conzone_flash::FlashArray;
 use conzone_ftl::{L2pCache, MapBitmap, MappingTable};
 use conzone_types::{
     Completion, Counters, DeviceConfig, DeviceError, IoKind, IoRequest, Lpn, LpnRange,
-    MapGranularity, SearchStrategy, SimTime, ZoneId, ZoneInfo, ZoneState, ZonedDevice,
-    StorageDevice,
+    MapGranularity, Probe, SearchStrategy, SimTime, StorageDevice, ZoneId, ZoneInfo, ZoneState,
+    ZonedDevice,
 };
 
 use crate::breakdown::TimeBreakdown;
@@ -58,6 +58,8 @@ pub struct ConZone {
     /// Accumulated L2P mapping updates not yet persisted (paper §III-E).
     pub(crate) l2p_log_pending: u64,
     pub(crate) breakdown: TimeBreakdown,
+    /// Trace probe; disabled by default (a no-op on the hot paths).
+    pub(crate) probe: Probe,
 }
 
 impl ConZone {
@@ -85,8 +87,17 @@ impl ConZone {
             next_mapping_chip: 0,
             l2p_log_pending: 0,
             breakdown: TimeBreakdown::default(),
+            probe: Probe::disabled(),
             cfg,
         }
+    }
+
+    /// Attaches a trace probe; every internal event — FTL decisions here,
+    /// media operations in the flash layer — is emitted to it from now on.
+    /// Pass [`Probe::disabled`] to detach.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.flash.set_probe(probe.clone());
+        self.probe = probe;
     }
 
     /// Where host-visible device time has gone so far.
@@ -121,6 +132,7 @@ impl ConZone {
         while self.l2p_log_pending >= threshold {
             self.l2p_log_pending -= threshold;
             self.counters.l2p_log_flushes += 1;
+            self.probe.emit(t, conzone_types::DeviceEvent::L2pLogFlush);
             let chip = self.mapping_chip();
             let bytes = self.cfg.geometry.page_bytes as u64;
             let media = self.cfg.mapping_media;

@@ -6,7 +6,9 @@
 //! entirely: a zone reset erases them directly and invalidates any zone
 //! data still lingering in SLC.
 
-use conzone_types::{ChipId, DeviceError, Lpn, Ppa, SimTime, SuperblockId, ZoneId, SLICE_BYTES};
+use conzone_types::{
+    ChipId, DeviceError, DeviceEvent, Lpn, Ppa, SimTime, SuperblockId, ZoneId, SLICE_BYTES,
+};
 
 use crate::device::ConZone;
 use crate::write::internal;
@@ -41,6 +43,12 @@ impl ConZone {
         self.counters.gc_runs += 1;
 
         let ppas = self.flash.superblock_valid_ppas(victim);
+        self.probe.emit(
+            now,
+            DeviceEvent::GcBegin {
+                valid_slices: ppas.len() as u64,
+            },
+        );
         let mut t = now;
         if !ppas.is_empty() {
             let out = self.flash.read_slices(t, &ppas).map_err(internal)?;
@@ -51,6 +59,12 @@ impl ConZone {
         let t_erase = self.flash.erase_superblock(t, victim);
         self.slc.reclaim(victim);
         self.breakdown.gc += t_erase.saturating_since(now);
+        self.probe.emit(
+            t_erase,
+            DeviceEvent::GcEnd {
+                migrated_slices: ppas.len() as u64,
+            },
+        );
         Ok(t_erase)
     }
 
@@ -107,8 +121,8 @@ impl ConZone {
                     continue;
                 }
                 any = true;
-                let pay = data
-                    .map(|p| &p[idx * SLICE_BYTES as usize..(idx + n) * SLICE_BYTES as usize]);
+                let pay =
+                    data.map(|p| &p[idx * SLICE_BYTES as usize..(idx + n) * SLICE_BYTES as usize]);
                 let out = self
                     .flash
                     .program_slc(t, chip, sb.raw() as usize, n, pay)
@@ -193,6 +207,7 @@ impl ConZone {
         self.note_bits(zone_base, zs, conzone_types::MapGranularity::Page);
         self.zones[zidx].reset();
         self.counters.zone_resets += 1;
+        self.probe.emit(t, DeviceEvent::ZoneReset { zone: zone_id });
         Ok(t + self.cfg.host_overhead)
     }
 

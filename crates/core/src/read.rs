@@ -7,7 +7,10 @@
 //! aggregation level, and may evict by LRU. Data slices are then read from
 //! flash, grouping by physical page.
 
-use conzone_types::{DeviceError, LpnRange, MapGranularity, Ppa, SimTime, ZoneId, SLICE_BYTES};
+use conzone_types::{
+    DeviceError, DeviceEvent, L2pOutcome, LpnRange, MapGranularity, Ppa, SimTime, ZoneId,
+    SLICE_BYTES,
+};
 
 use crate::device::ConZone;
 use crate::write::internal;
@@ -58,19 +61,36 @@ impl ConZone {
 
             // L2P cache: LZA, then LCA, then LPA (Fig. 4 Ⅰ/Ⅱ).
             match self.cache.lookup(lpn) {
-                conzone_ftl::LookupResult::Hit(g) => match g {
-                    MapGranularity::Zone => self.counters.l2p_hits_zone += 1,
-                    MapGranularity::Chunk => self.counters.l2p_hits_chunk += 1,
-                    MapGranularity::Page => self.counters.l2p_hits_page += 1,
-                },
+                conzone_ftl::LookupResult::Hit(g) => {
+                    let outcome = match g {
+                        MapGranularity::Zone => {
+                            self.counters.l2p_hits_zone += 1;
+                            L2pOutcome::HitZone
+                        }
+                        MapGranularity::Chunk => {
+                            self.counters.l2p_hits_chunk += 1;
+                            L2pOutcome::HitChunk
+                        }
+                        MapGranularity::Page => {
+                            self.counters.l2p_hits_page += 1;
+                            L2pOutcome::HitPage
+                        }
+                    };
+                    self.probe.emit(t_map, DeviceEvent::L2pLookup { outcome });
+                }
                 conzone_ftl::LookupResult::Miss => {
                     self.counters.l2p_misses += 1;
+                    self.probe.emit(
+                        t_map,
+                        DeviceEvent::L2pLookup {
+                            outcome: L2pOutcome::Miss,
+                        },
+                    );
                     let actual = self
                         .table
                         .granularity_of(lpn)
                         .expect("durable data below the write pointer is always mapped");
-                    let fetches =
-                        conzone_ftl::mapping_fetches(self.cfg.search_strategy, actual);
+                    let fetches = conzone_ftl::mapping_fetches(self.cfg.search_strategy, actual);
                     let page_bytes = self.cfg.geometry.page_bytes as u64;
                     let media = self.cfg.mapping_media;
                     for _ in 0..fetches {
@@ -81,7 +101,11 @@ impl ConZone {
                     }
                     let pinned = conzone_ftl::pins_aggregates(self.cfg.search_strategy)
                         && actual > MapGranularity::Page;
-                    self.cache.insert(lpn, actual, pinned);
+                    if self.cache.insert(lpn, actual, pinned) == conzone_ftl::InsertOutcome::Evicted
+                    {
+                        self.probe
+                            .emit(t_map, DeviceEvent::L2pEviction { count: 1 });
+                    }
                 }
             }
             let entry = self

@@ -12,7 +12,9 @@ fn dev() -> ConZone {
     ConZone::new(DeviceConfig::tiny_for_tests())
 }
 
-fn dev_with(f: impl FnOnce(conzone_types::DeviceConfigBuilder) -> conzone_types::DeviceConfigBuilder) -> ConZone {
+fn dev_with(
+    f: impl FnOnce(conzone_types::DeviceConfigBuilder) -> conzone_types::DeviceConfigBuilder,
+) -> ConZone {
     let b = DeviceConfig::builder(Geometry::tiny())
         .chunk_bytes(256 * 1024)
         .data_backing(true);
@@ -30,7 +32,7 @@ fn non_pow2_config() -> DeviceConfig {
         pages_per_block: 12,
         page_bytes: 16 * 1024,
         program_unit_bytes: 64 * 1024,
-    planes_per_chip: 1,
+        planes_per_chip: 1,
     };
     DeviceConfig::builder(g)
         .chunk_bytes(128 * 1024)
@@ -41,7 +43,11 @@ fn non_pow2_config() -> DeviceConfig {
 }
 
 fn pattern(len: usize, seed: u8) -> Bytes {
-    Bytes::from((0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect::<Vec<u8>>())
+    Bytes::from(
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect::<Vec<u8>>(),
+    )
 }
 
 fn write_at(dev: &mut ConZone, t: SimTime, offset: u64, data: Bytes) -> SimTime {
@@ -51,7 +57,9 @@ fn write_at(dev: &mut ConZone, t: SimTime, offset: u64, data: Bytes) -> SimTime 
 }
 
 fn read_at(dev: &mut ConZone, t: SimTime, offset: u64, len: u64) -> (SimTime, Bytes) {
-    let c = dev.submit(t, &IoRequest::read(offset, len)).expect("read ok");
+    let c = dev
+        .submit(t, &IoRequest::read(offset, len))
+        .expect("read ok");
     (c.finished, c.data.expect("data backing enabled"))
 }
 
@@ -87,7 +95,10 @@ fn zone_boundary_write_rejected() {
     let mut t = SimTime::ZERO;
     t = write_at(&mut d, t, 0, pattern((zone_size - SLICE_BYTES) as usize, 4));
     let err = d
-        .submit(t, &IoRequest::write_data(zone_size - SLICE_BYTES, pattern(8192, 5)))
+        .submit(
+            t,
+            &IoRequest::write_data(zone_size - SLICE_BYTES, pattern(8192, 5)),
+        )
         .unwrap_err();
     assert!(matches!(err, DeviceError::ZoneBoundary { .. }));
 }
@@ -172,7 +183,10 @@ fn read_served_from_buffer_before_flush() {
     let (_, back) = read_at(&mut d, t, 0, 8192);
     assert_eq!(back, data);
     let after = d.counters();
-    assert_eq!(after.flash_data_reads, before.flash_data_reads, "no flash read");
+    assert_eq!(
+        after.flash_data_reads, before.flash_data_reads,
+        "no flash read"
+    );
     assert_eq!(after.l2p_misses, 0, "buffer hits bypass the L2P path");
 }
 
@@ -444,7 +458,10 @@ fn timing_write_buffered_is_fast_flush_is_slow() {
     let sp = d.config().geometry.superpage_bytes();
     let rest = sp - 4096;
     let c2 = d
-        .submit(c1.finished, &IoRequest::write_data(4096, pattern(rest as usize, 22)))
+        .submit(
+            c1.finished,
+            &IoRequest::write_data(4096, pattern(rest as usize, 22)),
+        )
         .unwrap();
     assert!(c2.latency() > c1.latency(), "flush adds transfer time");
     assert!(
@@ -455,7 +472,10 @@ fn timing_write_buffered_is_fast_flush_is_slow() {
     // An immediate second superpage queues its transfers behind the
     // still-programming chips, so it does absorb the program latency.
     let c3 = d
-        .submit(c2.finished, &IoRequest::write_data(sp, pattern(sp as usize, 23)))
+        .submit(
+            c2.finished,
+            &IoRequest::write_data(sp, pattern(sp as usize, 23)),
+        )
         .unwrap();
     assert!(
         c3.latency() >= d.config().timings.tlc.program / 2,
@@ -499,7 +519,10 @@ fn conventional_zone_in_place_updates() {
     ));
     let c = d.counters();
     assert_eq!(c.conventional_updates, 4 + 4 + 1);
-    assert!(c.flash_program_bytes_slc > 0, "conventional data lives in SLC");
+    assert!(
+        c.flash_program_bytes_slc > 0,
+        "conventional data lives in SLC"
+    );
     // Sequential zones still enforce the write pointer.
     let z1 = d.zone_size();
     assert!(matches!(
@@ -550,7 +573,12 @@ fn conventional_data_survives_slc_gc() {
     // versions and GC must reclaim around the live ones.
     for round in 0..40u8 {
         for off in (0..256 * 1024u64).step_by(64 * 1024) {
-            t = write_at(&mut d, t, off, pattern(64 * 1024, round.wrapping_add(off as u8)));
+            t = write_at(
+                &mut d,
+                t,
+                off,
+                pattern(64 * 1024, round.wrapping_add(off as u8)),
+            );
         }
     }
     let c = d.counters();
@@ -559,7 +587,11 @@ fn conventional_data_survives_slc_gc() {
     for off in (0..256 * 1024u64).step_by(64 * 1024) {
         let (t2, back) = read_at(&mut d, t, off, 64 * 1024);
         t = t2;
-        assert_eq!(back, pattern(64 * 1024, 39u8.wrapping_add(off as u8)), "offset {off}");
+        assert_eq!(
+            back,
+            pattern(64 * 1024, 39u8.wrapping_add(off as u8)),
+            "offset {off}"
+        );
     }
 }
 
@@ -750,9 +782,7 @@ fn zone_append_respects_capacity() {
     let mut d = dev();
     let zs = d.zone_size();
     let t = write_at(&mut d, SimTime::ZERO, 0, pattern((zs - 4096) as usize, 64));
-    let err = d
-        .submit(t, &IoRequest::append(0, 8192))
-        .unwrap_err();
+    let err = d.submit(t, &IoRequest::append(0, 8192)).unwrap_err();
     assert!(matches!(err, DeviceError::ZoneBoundary { .. }));
     let c = d.submit(t, &IoRequest::append(0, 4096)).unwrap();
     assert_eq!(c.assigned_offset, Some(zs - 4096));
@@ -773,7 +803,10 @@ fn time_breakdown_attributes_activity() {
     // Reads add mapping + data-read time.
     let (_t2, _) = read_at(&mut d, t, 0, 4096);
     let b = d.time_breakdown();
-    assert!(b.mapping_fetch > conzone_types::SimDuration::ZERO, "miss fetched");
+    assert!(
+        b.mapping_fetch > conzone_types::SimDuration::ZERO,
+        "miss fetched"
+    );
     assert!(b.data_read > conzone_types::SimDuration::ZERO);
 
     // A conflict workload adds combine-read time (fresh device: zone 0
@@ -787,7 +820,10 @@ fn time_breakdown_attributes_activity() {
         }
     }
     let b = d.time_breakdown();
-    assert!(b.combine_read > conzone_types::SimDuration::ZERO, "combines read SLC");
+    assert!(
+        b.combine_read > conzone_types::SimDuration::ZERO,
+        "combines read SLC"
+    );
     // Exclusivity: write_path does not double-count the combine reads.
     assert!(b.total() >= b.write_path + b.combine_read);
 
@@ -808,7 +844,10 @@ fn reads_may_span_zones() {
     t = write_at(&mut d, t, 0, pattern(zs as usize, 80));
     t = write_at(&mut d, t, zs, pattern(zs as usize, 81));
     let (_, back) = read_at(&mut d, t, zs - 8192, 16 * 1024);
-    assert_eq!(&back[..8192], &pattern(zs as usize, 80)[(zs - 8192) as usize..]);
+    assert_eq!(
+        &back[..8192],
+        &pattern(zs as usize, 80)[(zs - 8192) as usize..]
+    );
     assert_eq!(&back[8192..], &pattern(8192, 81)[..]);
 }
 

@@ -17,8 +17,8 @@
 
 use conzone_flash::FlashError;
 use conzone_types::{
-    ChipId, DeviceError, Lpn, LpnRange, MapGranularity, Ppa, SimTime, SuperblockId, ZoneId,
-    ZoneState, SLICE_BYTES,
+    ChipId, DeviceError, DeviceEvent, FlushKind, Lpn, LpnRange, MapGranularity, Ppa, SimTime,
+    SuperblockId, ZoneId, ZoneState, SLICE_BYTES,
 };
 
 use crate::device::ConZone;
@@ -83,6 +83,8 @@ impl ConZone {
         };
         if conflicting {
             self.counters.buffer_conflicts += 1;
+            self.probe
+                .emit(t, DeviceEvent::BufferConflict { zone: zone_id });
             t = self.flush_buffer(t, buf_idx, true)?;
         }
         if self.buffers[buf_idx].owner != Some(zone_id) {
@@ -113,8 +115,8 @@ impl ConZone {
         }
         // Exclusive write-path attribution: the combine / GC / log time
         // accumulated inside the flushes is already charged elsewhere.
-        let sub_delta = self.breakdown.combine_read + self.breakdown.gc + self.breakdown.l2p_log
-            - sub_before;
+        let sub_delta =
+            self.breakdown.combine_read + self.breakdown.gc + self.breakdown.l2p_log - sub_before;
         self.breakdown.write_path += (t - now) - (t - now).min(sub_delta);
         Ok(t + self.cfg.host_overhead)
     }
@@ -238,6 +240,13 @@ impl ConZone {
                 }
                 self.zones[zidx].staged.clear();
                 self.counters.slc_combines += 1;
+                self.probe.emit(
+                    t,
+                    DeviceEvent::SlcCombine {
+                        zone: zone_id,
+                        staged_slices: staged_len,
+                    },
+                );
             }
             let from_buffer = full_end - self.buffers[buf_idx].start_offset;
             let buf_data = self.buffers[buf_idx].drain_front(from_buffer);
@@ -251,6 +260,14 @@ impl ConZone {
 
             let nunits = (full_end - run_start) / unit;
             self.counters.full_flushes += nunits;
+            self.probe.emit(
+                t,
+                DeviceEvent::BufferFlush {
+                    zone: zone_id,
+                    kind: FlushKind::Full,
+                    slices: full_end - run_start,
+                },
+            );
             let mut finish = t;
             for u in 0..nunits {
                 let off = run_start + u * unit;
@@ -286,10 +303,22 @@ impl ConZone {
         // ── §III-E: zone-tail patch into reserved SLC slices ──
         if run_end > backing && !self.buffers[buf_idx].is_empty() {
             let patch_start = self.buffers[buf_idx].start_offset;
-            debug_assert!(patch_start >= backing, "canonical region fully flushed first");
+            debug_assert!(
+                patch_start >= backing,
+                "canonical region fully flushed first"
+            );
             let count = run_end - patch_start;
             let pay = self.buffers[buf_idx].drain_front(count);
-            let lpns: Vec<Lpn> = (patch_start..run_end).map(|o| zone_base.offset(o)).collect();
+            let lpns: Vec<Lpn> = (patch_start..run_end)
+                .map(|o| zone_base.offset(o))
+                .collect();
+            self.probe.emit(
+                t,
+                DeviceEvent::PatchSlice {
+                    zone: zone_id,
+                    slices: count,
+                },
+            );
             t = self.program_slc_batch(t, &lpns, pay.as_deref(), true, None)?;
             self.counters.patch_slices += count;
             self.zones[zidx].flushed_slices = run_end;
@@ -301,8 +330,18 @@ impl ConZone {
             let start = self.buffers[buf_idx].start_offset;
             let count = self.buffers[buf_idx].slices;
             let pay = self.buffers[buf_idx].drain_front(count);
-            let lpns: Vec<Lpn> = (start..start + count).map(|o| zone_base.offset(o)).collect();
+            let lpns: Vec<Lpn> = (start..start + count)
+                .map(|o| zone_base.offset(o))
+                .collect();
             self.counters.premature_flushes += 1;
+            self.probe.emit(
+                t,
+                DeviceEvent::BufferFlush {
+                    zone: zone_id,
+                    kind: FlushKind::Premature,
+                    slices: count,
+                },
+            );
             t = self.program_slc_batch(t, &lpns, pay.as_deref(), false, Some(zidx))?;
             self.zones[zidx].flushed_slices = start + count;
         }
@@ -343,12 +382,14 @@ impl ConZone {
                     // superblock; reuse it instead of double-activating.
                     match self.slc.active {
                         Some(sb) => sb,
-                        None => self.slc.activate_next().ok_or_else(|| {
-                            DeviceError::NoFreeSpace {
-                                at: t,
-                                what: "slc secondary buffer superblocks".to_string(),
-                            }
-                        })?,
+                        None => {
+                            self.slc
+                                .activate_next()
+                                .ok_or_else(|| DeviceError::NoFreeSpace {
+                                    at: t,
+                                    what: "slc secondary buffer superblocks".to_string(),
+                                })?
+                        }
                     }
                 }
             };
@@ -422,12 +463,13 @@ impl ConZone {
                 }
             }
         }
-        if self.cfg.max_aggregation == MapGranularity::Zone && flushed == self.zone_slices() {
-            if self.table.try_aggregate_zone(zone_base) {
-                self.note_bits(zone_base, self.zone_slices(), MapGranularity::Zone);
-                if pinned {
-                    self.cache.insert(zone_base, MapGranularity::Zone, true);
-                }
+        if self.cfg.max_aggregation == MapGranularity::Zone
+            && flushed == self.zone_slices()
+            && self.table.try_aggregate_zone(zone_base)
+        {
+            self.note_bits(zone_base, self.zone_slices(), MapGranularity::Zone);
+            if pinned {
+                self.cache.insert(zone_base, MapGranularity::Zone, true);
             }
         }
     }

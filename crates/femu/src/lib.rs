@@ -35,11 +35,12 @@
 #![warn(missing_debug_implementations)]
 
 use bytes::Bytes;
-use conzone_sim::SimRng;
 use conzone_flash::FlashArray;
+use conzone_sim::SimRng;
 use conzone_types::{
-    Completion, Counters, DeviceConfig, DeviceError, IoKind, IoRequest, LpnRange, Ppa,
-    SimDuration, SimTime, StorageDevice, ZoneId, ZoneInfo, ZoneState, ZonedDevice, SLICE_BYTES,
+    Completion, Counters, DeviceConfig, DeviceError, DeviceEvent, FlushKind, IoKind, IoRequest,
+    LpnRange, Ppa, Probe, SimDuration, SimTime, StorageDevice, ZoneId, ZoneInfo, ZoneState,
+    ZonedDevice, SLICE_BYTES,
 };
 
 /// Median host/guest switch latency per I/O (µ of the log-normal), ns.
@@ -73,6 +74,7 @@ pub struct FemuZns {
     counters: Counters,
     rng: SimRng,
     zone_size_slices: u64,
+    probe: Probe,
     /// Payload store keyed by logical slice (zones map 1:1 to media, so
     /// no physical indirection is needed); populated only with
     /// `data_backing`.
@@ -112,9 +114,17 @@ impl FemuZns {
             counters: Counters::new(),
             rng: SimRng::new(seed ^ FEMU_SEED_MIX),
             zone_size_slices,
+            probe: Probe::disabled(),
             store: std::collections::HashMap::new(),
             cfg: femu_cfg,
         }
+    }
+
+    /// Attaches a trace probe; buffer flushes, conflicts, zone resets and
+    /// media operations are emitted to it from now on.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.flash.set_probe(probe.clone());
+        self.probe = probe;
     }
 
     fn jitter(&mut self) -> SimDuration {
@@ -138,7 +148,12 @@ impl FemuZns {
     /// Flushes a buffer: whole units program as-is; with `drain`, the
     /// sub-unit remainder is padded to a full programming unit (no SLC to
     /// absorb it — the padding is wasted media bandwidth).
-    fn flush_buffer(&mut self, now: SimTime, buf: usize, drain: bool) -> Result<SimTime, DeviceError> {
+    fn flush_buffer(
+        &mut self,
+        now: SimTime,
+        buf: usize,
+        drain: bool,
+    ) -> Result<SimTime, DeviceError> {
         if self.buffers[buf].slices == 0 {
             if drain {
                 self.buffers[buf].owner = None;
@@ -169,8 +184,7 @@ impl FemuZns {
                 let first = dev.slice_ppa(zone, off);
                 let parts = dev.cfg.geometry.decode_ppa(first);
                 let cell = dev.cfg.normal_cell;
-                let (_buffer_free, fin) =
-                    dev.flash.timed_program(t, parts.chip, cell, bytes, 1);
+                let (_buffer_free, fin) = dev.flash.timed_program(t, parts.chip, cell, bytes, 1);
                 if let Some(d) = data {
                     for (i, chunk) in d.chunks_exact(SLICE_BYTES as usize).enumerate() {
                         let lpn = zone.raw() * zs + off + i as u64;
@@ -199,11 +213,21 @@ impl FemuZns {
                 };
                 let end_t = program(self, t, span_start, unit * SLICE_BYTES, data.as_deref());
                 finish = finish.max(end_t);
-                if drain && span_end - span_start < unit {
+                let kind = if drain && span_end - span_start < unit {
                     self.counters.premature_flushes += 1;
+                    FlushKind::Premature
                 } else {
                     self.counters.full_flushes += 1;
-                }
+                    FlushKind::Full
+                };
+                self.probe.emit(
+                    t,
+                    DeviceEvent::BufferFlush {
+                        zone,
+                        kind,
+                        slices: span_end - span_start,
+                    },
+                );
             }
         }
         t = finish;
@@ -266,6 +290,7 @@ impl FemuZns {
         };
         if conflicting {
             self.counters.buffer_conflicts += 1;
+            self.probe.emit(t, DeviceEvent::BufferConflict { zone });
             t = self.flush_buffer(t, buf, true)?;
         }
         if self.buffers[buf].owner != Some(zone) {
@@ -326,7 +351,9 @@ impl FemuZns {
             }
             let buf = zone.raw() as usize % self.buffers.len();
             let b = &self.buffers[buf];
-            if b.owner == Some(zone) && offset >= b.start_offset && offset < b.start_offset + b.slices
+            if b.owner == Some(zone)
+                && offset >= b.start_offset
+                && offset < b.start_offset + b.slices
             {
                 buffered.push((slots.len(), (offset - b.start_offset) * SLICE_BYTES));
                 slots.push(None);
@@ -570,6 +597,7 @@ impl ZonedDevice for FemuZns {
         self.zones[zidx].state = ZoneState::Empty;
         self.zones[zidx].wp_slices = 0;
         self.counters.zone_resets += 1;
+        self.probe.emit(t, DeviceEvent::ZoneReset { zone });
         let jitter = self.jitter();
         Ok(Completion {
             submitted: now,
@@ -680,7 +708,10 @@ mod tests {
         let mut d = dev();
         let zone = d.zone_size();
         let c = d
-            .submit(SimTime::ZERO, &IoRequest::write_data(0, patt(zone as usize, 2)))
+            .submit(
+                SimTime::ZERO,
+                &IoRequest::write_data(0, patt(zone as usize, 2)),
+            )
             .unwrap();
         // Reads pay tens-of-microseconds jitter on top of the flash read.
         let mut total = SimDuration::ZERO;
@@ -771,10 +802,7 @@ mod lifecycle_tests {
         assert_eq!(d.zone_info(ZoneId(0)).unwrap().state, ZoneState::Open);
         // Sub-unit write, then close: FEMU pads the eviction to a full
         // unit on the normal media (no SLC to absorb it).
-        t = d
-            .submit(t, &IoRequest::write(0, 8192))
-            .unwrap()
-            .finished;
+        t = d.submit(t, &IoRequest::write(0, 8192)).unwrap().finished;
         let before = d.counters();
         t = d.close_zone(t, ZoneId(0)).unwrap().finished;
         assert_eq!(d.zone_info(ZoneId(0)).unwrap().state, ZoneState::Closed);
@@ -782,10 +810,7 @@ mod lifecycle_tests {
         assert_eq!(after.premature_flushes, before.premature_flushes + 1);
         assert!(after.flash_program_bytes_tlc >= before.flash_program_bytes_tlc + 64 * 1024);
         // Reopen implicitly by writing at the pointer; then finish.
-        t = d
-            .submit(t, &IoRequest::write(8192, 4096))
-            .unwrap()
-            .finished;
+        t = d.submit(t, &IoRequest::write(8192, 4096)).unwrap().finished;
         t = d.finish_zone(t, ZoneId(0)).unwrap().finished;
         assert_eq!(d.zone_info(ZoneId(0)).unwrap().state, ZoneState::Full);
         assert!(matches!(

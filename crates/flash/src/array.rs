@@ -16,8 +16,8 @@
 
 use conzone_sim::{Reservation, Resource, ResourceBank};
 use conzone_types::{
-    CellType, ChipId, DeviceConfig, Geometry, MediaTimings, Ppa, SimDuration, SimTime,
-    SuperblockId, SLICE_BYTES,
+    CellType, ChipId, DeviceConfig, DeviceEvent, Geometry, MediaOp, MediaTimings, Ppa, Probe,
+    SimDuration, SimTime, SuperblockId, SLICE_BYTES,
 };
 
 use crate::block::Block;
@@ -88,6 +88,7 @@ pub struct FlashArray {
     channels: ResourceBank,
     store: DataStore,
     stats: FlashStats,
+    probe: Probe,
 }
 
 impl FlashArray {
@@ -117,7 +118,14 @@ impl FlashArray {
             channels: ResourceBank::new(g.channels),
             store: DataStore::new(cfg.data_backing),
             stats: FlashStats::default(),
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches a trace probe that receives every media program / read /
+    /// erase as a [`DeviceEvent::Media`]. Disabled by default.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// The array geometry.
@@ -173,12 +181,20 @@ impl FlashArray {
         }
     }
 
-    fn count_program(&mut self, cell: CellType, bytes: u64) {
+    fn count_program(&mut self, now: SimTime, cell: CellType, bytes: u64) {
         match cell {
             CellType::Slc => self.stats.program_bytes_slc += bytes,
             CellType::Tlc => self.stats.program_bytes_tlc += bytes,
             CellType::Qlc => self.stats.program_bytes_qlc += bytes,
         }
+        self.probe.emit(
+            now,
+            DeviceEvent::Media {
+                op: MediaOp::Program,
+                cell,
+                bytes,
+            },
+        );
     }
 
     /// Programs one full programming unit at the block's cursor on a
@@ -217,7 +233,7 @@ impl FlashArray {
             }
         }
         let idx = self.block_index(chip, block);
-        if self.blocks[idx].cursor() % unit_slices != 0 {
+        if !self.blocks[idx].cursor().is_multiple_of(unit_slices) {
             return Err(FlashError::UnalignedUnit {
                 cursor: self.blocks[idx].cursor(),
             });
@@ -229,7 +245,7 @@ impl FlashArray {
                 self.store.put(first.offset(i as u64), chunk);
             }
         }
-        self.count_program(cell, unit_bytes as u64);
+        self.count_program(now, cell, unit_bytes as u64);
         let plane = self.geometry.plane_of(chip, block);
         let (buffer_free, finish) =
             self.schedule_program(now, chip, plane, unit_bytes as u64, cell, 1);
@@ -283,7 +299,7 @@ impl FlashArray {
                 self.store.put(first.offset(i as u64), chunk);
             }
         }
-        self.count_program(CellType::Slc, bytes);
+        self.count_program(now, CellType::Slc, bytes);
         // One program operation per flash page covered by the run.
         let spp = self.geometry.slices_per_page();
         let first_page = start_slice / spp;
@@ -375,6 +391,14 @@ impl FlashArray {
                 .acquire(channel, sense.end, self.transfer_time(bytes));
             finish = finish.max(xfer.end);
             self.stats.page_reads += 1;
+            self.probe.emit(
+                now,
+                DeviceEvent::Media {
+                    op: MediaOp::Read,
+                    cell,
+                    bytes,
+                },
+            );
         }
         let data = if self.store.is_enabled() {
             let mut buf = Vec::with_capacity(ppas.len() * SLICE_BYTES as usize);
@@ -410,7 +434,7 @@ impl FlashArray {
         ops: u64,
     ) -> (SimTime, SimTime) {
         assert!(ops > 0, "at least one program operation");
-        self.count_program(cell, bytes);
+        self.count_program(now, cell, bytes);
         let plane = self.geometry.plane_of(chip, 0);
         self.schedule_program(now, chip, plane, bytes, cell, ops)
     }
@@ -424,6 +448,14 @@ impl FlashArray {
         cell: CellType,
         bytes: u64,
     ) -> Reservation {
+        self.probe.emit(
+            now,
+            DeviceEvent::Media {
+                op: MediaOp::Read,
+                cell,
+                bytes,
+            },
+        );
         let plane = self.geometry.plane_of(chip, 0);
         let sense = self
             .planes
@@ -470,6 +502,14 @@ impl FlashArray {
         } else {
             self.stats.erases_normal += 1;
         }
+        self.probe.emit(
+            now,
+            DeviceEvent::Media {
+                op: MediaOp::Erase,
+                cell,
+                bytes: 0,
+            },
+        );
         let plane = self.geometry.plane_of(chip, block);
         self.planes
             .acquire(plane, now, self.timings.latency(cell).erase)
@@ -489,7 +529,10 @@ impl FlashArray {
     /// Live slices in a superblock, summed over all chips.
     pub fn superblock_valid_slices(&self, sb: SuperblockId) -> usize {
         (0..self.geometry.nchips())
-            .map(|c| self.block(ChipId(c as u64), sb.raw() as usize).valid_count())
+            .map(|c| {
+                self.block(ChipId(c as u64), sb.raw() as usize)
+                    .valid_count()
+            })
             .sum()
     }
 
@@ -537,7 +580,11 @@ impl FlashArray {
                 cell,
                 blocks,
                 max_erases: max,
-                mean_erases: if blocks == 0 { 0.0 } else { sum as f64 / blocks as f64 },
+                mean_erases: if blocks == 0 {
+                    0.0
+                } else {
+                    sum as f64 / blocks as f64
+                },
                 budget: crate::erase_budget(cell),
             }
         };
@@ -550,7 +597,11 @@ impl FlashArray {
 
     /// Maximum erase count across all blocks (wear indicator).
     pub fn max_erase_count(&self) -> u64 {
-        self.blocks.iter().map(Block::erase_count).max().unwrap_or(0)
+        self.blocks
+            .iter()
+            .map(Block::erase_count)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean erase count across all blocks.
@@ -602,9 +653,7 @@ mod tests {
     #[test]
     fn program_unit_timing_is_transfer_plus_program() {
         let mut a = array();
-        let out = a
-            .program_unit(SimTime::ZERO, ChipId(0), 4, None)
-            .unwrap();
+        let out = a.program_unit(SimTime::ZERO, ChipId(0), 4, None).unwrap();
         // 64 KiB over 3200 MiB/s ≈ 19.5 us, plus 937.5 us TLC program.
         let xfer = SimDuration::for_transfer(64 * 1024, 3200 * 1024 * 1024);
         let expect = SimTime::ZERO + xfer + SimDuration::from_nanos(937_500);
@@ -688,7 +737,8 @@ mod tests {
     fn erase_superblock_clears_all_chips() {
         let mut a = array();
         for chip in 0..4 {
-            a.program_unit(SimTime::ZERO, ChipId(chip), 7, None).unwrap();
+            a.program_unit(SimTime::ZERO, ChipId(chip), 7, None)
+                .unwrap();
         }
         assert!(!a.superblock_erased(SuperblockId(7)));
         let t = a.erase_superblock(SimTime::ZERO, SuperblockId(7));
@@ -736,7 +786,10 @@ mod tests {
         // programs overlap in time.
         let p1 = a.program_unit(SimTime::ZERO, ChipId(0), 4, None).unwrap();
         let p2 = a.program_unit(SimTime::ZERO, ChipId(0), 5, None).unwrap();
-        assert!(p2.finish < p1.finish + SimDuration::from_micros(500), "overlapped");
+        assert!(
+            p2.finish < p1.finish + SimDuration::from_micros(500),
+            "overlapped"
+        );
         // Blocks 4 and 6 share plane 0: they serialise.
         let mut a = FlashArray::new(&cfg);
         let p1 = a.program_unit(SimTime::ZERO, ChipId(0), 4, None).unwrap();

@@ -42,7 +42,11 @@ impl DataStore {
         if !self.enabled {
             return;
         }
-        assert_eq!(data.len() as u64, SLICE_BYTES, "slice payload must be 4 KiB");
+        assert_eq!(
+            data.len() as u64,
+            SLICE_BYTES,
+            "slice payload must be 4 KiB"
+        );
         self.slices.insert(ppa.raw(), data.into());
     }
 

@@ -102,7 +102,7 @@ mod tests {
     #[test]
     fn lifetime_projection() {
         let report = WearReport {
-            slc: region(CellType::Slc, 600),   // 1 % worn
+            slc: region(CellType::Slc, 600),    // 1 % worn
             normal: region(CellType::Tlc, 300), // 10 % worn — the binding one
             host_bytes_written: 1 << 30,
         };

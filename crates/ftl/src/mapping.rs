@@ -129,8 +129,8 @@ impl MappingTable {
             _ => {}
         }
         self.ppas[idx] = Some(ppa);
-        self.flags[idx] = MapGranularity::Page.to_bits()
-            | if canonical { CANONICAL_FLAG } else { 0 };
+        self.flags[idx] =
+            MapGranularity::Page.to_bits() | if canonical { CANONICAL_FLAG } else { 0 };
     }
 
     /// Moves an entry to a new physical address, preserving its map bits
@@ -316,7 +316,10 @@ mod tests {
         assert_eq!(t.granularity_of(Lpn(1)), Some(MapGranularity::Page));
         assert!(!t.try_aggregate_chunk(Lpn(0)), "non-canonical page blocks");
         t.set(Lpn(2), Ppa(99), true);
-        assert!(t.try_aggregate_chunk(Lpn(0)), "repaired chunk re-aggregates");
+        assert!(
+            t.try_aggregate_chunk(Lpn(0)),
+            "repaired chunk re-aggregates"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ const LOG_ORDER: [LogKind; 6] = [
 ];
 
 fn log_index(kind: LogKind) -> usize {
-    LOG_ORDER.iter().position(|k| *k == kind).expect("known log")
+    LOG_ORDER
+        .iter()
+        .position(|k| *k == kind)
+        .expect("known log")
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -254,9 +257,9 @@ impl F2fsLite {
         let mut run_start: Option<u64> = None;
         let mut run_len = 0u64;
         let flush_run = |dev: &mut D,
-                             t: SimTime,
-                             run_start: &mut Option<u64>,
-                             run_len: &mut u64|
+                         t: SimTime,
+                         run_start: &mut Option<u64>,
+                         run_len: &mut u64|
          -> Result<SimTime, DeviceError> {
             if let Some(first) = run_start.take() {
                 let req = IoRequest::write(first * SLICE_BYTES, *run_len * SLICE_BYTES);
@@ -494,9 +497,15 @@ mod tests {
         let mut d = dev();
         let mut fs = F2fsLite::new(&d);
         let mut t = SimTime::ZERO;
-        t = fs.write_file(&mut d, t, 1, 0, 100, Temperature::Warm).unwrap();
-        t = fs.write_file(&mut d, t, 2, 0, 100, Temperature::Cold).unwrap();
-        let _ = fs.write_file(&mut d, t, 3, 0, 10, Temperature::Hot).unwrap();
+        t = fs
+            .write_file(&mut d, t, 1, 0, 100, Temperature::Warm)
+            .unwrap();
+        t = fs
+            .write_file(&mut d, t, 2, 0, 100, Temperature::Cold)
+            .unwrap();
+        let _ = fs
+            .write_file(&mut d, t, 3, 0, 10, Temperature::Hot)
+            .unwrap();
         let s = fs.stats();
         assert_eq!(s.data_blocks, 210);
         assert!(s.node_blocks > 0, "node cadence fired");
@@ -510,9 +519,13 @@ mod tests {
         let mut d = dev();
         let mut fs = F2fsLite::new(&d);
         let mut t = SimTime::ZERO;
-        t = fs.write_file(&mut d, t, 1, 0, 50, Temperature::Warm).unwrap();
+        t = fs
+            .write_file(&mut d, t, 1, 0, 50, Temperature::Warm)
+            .unwrap();
         let first = fs.locate(1, 0).unwrap();
-        let _ = fs.write_file(&mut d, t, 1, 0, 50, Temperature::Warm).unwrap();
+        let _ = fs
+            .write_file(&mut d, t, 1, 0, 50, Temperature::Warm)
+            .unwrap();
         let second = fs.locate(1, 0).unwrap();
         assert_ne!(first, second, "log-structured: overwrite relocates");
         assert_eq!(fs.stats().data_blocks, 100);

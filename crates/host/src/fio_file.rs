@@ -60,10 +60,13 @@ fn parse_size(s: &str, line: usize) -> Result<u64, ParseFioError> {
         Some('g') | Some('G') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
         _ => (s, 1),
     };
-    digits.parse::<u64>().map(|v| v * mult).map_err(|e| ParseFioError {
-        line,
-        message: format!("bad size '{s}': {e}"),
-    })
+    digits
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|e| ParseFioError {
+            line,
+            message: format!("bad size '{s}': {e}"),
+        })
 }
 
 /// The accumulated key/value state of a section.
@@ -182,7 +185,7 @@ pub fn parse_fio_jobs(text: &str) -> Result<Vec<NamedJob>, ParseFioError> {
 
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
-        let body = raw.split(|c| c == '#' || c == ';').next().unwrap_or("").trim();
+        let body = raw.split(['#', ';']).next().unwrap_or("").trim();
         if body.is_empty() {
             continue;
         }
@@ -266,8 +269,7 @@ rate_iops=10000
 
     #[test]
     fn io_size_and_offset() {
-        let jobs =
-            parse_fio_jobs("[j]\nrw=read\noffset=16m\nsize=64m\nio_size=8m\n").unwrap();
+        let jobs = parse_fio_jobs("[j]\nrw=read\noffset=16m\nsize=64m\nio_size=8m\n").unwrap();
         assert_eq!(jobs[0].job.region_offset, 16 << 20);
         assert_eq!(jobs[0].job.region_bytes, 64 << 20);
         assert_eq!(jobs[0].job.bytes_per_thread, 8 << 20);

@@ -42,7 +42,7 @@ mod workloads;
 pub use f2fs::{F2fsLite, F2fsStats, Temperature};
 pub use fio_file::{parse_fio_jobs, NamedJob, ParseFioError};
 pub use job::{AccessPattern, FioJob};
-pub use runner::{run_job, HostError, JobReport};
+pub use runner::{run_job, run_job_sampled, HostError, JobReport};
 pub use trace::{
     replay_budget, replay_counters, replay_trace, MobileTraceBuilder, ParseTraceError, Trace,
     TraceKind, TraceOp,

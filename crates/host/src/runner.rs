@@ -6,7 +6,9 @@
 //! (chips, channels, buffers) is exercised exactly as a real multi-threaded
 //! host would.
 
-use conzone_sim::{EventQueue, LatencyHistogram, LatencySummary, SimRng};
+use conzone_sim::{
+    EventQueue, LatencyHistogram, LatencySummary, MetricsSample, MetricsSampler, SimRng,
+};
 use conzone_types::{
     Counters, DeviceError, IoRequest, SimDuration, SimTime, StorageDevice, SLICE_BYTES,
 };
@@ -75,6 +77,11 @@ pub struct JobReport {
     pub read_latency: LatencySummary,
     /// Latency distribution of the write requests only.
     pub write_latency: LatencySummary,
+    /// Per-thread latency distributions, indexed by thread id.
+    pub thread_latency: Vec<LatencySummary>,
+    /// Interval counter deltas, when the job was run with a sampler
+    /// ([`run_job_sampled`]); empty otherwise.
+    pub metrics: Vec<MetricsSample>,
     /// Device counter delta over the job.
     pub counters: Counters,
 }
@@ -139,6 +146,29 @@ pub fn run_job<D: StorageDevice + ?Sized>(
     dev: &mut D,
     job: &FioJob,
 ) -> Result<JobReport, HostError> {
+    run_job_inner(dev, job, None)
+}
+
+/// Runs a job like [`run_job`] while also collecting a [`Counters`] delta
+/// per `interval` of simulated time; the series lands in
+/// [`JobReport::metrics`]. The interval grid is anchored at the job start.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_job`].
+pub fn run_job_sampled<D: StorageDevice + ?Sized>(
+    dev: &mut D,
+    job: &FioJob,
+    interval: SimDuration,
+) -> Result<JobReport, HostError> {
+    run_job_inner(dev, job, Some(interval))
+}
+
+fn run_job_inner<D: StorageDevice + ?Sized>(
+    dev: &mut D,
+    job: &FioJob,
+    sample_interval: Option<SimDuration>,
+) -> Result<JobReport, HostError> {
     let capacity = dev.capacity_bytes();
     let region_start = job.region_offset;
     let region_len = job.region_bytes.min(capacity.saturating_sub(region_start));
@@ -148,7 +178,7 @@ pub fn run_job<D: StorageDevice + ?Sized>(
             job.block_bytes
         )));
     }
-    if job.block_bytes == 0 || job.block_bytes % SLICE_BYTES != 0 {
+    if job.block_bytes == 0 || !job.block_bytes.is_multiple_of(SLICE_BYTES) {
         return Err(HostError::BadJob(format!(
             "block size {} not a multiple of 4 KiB",
             job.block_bytes
@@ -173,7 +203,7 @@ pub fn run_job<D: StorageDevice + ?Sized>(
         ));
     }
     if let Some(iops) = job.arrival_iops {
-        if !(iops > 0.0) {
+        if iops.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(HostError::BadJob(format!("bad arrival rate {iops}")));
         }
     }
@@ -182,8 +212,8 @@ pub fn run_job<D: StorageDevice + ?Sized>(
     let limit = job.requests_per_thread();
     let mut threads: Vec<ThreadState> = (0..job.threads)
         .map(|i| {
-            let stripe_len = (region_len / job.threads as u64 / job.block_bytes).max(1)
-                * job.block_bytes;
+            let stripe_len =
+                (region_len / job.threads as u64 / job.block_bytes).max(1) * job.block_bytes;
             let stripe_start = region_start + i as u64 * stripe_len;
             let zones = match (&job.thread_zones, zone_bytes) {
                 (Some(z), _) => z.get(i).cloned().unwrap_or_default(),
@@ -234,7 +264,7 @@ pub fn run_job<D: StorageDevice + ?Sized>(
                 // Exponential inter-arrival with mean 1/iops seconds.
                 let u = arrival_rng.f64().max(f64::MIN_POSITIVE);
                 let gap_ns = (-u.ln() / iops * 1e9) as u64;
-                at = at + SimDuration::from_nanos(gap_ns);
+                at += SimDuration::from_nanos(gap_ns);
                 queue.push(at, (i % job.threads as u64) as usize);
             }
         }
@@ -244,6 +274,9 @@ pub fn run_job<D: StorageDevice + ?Sized>(
     let mut hist = LatencyHistogram::new();
     let mut read_hist = LatencyHistogram::new();
     let mut write_hist = LatencyHistogram::new();
+    let mut thread_hists: Vec<LatencyHistogram> =
+        (0..job.threads).map(|_| LatencyHistogram::new()).collect();
+    let mut sampler = sample_interval.map(|iv| MetricsSampler::anchored(job.start, iv, &before));
     let mut bytes = 0u64;
     let mut ops = 0u64;
     let mut finished = job.start;
@@ -295,6 +328,10 @@ pub fn run_job<D: StorageDevice + ?Sized>(
         } else {
             write_hist.record(latency);
         }
+        thread_hists[th].record(latency);
+        if let Some(s) = sampler.as_mut() {
+            s.observe(completed_at, &dev.counters());
+        }
         bytes += job.block_bytes;
         ops += 1;
         finished = finished.max(completed_at);
@@ -314,6 +351,10 @@ pub fn run_job<D: StorageDevice + ?Sized>(
         latency: hist.summary(),
         read_latency: read_hist.summary(),
         write_latency: write_hist.summary(),
+        thread_latency: thread_hists.iter().map(LatencyHistogram::summary).collect(),
+        metrics: sampler
+            .map(|s| s.finish(finished, &after))
+            .unwrap_or_default(),
         counters: after.since(&before),
     })
 }
@@ -415,8 +456,7 @@ mod tests {
     #[test]
     fn rand_read_reports_kiops() {
         let mut dev = ConZone::new(DeviceConfig::tiny_for_tests());
-        let fill = zoned_job(AccessPattern::SeqWrite, 256 * 1024)
-            .bytes_per_thread(2 * 1024 * 1024);
+        let fill = zoned_job(AccessPattern::SeqWrite, 256 * 1024).bytes_per_thread(2 * 1024 * 1024);
         let fr = run_job(&mut dev, &fill).unwrap();
         let job = FioJob::new(AccessPattern::RandRead, 4096)
             .region(0, 2 * 1024 * 1024)
@@ -526,6 +566,32 @@ mod tests {
         assert!(matches!(run_job(&mut dev, &job), Err(HostError::BadJob(_))));
         let job = FioJob::new(AccessPattern::RandRead, 4096).threads(0);
         assert!(matches!(run_job(&mut dev, &job), Err(HostError::BadJob(_))));
+    }
+
+    #[test]
+    fn sampled_run_yields_interval_deltas_and_thread_latencies() {
+        let mut dev = ConZone::new(DeviceConfig::tiny_for_tests());
+        let job = zoned_job(AccessPattern::SeqWrite, 128 * 1024)
+            .threads(2)
+            .region(0, 4 * 1024 * 1024)
+            .bytes_per_thread(2 * 1024 * 1024);
+        let r = run_job_sampled(&mut dev, &job, SimDuration::from_micros(500)).unwrap();
+        assert_eq!(r.thread_latency.len(), 2);
+        assert_eq!(r.thread_latency.iter().map(|s| s.count).sum::<u64>(), r.ops);
+        assert!(!r.metrics.is_empty());
+        // Interval deltas add back up to the whole-job delta, and the
+        // samples tile the job's duration without gaps.
+        let written: u64 = r.metrics.iter().map(|m| m.delta.host_write_bytes).sum();
+        assert_eq!(written, r.counters.host_write_bytes);
+        for w in r.metrics.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(r.metrics.last().unwrap().end, r.finished);
+        // The unsampled path reports the same aggregate numbers.
+        let mut dev2 = ConZone::new(DeviceConfig::tiny_for_tests());
+        let plain = run_job(&mut dev2, &job).unwrap();
+        assert_eq!(plain.finished, r.finished);
+        assert!(plain.metrics.is_empty());
     }
 
     #[test]

@@ -195,7 +195,7 @@ impl MobileTraceBuilder {
         MobileTraceBuilder {
             zone_bytes,
             zones,
-            seed: 0x0b11e_7ace,
+            seed: 0xb11e_7ace,
             bursts: 4,
             burst_bytes: 8 * 1024 * 1024,
             metadata_every: 2 * 1024 * 1024,
@@ -297,7 +297,9 @@ impl MobileTraceBuilder {
         // Zipf-ish skewed reads over written media extents: rank sampled
         // with probability ∝ rank^-skew via inversion on a harmonic CDF.
         let n = written_media.len().max(1);
-        let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(self.read_skew)).collect();
+        let weights: Vec<f64> = (1..=n)
+            .map(|r| 1.0 / (r as f64).powf(self.read_skew))
+            .collect();
         let total: f64 = weights.iter().sum();
         for _ in 0..self.reads {
             let mut x = rng.f64() * total;
@@ -344,7 +346,11 @@ pub fn replay_trace<D: ZonedDevice + ?Sized>(
     let mut ops = 0u64;
     let mut finished = start;
     for op in trace.ops() {
-        let issue = if open_loop { t.max(start + (op.at - SimTime::ZERO)) } else { t };
+        let issue = if open_loop {
+            t.max(start + (op.at - SimTime::ZERO))
+        } else {
+            t
+        };
         let completion = match op.kind {
             TraceKind::Read => dev.submit(issue, &IoRequest::read(op.offset, op.len)),
             TraceKind::Write => dev.submit(issue, &IoRequest::write(op.offset, op.len)),
@@ -377,9 +383,12 @@ pub fn replay_trace<D: ZonedDevice + ?Sized>(
         finished,
         bytes,
         ops,
-        latency: hist.summary(),
         read_latency: read_hist.summary(),
         write_latency: write_hist.summary(),
+        // Replay is a single issuing stream.
+        thread_latency: vec![hist.summary()],
+        metrics: Vec::new(),
+        latency: hist.summary(),
         counters: after.since(&before),
     })
 }
@@ -466,7 +475,10 @@ mod tests {
         assert!(r.finished >= SimTime::from_nanos(50_000_000));
         let mut dev = ConZone::new(DeviceConfig::tiny_for_tests());
         let r = replay_trace(&mut dev, &trace, SimTime::ZERO, false).unwrap();
-        assert!(r.finished < SimTime::from_nanos(50_000_000), "closed loop ignores gaps");
+        assert!(
+            r.finished < SimTime::from_nanos(50_000_000),
+            "closed loop ignores gaps"
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ mod tests {
         let big = payload_for(9, 8192, 16384);
         for s in 0..4u64 {
             let small = payload_for(9, 8192 + s * 4096, 4096);
-            assert_eq!(&big[(s * 4096) as usize..((s + 1) * 4096) as usize], &small[..]);
+            assert_eq!(
+                &big[(s * 4096) as usize..((s + 1) * 4096) as usize],
+                &small[..]
+            );
         }
     }
 

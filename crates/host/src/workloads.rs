@@ -284,8 +284,7 @@ mod tests {
         let zb = d.zone_size();
         let zc = d.zone_count() as u64;
         let count_reads = |t: &Trace| {
-            t.ops().iter().filter(|o| o.kind == TraceKind::Read).count() as f64
-                / t.len() as f64
+            t.ops().iter().filter(|o| o.kind == TraceKind::Read).count() as f64 / t.len() as f64
         };
         let boot = WorkloadPreset::Boot.build(zb, zc, 7);
         let install = WorkloadPreset::AppInstall.build(zb, zc, 7);
@@ -301,8 +300,7 @@ mod tests {
     #[test]
     fn camera_burst_provokes_conflicts() {
         let mut d = dev();
-        let trace =
-            WorkloadPreset::CameraBurst.build(d.zone_size(), d.zone_count() as u64, 7);
+        let trace = WorkloadPreset::CameraBurst.build(d.zone_size(), d.zone_count() as u64, 7);
         let report = replay_trace(&mut d, &trace, SimTime::ZERO, false).unwrap();
         assert!(
             report.counters.buffer_conflicts > 0,

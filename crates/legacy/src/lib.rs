@@ -33,8 +33,9 @@ use bytes::Bytes;
 use conzone_flash::{FlashArray, FlashError};
 use conzone_ftl::{LruCache, MappingTable};
 use conzone_types::{
-    ChipId, Completion, Counters, DeviceConfig, DeviceError, IoKind, IoRequest, Lpn, LpnRange,
-    Ppa, SimTime, StorageDevice, SuperblockId, SLICE_BYTES,
+    ChipId, Completion, Counters, DeviceConfig, DeviceError, DeviceEvent, FlushKind, IoKind,
+    IoRequest, L2pOutcome, Lpn, LpnRange, Ppa, Probe, SimTime, StorageDevice, SuperblockId, ZoneId,
+    SLICE_BYTES,
 };
 
 /// Fraction of normal superblocks held back as GC over-provisioning.
@@ -77,6 +78,7 @@ pub struct LegacyDevice {
     logical_slices: u64,
     /// Guards against recursive GC while GC's own flushes allocate space.
     in_gc: bool,
+    probe: Probe,
 }
 
 impl LegacyDevice {
@@ -111,8 +113,17 @@ impl LegacyDevice {
             next_mapping_chip: 0,
             logical_slices,
             in_gc: false,
+            probe: Probe::disabled(),
             cfg,
         }
+    }
+
+    /// Attaches a trace probe; flushes, GC passes, L2P lookups and media
+    /// operations are emitted to it from now on. Legacy has no zones, so
+    /// zone-tagged events use zone 0.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.flash.set_probe(probe.clone());
+        self.probe = probe;
     }
 
     /// Logical capacity in slices (physical minus over-provisioning).
@@ -130,7 +141,7 @@ impl LegacyDevice {
     /// [`DeviceError::Unaligned`] or [`DeviceError::OutOfRange`] for a bad
     /// range. Trimming unwritten sectors is a no-op.
     pub fn trim(&mut self, now: SimTime, offset: u64, len: u64) -> Result<Completion, DeviceError> {
-        if len == 0 || offset % SLICE_BYTES != 0 || len % SLICE_BYTES != 0 {
+        if len == 0 || !offset.is_multiple_of(SLICE_BYTES) || !len.is_multiple_of(SLICE_BYTES) {
             return Err(DeviceError::Unaligned { offset, len });
         }
         if offset + len > self.capacity_bytes() {
@@ -184,7 +195,10 @@ impl LegacyDevice {
     /// Ensures an open superblock with a free unit, running GC if the free
     /// list is exhausted. Re-checks the open block after every GC pass:
     /// GC's own flushes may have opened (or filled) one.
-    fn ensure_append_point(&mut self, now: SimTime) -> Result<(SimTime, SuperblockId), DeviceError> {
+    fn ensure_append_point(
+        &mut self,
+        now: SimTime,
+    ) -> Result<(SimTime, SuperblockId), DeviceError> {
         let mut t = now;
         let mut passes = 0;
         loop {
@@ -253,6 +267,14 @@ impl LegacyDevice {
         // Buffer frees after the transfer; tPROG runs in the background.
         t = out.buffer_free;
         self.counters.full_flushes += 1;
+        self.probe.emit(
+            t,
+            DeviceEvent::BufferFlush {
+                zone: ZoneId(0),
+                kind: FlushKind::Full,
+                slices: unit as u64,
+            },
+        );
         for (i, s) in slices.iter().enumerate() {
             let ppa = out.first.offset(i as u64);
             if s.lpn == Lpn(u64::MAX) {
@@ -292,6 +314,12 @@ impl LegacyDevice {
         self.counters.gc_runs += 1;
         self.in_gc = true;
         let ppas = self.flash.superblock_valid_ppas(victim);
+        self.probe.emit(
+            now,
+            DeviceEvent::GcBegin {
+                valid_slices: ppas.len() as u64,
+            },
+        );
         let mut t = now;
         if !ppas.is_empty() {
             let out = self.flash.read_slices(t, &ppas).map_err(internal)?;
@@ -306,9 +334,10 @@ impl LegacyDevice {
                     .owner
                     .get(&ppa.raw())
                     .expect("valid legacy slice has an owner");
-                let data = out.data.as_ref().map(|d| {
-                    d[i * SLICE_BYTES as usize..(i + 1) * SLICE_BYTES as usize].to_vec()
-                });
+                let data = out
+                    .data
+                    .as_ref()
+                    .map(|d| d[i * SLICE_BYTES as usize..(i + 1) * SLICE_BYTES as usize].to_vec());
                 self.pending.push_back(PendingSlice { lpn, data });
                 self.table.unmap(lpn);
                 self.owner.remove(&ppa.raw());
@@ -325,6 +354,12 @@ impl LegacyDevice {
         self.used.retain(|&s| s != victim);
         self.free.push_back(victim);
         self.in_gc = false;
+        self.probe.emit(
+            t,
+            DeviceEvent::GcEnd {
+                migrated_slices: ppas.len() as u64,
+            },
+        );
         Ok(t)
     }
 
@@ -336,9 +371,8 @@ impl LegacyDevice {
     ) -> Result<SimTime, DeviceError> {
         let mut t = now;
         for (i, lpn) in range.iter().enumerate() {
-            let data = payload.map(|p| {
-                p[i * SLICE_BYTES as usize..(i + 1) * SLICE_BYTES as usize].to_vec()
-            });
+            let data = payload
+                .map(|p| p[i * SLICE_BYTES as usize..(i + 1) * SLICE_BYTES as usize].to_vec());
             self.pending.push_back(PendingSlice { lpn, data });
             // Invalidate the cache entry of an in-place update; the fresh
             // mapping is installed at flush time.
@@ -375,9 +409,21 @@ impl LegacyDevice {
                 .ok_or(DeviceError::UnwrittenRead { lpn })?;
             if self.cache.get(&lpn.raw()).is_some() {
                 self.counters.l2p_hits_page += 1;
+                self.probe.emit(
+                    t_map,
+                    DeviceEvent::L2pLookup {
+                        outcome: L2pOutcome::HitPage,
+                    },
+                );
             } else {
                 self.counters.l2p_misses += 1;
                 self.counters.flash_mapping_reads += 1;
+                self.probe.emit(
+                    t_map,
+                    DeviceEvent::L2pLookup {
+                        outcome: L2pOutcome::Miss,
+                    },
+                );
                 let chip = self.mapping_chip();
                 let r = self.flash.timed_page_read(
                     t_map,
@@ -389,7 +435,8 @@ impl LegacyDevice {
                 // Sequential prefetch: pull the whole window of entries
                 // from the same mapping page into the cache.
                 let window_start = lpn.raw() / self.prefetch_window * self.prefetch_window;
-                for w in window_start..(window_start + self.prefetch_window).min(self.logical_slices)
+                for w in
+                    window_start..(window_start + self.prefetch_window).min(self.logical_slices)
                 {
                     if self.table.get(Lpn(w)).is_some() {
                         self.cache.insert(w, (), false);
@@ -484,6 +531,7 @@ impl StorageDevice for LegacyDevice {
             t = self.flush_unit(t)?;
         }
         if !self.pending.is_empty() {
+            let real = self.pending.len() as u64;
             // No SLC secondary buffer: pad the remainder out to a whole
             // programming unit (the §II-A cost Legacy pays for sync I/O).
             while self.pending.len() < self.unit_slices() {
@@ -493,6 +541,14 @@ impl StorageDevice for LegacyDevice {
                 });
             }
             self.counters.premature_flushes += 1;
+            self.probe.emit(
+                t,
+                DeviceEvent::BufferFlush {
+                    zone: ZoneId(0),
+                    kind: FlushKind::Premature,
+                    slices: real,
+                },
+            );
             t = self.flush_unit(t)?;
         }
         Ok(Completion {
@@ -620,8 +676,8 @@ mod tests {
     #[test]
     fn capacity_excludes_overprovisioning() {
         let d = dev();
-        let physical = d.cfg.geometry.normal_superblocks() as u64
-            * d.cfg.geometry.superblock_bytes();
+        let physical =
+            d.cfg.geometry.normal_superblocks() as u64 * d.cfg.geometry.superblock_bytes();
         assert!(d.capacity_bytes() < physical);
         let mut d = dev();
         let cap = d.capacity_bytes();

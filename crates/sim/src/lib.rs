@@ -25,15 +25,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod export;
+pub mod json;
 mod queue;
 mod resource;
 mod rng;
 mod stats;
+mod trace;
 
 pub use queue::EventQueue;
 pub use resource::{Reservation, Resource, ResourceBank};
 pub use rng::SimRng;
 pub use stats::{LatencyHistogram, LatencySummary};
+pub use trace::{MetricsSample, MetricsSampler, RingBufferSink};
 
 #[cfg(test)]
 mod proptests;

@@ -72,7 +72,7 @@ proptest! {
         let mut busy_total = 0u64;
         let mut now = SimTime::ZERO;
         for (advance, dur) in ops {
-            now = now + SimDuration::from_nanos(advance);
+            now += SimDuration::from_nanos(advance);
             let r = resource.acquire(now, SimDuration::from_nanos(dur));
             prop_assert!(r.start >= now, "no time travel");
             prop_assert!(r.start >= last_end, "no overlap");

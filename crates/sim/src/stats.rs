@@ -297,4 +297,77 @@ mod tests {
         assert!(s.min <= s.p50 && s.p50 <= s.p90);
         assert!(s.p90 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
     }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut full = LatencyHistogram::new();
+        for ns in [7u64, 400, 65_000, 1_000_000] {
+            full.record(SimDuration::from_nanos(ns));
+        }
+        let reference = full.clone();
+
+        // full ∪ ∅ = full.
+        full.merge(&LatencyHistogram::new());
+        assert_eq!(full.count(), reference.count());
+        assert_eq!(full.min(), reference.min());
+        assert_eq!(full.max(), reference.max());
+        assert_eq!(full.mean(), reference.mean());
+        assert_eq!(full.summary(), reference.summary());
+
+        // ∅ ∪ full = full — the empty side's sentinel min must not leak.
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&reference);
+        assert_eq!(empty.count(), reference.count());
+        assert_eq!(empty.min(), reference.min());
+        assert_eq!(empty.summary(), reference.summary());
+
+        // ∅ ∪ ∅ stays empty.
+        let mut e = LatencyHistogram::new();
+        e.merge(&LatencyHistogram::new());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), SimDuration::ZERO);
+        assert_eq!(e.summary().p999, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        let d = SimDuration::from_micros(123);
+        h.record(d);
+        for q in [0.0, 0.001, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), d, "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, d);
+        assert_eq!(s.min, d);
+        assert_eq!(s.p50, d);
+        assert_eq!(s.p999, d);
+        assert_eq!(s.max, d);
+    }
+
+    mod bucket_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+            /// Every bucket's lower bound really is a lower bound, over the
+            /// whole u64 domain (including the top tier near `u64::MAX`).
+            #[test]
+            fn bucket_low_is_a_lower_bound(v in any::<u64>()) {
+                let low = bucket_low(bucket_index(v));
+                prop_assert!(low <= v, "bucket_low {low} > value {v}");
+            }
+
+            /// Round-tripping the lower bound through `bucket_index` lands
+            /// back in the same bucket (lower bounds are canonical).
+            #[test]
+            fn bucket_low_is_in_its_own_bucket(v in any::<u64>()) {
+                let idx = bucket_index(v);
+                prop_assert_eq!(bucket_index(bucket_low(idx)), idx);
+            }
+        }
+    }
 }

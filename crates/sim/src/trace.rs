@@ -1,0 +1,450 @@
+//! Trace collection: a bounded lock-free ring-buffer sink and the
+//! periodic interval-metrics sampler.
+//!
+//! [`RingBufferSink`] stores events entirely in pre-allocated atomic
+//! slots: recording is one `fetch_add` to claim a slot plus plain atomic
+//! stores (no locks, no allocation on the hot path). Events are packed
+//! into three `u64` words — see the `encode`/`decode` pair — and the ring
+//! overwrites its oldest entries when full, tracking how many were
+//! dropped.
+//!
+//! [`MetricsSampler`] turns the cumulative [`Counters`] record into an
+//! interval time series: feed it `(now, counters)` observations and it
+//! emits one [`MetricsSample`] delta per elapsed sampling interval.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use conzone_types::{
+    CellType, Counters, DeviceEvent, FlushKind, L2pOutcome, MediaOp, SimDuration, SimTime,
+    TraceRecord, TraceSink, ZoneId,
+};
+
+fn cell_to_bits(c: CellType) -> u64 {
+    match c {
+        CellType::Slc => 0,
+        CellType::Tlc => 1,
+        CellType::Qlc => 2,
+    }
+}
+
+fn cell_from_bits(b: u64) -> CellType {
+    match b {
+        0 => CellType::Slc,
+        1 => CellType::Tlc,
+        _ => CellType::Qlc,
+    }
+}
+
+/// Packs an event into `(tag_word, a, b)`; the tag word keeps the kind
+/// index in the low byte and variant discriminants in the next byte.
+fn encode(event: DeviceEvent) -> (u64, u64, u64) {
+    let tag = event.kind_index() as u64;
+    match event {
+        DeviceEvent::BufferFlush { zone, slices, .. } => (tag, zone.raw(), slices),
+        DeviceEvent::BufferConflict { zone } => (tag, zone.raw(), 0),
+        DeviceEvent::SlcCombine {
+            zone,
+            staged_slices,
+        } => (tag, zone.raw(), staged_slices),
+        DeviceEvent::PatchSlice { zone, slices } => (tag, zone.raw(), slices),
+        DeviceEvent::GcBegin { valid_slices } => (tag, valid_slices, 0),
+        DeviceEvent::GcEnd { migrated_slices } => (tag, migrated_slices, 0),
+        DeviceEvent::L2pLookup { outcome } => {
+            let extra = match outcome {
+                L2pOutcome::HitZone => 0u64,
+                L2pOutcome::HitChunk => 1,
+                L2pOutcome::HitPage => 2,
+                L2pOutcome::Miss => 3,
+            };
+            (tag | (extra << 8), 0, 0)
+        }
+        DeviceEvent::L2pEviction { count } => (tag, count, 0),
+        DeviceEvent::L2pLogFlush => (tag, 0, 0),
+        DeviceEvent::Media { op: _, cell, bytes } => (tag | (cell_to_bits(cell) << 8), bytes, 0),
+        DeviceEvent::ZoneReset { zone } => (tag, zone.raw(), 0),
+    }
+}
+
+/// Inverse of [`encode`]; total over well-formed tag words.
+fn decode(tag_word: u64, a: u64, b: u64) -> Option<DeviceEvent> {
+    let extra = (tag_word >> 8) & 0xff;
+    Some(match tag_word & 0xff {
+        0 => DeviceEvent::BufferFlush {
+            zone: ZoneId(a),
+            kind: FlushKind::Full,
+            slices: b,
+        },
+        1 => DeviceEvent::BufferFlush {
+            zone: ZoneId(a),
+            kind: FlushKind::Premature,
+            slices: b,
+        },
+        2 => DeviceEvent::BufferConflict { zone: ZoneId(a) },
+        3 => DeviceEvent::SlcCombine {
+            zone: ZoneId(a),
+            staged_slices: b,
+        },
+        4 => DeviceEvent::PatchSlice {
+            zone: ZoneId(a),
+            slices: b,
+        },
+        5 => DeviceEvent::GcBegin { valid_slices: a },
+        6 => DeviceEvent::GcEnd { migrated_slices: a },
+        7 => DeviceEvent::L2pLookup {
+            outcome: L2pOutcome::Miss,
+        },
+        8 => DeviceEvent::L2pLookup {
+            outcome: match extra {
+                0 => L2pOutcome::HitZone,
+                1 => L2pOutcome::HitChunk,
+                _ => L2pOutcome::HitPage,
+            },
+        },
+        9 => DeviceEvent::L2pEviction { count: a },
+        10 => DeviceEvent::L2pLogFlush,
+        11 => DeviceEvent::Media {
+            op: MediaOp::Program,
+            cell: cell_from_bits(extra),
+            bytes: a,
+        },
+        12 => DeviceEvent::Media {
+            op: MediaOp::Read,
+            cell: cell_from_bits(extra),
+            bytes: a,
+        },
+        13 => DeviceEvent::Media {
+            op: MediaOp::Erase,
+            cell: cell_from_bits(extra),
+            bytes: a,
+        },
+        14 => DeviceEvent::ZoneReset { zone: ZoneId(a) },
+        _ => return None,
+    })
+}
+
+const WORDS_PER_SLOT: usize = 5; // seq, time, tag, a, b
+
+/// A bounded, lock-free, overwrite-oldest event sink.
+///
+/// Writers claim a slot with one `fetch_add` and fill it with atomic
+/// stores; a per-slot sequence word lets [`RingBufferSink::drain`] skip
+/// slots that were mid-write at drain time (only possible while another
+/// thread is still emitting). No allocation happens after construction.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    /// Flat `[seq, time, tag, a, b]` per slot.
+    slots: Vec<AtomicU64>,
+    capacity: u64,
+    head: AtomicU64,
+}
+
+impl RingBufferSink {
+    /// Default capacity: 64 Ki events (~2.5 MiB).
+    pub fn new() -> RingBufferSink {
+        RingBufferSink::with_capacity(64 * 1024)
+    }
+
+    /// Creates a sink holding the last `capacity` events (min 16).
+    pub fn with_capacity(capacity: usize) -> RingBufferSink {
+        let capacity = capacity.max(16);
+        let mut slots = Vec::with_capacity(capacity * WORDS_PER_SLOT);
+        for _ in 0..capacity * WORDS_PER_SLOT {
+            slots.push(AtomicU64::new(0));
+        }
+        RingBufferSink {
+            slots,
+            capacity: capacity as u64,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Events recorded so far (including any overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to overwriting (recorded minus capacity, if positive).
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.capacity)
+    }
+
+    /// Copies out the retained events in recording order. Intended to be
+    /// called after the simulation quiesces; concurrent in-flight writes
+    /// only cause those specific slots to be skipped.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        let head = self.head.load(Ordering::Acquire);
+        let retained = head.min(self.capacity);
+        let first = head - retained;
+        let mut out = Vec::with_capacity(retained as usize);
+        for idx in first..head {
+            let base = (idx % self.capacity) as usize * WORDS_PER_SLOT;
+            let seq = self.slots[base].load(Ordering::Acquire);
+            if seq != idx + 1 {
+                continue; // torn or stale slot
+            }
+            let time = self.slots[base + 1].load(Ordering::Relaxed);
+            let tag = self.slots[base + 2].load(Ordering::Relaxed);
+            let a = self.slots[base + 3].load(Ordering::Relaxed);
+            let b = self.slots[base + 4].load(Ordering::Relaxed);
+            if let Some(event) = decode(tag, a, b) {
+                out.push(TraceRecord {
+                    time: SimTime::from_nanos(time),
+                    event,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Default for RingBufferSink {
+    fn default() -> RingBufferSink {
+        RingBufferSink::new()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&self, time: SimTime, event: DeviceEvent) {
+        let idx = self.head.fetch_add(1, Ordering::AcqRel);
+        let base = (idx % self.capacity) as usize * WORDS_PER_SLOT;
+        let (tag, a, b) = encode(event);
+        // Invalidate the slot while rewriting, then publish with the new
+        // sequence number.
+        self.slots[base].store(0, Ordering::Release);
+        self.slots[base + 1].store(time.as_nanos(), Ordering::Relaxed);
+        self.slots[base + 2].store(tag, Ordering::Relaxed);
+        self.slots[base + 3].store(a, Ordering::Relaxed);
+        self.slots[base + 4].store(b, Ordering::Relaxed);
+        self.slots[base].store(idx + 1, Ordering::Release);
+    }
+}
+
+/// One closed sampling interval: the [`Counters`] delta across it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSample {
+    /// Interval start (inclusive).
+    pub start: SimTime,
+    /// Interval end (exclusive).
+    pub end: SimTime,
+    /// Counter increments inside the interval.
+    pub delta: Counters,
+}
+
+/// Snapshots [`Counters::since`] deltas on a fixed simulated-time grid.
+///
+/// Feed it monotone `(now, cumulative counters)` observations via
+/// [`MetricsSampler::observe`]; every time `now` crosses an interval
+/// boundary one sample is closed. Activity between two observations that
+/// straddles several boundaries is attributed to the first crossed
+/// interval (later ones get zero deltas) — observations arrive at every
+/// request completion, so in practice intervals are much coarser than the
+/// observation stream.
+#[derive(Debug, Clone)]
+pub struct MetricsSampler {
+    interval: SimDuration,
+    next_boundary: SimTime,
+    last: Counters,
+    samples: Vec<MetricsSample>,
+}
+
+impl MetricsSampler {
+    /// Creates a sampler with the given interval (must be non-zero).
+    pub fn new(interval: SimDuration) -> MetricsSampler {
+        assert!(interval.as_nanos() > 0, "sampling interval must be > 0");
+        MetricsSampler {
+            interval,
+            next_boundary: SimTime::ZERO + interval,
+            last: Counters::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Creates a sampler whose interval grid starts at `origin` and whose
+    /// first delta is taken against `baseline` — for jobs that begin
+    /// mid-simulation on a device with prior activity.
+    pub fn anchored(origin: SimTime, interval: SimDuration, baseline: &Counters) -> MetricsSampler {
+        assert!(interval.as_nanos() > 0, "sampling interval must be > 0");
+        MetricsSampler {
+            interval,
+            next_boundary: origin + interval,
+            last: *baseline,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Observes the cumulative counters at simulated time `now`, closing
+    /// any intervals that have fully elapsed.
+    pub fn observe(&mut self, now: SimTime, counters: &Counters) {
+        while self.next_boundary <= now {
+            let end = self.next_boundary;
+            self.samples.push(MetricsSample {
+                start: end - self.interval,
+                end,
+                delta: counters.since(&self.last),
+            });
+            self.last = *counters;
+            self.next_boundary = end + self.interval;
+        }
+    }
+
+    /// Closes the final partial interval at `now` (if any activity or time
+    /// remains past the last boundary) and returns all samples.
+    pub fn finish(mut self, now: SimTime, counters: &Counters) -> Vec<MetricsSample> {
+        self.observe(now, counters);
+        let start = self.next_boundary - self.interval;
+        if now > start {
+            self.samples.push(MetricsSample {
+                start,
+                end: now,
+                delta: counters.since(&self.last),
+            });
+        }
+        self.samples
+    }
+
+    /// Samples closed so far.
+    pub fn samples(&self) -> &[MetricsSample] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events() -> Vec<DeviceEvent> {
+        vec![
+            DeviceEvent::BufferFlush {
+                zone: ZoneId(4),
+                kind: FlushKind::Full,
+                slices: 16,
+            },
+            DeviceEvent::BufferFlush {
+                zone: ZoneId(9),
+                kind: FlushKind::Premature,
+                slices: 3,
+            },
+            DeviceEvent::BufferConflict { zone: ZoneId(2) },
+            DeviceEvent::SlcCombine {
+                zone: ZoneId(1),
+                staged_slices: 7,
+            },
+            DeviceEvent::PatchSlice {
+                zone: ZoneId(5),
+                slices: 2,
+            },
+            DeviceEvent::GcBegin { valid_slices: 100 },
+            DeviceEvent::GcEnd {
+                migrated_slices: 100,
+            },
+            DeviceEvent::L2pLookup {
+                outcome: L2pOutcome::HitZone,
+            },
+            DeviceEvent::L2pLookup {
+                outcome: L2pOutcome::HitChunk,
+            },
+            DeviceEvent::L2pLookup {
+                outcome: L2pOutcome::HitPage,
+            },
+            DeviceEvent::L2pLookup {
+                outcome: L2pOutcome::Miss,
+            },
+            DeviceEvent::L2pEviction { count: 12 },
+            DeviceEvent::L2pLogFlush,
+            DeviceEvent::Media {
+                op: MediaOp::Program,
+                cell: CellType::Tlc,
+                bytes: 65536,
+            },
+            DeviceEvent::Media {
+                op: MediaOp::Read,
+                cell: CellType::Slc,
+                bytes: 16384,
+            },
+            DeviceEvent::Media {
+                op: MediaOp::Erase,
+                cell: CellType::Qlc,
+                bytes: 0,
+            },
+            DeviceEvent::ZoneReset { zone: ZoneId(11) },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_is_bijective() {
+        for e in all_events() {
+            let (tag, a, b) = encode(e);
+            assert_eq!(decode(tag, a, b), Some(e), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn ring_keeps_order_and_contents() {
+        let sink = RingBufferSink::with_capacity(64);
+        for (i, e) in all_events().into_iter().enumerate() {
+            sink.record(SimTime::from_nanos(i as u64 * 10), e);
+        }
+        let records = sink.drain();
+        assert_eq!(records.len(), all_events().len());
+        assert_eq!(sink.dropped(), 0);
+        for (i, (r, e)) in records.iter().zip(all_events()).enumerate() {
+            assert_eq!(r.time, SimTime::from_nanos(i as u64 * 10));
+            assert_eq!(r.event, e);
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let sink = RingBufferSink::with_capacity(16);
+        for i in 0..40u64 {
+            sink.record(
+                SimTime::from_nanos(i),
+                DeviceEvent::L2pEviction { count: i },
+            );
+        }
+        assert_eq!(sink.recorded(), 40);
+        assert_eq!(sink.dropped(), 24);
+        let records = sink.drain();
+        assert_eq!(records.len(), 16);
+        assert_eq!(
+            records[0].event,
+            DeviceEvent::L2pEviction { count: 24 },
+            "oldest retained is #24"
+        );
+        assert_eq!(records[15].event, DeviceEvent::L2pEviction { count: 39 });
+    }
+
+    #[test]
+    fn sampler_emits_one_delta_per_interval() {
+        let mut c = Counters::new();
+        let interval = SimDuration::from_millis(1);
+        let mut s = MetricsSampler::new(interval);
+        let at = |us: u64| SimTime::ZERO + SimDuration::from_micros(us);
+        // 0.4 ms: some writes.
+        c.host_write_bytes = 100;
+        s.observe(at(400), &c);
+        assert!(s.samples().is_empty(), "interval not elapsed yet");
+        // 1.2 ms: more writes — first interval closes with everything so far.
+        c.host_write_bytes = 250;
+        s.observe(at(1200), &c);
+        assert_eq!(s.samples().len(), 1);
+        assert_eq!(s.samples()[0].delta.host_write_bytes, 250);
+        assert_eq!(s.samples()[0].start, SimTime::ZERO);
+        assert_eq!(s.samples()[0].end, at(1000));
+        // 3.5 ms: crossing two boundaries at once.
+        c.host_write_bytes = 400;
+        let samples = s.finish(at(3500), &c);
+        assert_eq!(samples.len(), 4, "2 full + 1 empty + final partial");
+        assert_eq!(samples[1].delta.host_write_bytes, 150);
+        assert_eq!(samples[2].delta.host_write_bytes, 0);
+        assert_eq!(samples[3].end, at(3500));
+        // Deltas over all intervals add up to the cumulative counter.
+        let total: u64 = samples.iter().map(|s| s.delta.host_write_bytes).sum();
+        assert_eq!(total, 400);
+    }
+}

@@ -489,14 +489,14 @@ impl DeviceConfigBuilder {
                 "l2p_cache_bytes too small for a single entry",
             ));
         }
-        if cfg.chunk_bytes == 0 || cfg.chunk_bytes % SLICE_BYTES != 0 {
+        if cfg.chunk_bytes == 0 || !cfg.chunk_bytes.is_multiple_of(SLICE_BYTES) {
             return Err(ConfigError::new(format!(
                 "chunk_bytes {} must be a non-zero multiple of 4 KiB",
                 cfg.chunk_bytes
             )));
         }
         let zone_size = cfg.zone_size_bytes();
-        if zone_size % cfg.chunk_bytes != 0 {
+        if !zone_size.is_multiple_of(cfg.chunk_bytes) {
             return Err(ConfigError::new(format!(
                 "chunk_bytes {} does not divide the zone size {}",
                 cfg.chunk_bytes, zone_size
@@ -522,8 +522,7 @@ impl DeviceConfigBuilder {
                  (paper §III-E) or a power-of-two geometry"
             )));
         }
-        let slc_bytes =
-            cfg.geometry.slc_superblocks() as u64 * cfg.geometry.superblock_bytes();
+        let slc_bytes = cfg.geometry.slc_superblocks() as u64 * cfg.geometry.superblock_bytes();
         if slc_bytes < cfg.geometry.superpage_bytes() {
             return Err(ConfigError::new(
                 "SLC region smaller than one superpage cannot back premature flushes",

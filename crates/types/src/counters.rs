@@ -120,6 +120,45 @@ impl Counters {
         }
     }
 
+    /// Every counter as a `(field_name, value)` pair, in declaration
+    /// order. This is the canonical field list used by the metrics and
+    /// stats exporters, so names stay stable across output formats.
+    pub fn named_fields(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! fields {
+            ($($f:ident),* $(,)?) => {
+                vec![$((stringify!($f), self.$f)),*]
+            };
+        }
+        fields!(
+            host_read_bytes,
+            host_write_bytes,
+            host_read_ops,
+            host_write_ops,
+            flash_program_bytes_slc,
+            flash_program_bytes_tlc,
+            flash_program_bytes_qlc,
+            flash_data_reads,
+            flash_mapping_reads,
+            erases_slc,
+            erases_normal,
+            l2p_hits_zone,
+            l2p_hits_chunk,
+            l2p_hits_page,
+            l2p_misses,
+            l2p_evictions,
+            premature_flushes,
+            full_flushes,
+            buffer_conflicts,
+            slc_combines,
+            patch_slices,
+            l2p_log_flushes,
+            conventional_updates,
+            gc_runs,
+            gc_migrated_slices,
+            zone_resets,
+        )
+    }
+
     /// Difference `self - earlier`, for interval statistics.
     ///
     /// # Panics
@@ -166,7 +205,9 @@ impl core::fmt::Display for Counters {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "host {}r/{}w MiB | flash {} MiB programmed (waf {:.3}) |              l2p {:.1}% miss | {} conflicts, {} premature, {} combines |              {} gc, {} resets",
+            "host {}r/{}w MiB | flash {} MiB programmed (waf {:.3}) | \
+             l2p {:.1}% miss | {} conflicts, {} premature, {} combines | \
+             {} gc, {} resets",
             self.host_read_bytes >> 20,
             self.host_write_bytes >> 20,
             self.flash_program_bytes() >> 20,
@@ -220,6 +261,40 @@ mod tests {
         assert!(s.contains("4w MiB"), "{s}");
         assert!(s.contains("waf 1.500"), "{s}");
         assert!(s.contains("3 conflicts"), "{s}");
+    }
+
+    #[test]
+    fn display_has_no_double_spaces() {
+        let s = Counters::new().to_string();
+        assert!(
+            !s.contains("  "),
+            "Display output embeds literal whitespace runs: {s:?}"
+        );
+    }
+
+    #[test]
+    fn named_fields_cover_the_struct() {
+        let mut c = Counters::new();
+        c.host_write_bytes = 7;
+        c.zone_resets = 3;
+        let fields = c.named_fields();
+        // One entry per field, no duplicates, values match.
+        let mut names = std::collections::HashSet::new();
+        for (name, _) in &fields {
+            assert!(names.insert(*name), "duplicate field name {name}");
+        }
+        assert_eq!(
+            fields.iter().find(|(n, _)| *n == "host_write_bytes"),
+            Some(&("host_write_bytes", 7))
+        );
+        assert_eq!(
+            fields.iter().find(|(n, _)| *n == "zone_resets"),
+            Some(&("zone_resets", 3))
+        );
+        // Summing a `since` delta through named_fields equals the diff.
+        let d = c.since(&Counters::new());
+        let total: u64 = d.named_fields().iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 10);
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl IoRequest {
     /// Returns [`DeviceError::Unaligned`] or
     /// [`DeviceError::DataLengthMismatch`].
     pub fn validate(&self) -> Result<(), DeviceError> {
-        if self.len == 0 || self.offset % SLICE_BYTES != 0 || self.len % SLICE_BYTES != 0 {
+        if self.len == 0
+            || !self.offset.is_multiple_of(SLICE_BYTES)
+            || !self.len.is_multiple_of(SLICE_BYTES)
+        {
             return Err(DeviceError::Unaligned {
                 offset: self.offset,
                 len: self.len,

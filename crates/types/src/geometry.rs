@@ -109,19 +109,19 @@ impl Geometry {
         nonzero(self.pages_per_block, "pages_per_block")?;
         nonzero(self.page_bytes, "page_bytes")?;
         nonzero(self.program_unit_bytes, "program_unit_bytes")?;
-        if self.page_bytes % SLICE_BYTES as usize != 0 {
+        if !self.page_bytes.is_multiple_of(SLICE_BYTES as usize) {
             return Err(ConfigError::new(format!(
                 "page_bytes {} is not a multiple of the 4 KiB slice",
                 self.page_bytes
             )));
         }
-        if self.program_unit_bytes % self.page_bytes != 0 {
+        if !self.program_unit_bytes.is_multiple_of(self.page_bytes) {
             return Err(ConfigError::new(format!(
                 "program_unit_bytes {} is not a whole number of {}-byte pages",
                 self.program_unit_bytes, self.page_bytes
             )));
         }
-        if self.pages_per_block % self.pages_per_unit() != 0 {
+        if !self.pages_per_block.is_multiple_of(self.pages_per_unit()) {
             return Err(ConfigError::new(format!(
                 "pages_per_block {} is not a whole number of {}-page programming units",
                 self.pages_per_block,
@@ -310,7 +310,8 @@ impl Geometry {
         let within = offset % spu;
         let chip = ChipId(unit % self.nchips() as u64);
         let unit_in_block = (unit / self.nchips() as u64) as usize;
-        let page = unit_in_block * self.pages_per_unit() + (within / self.slices_per_page() as u64) as usize;
+        let page = unit_in_block * self.pages_per_unit()
+            + (within / self.slices_per_page() as u64) as usize;
         let slice = (within % self.slices_per_page() as u64) as usize;
         self.encode_ppa(chip, sb.raw() as usize, page, slice)
     }
@@ -322,8 +323,7 @@ impl Geometry {
         let unit_in_block = parts.page / self.pages_per_unit();
         let page_in_unit = parts.page % self.pages_per_unit();
         let unit = unit_in_block as u64 * self.nchips() as u64 + parts.chip.raw();
-        let within =
-            page_in_unit as u64 * self.slices_per_page() as u64 + parts.slice as u64;
+        let within = page_in_unit as u64 * self.slices_per_page() as u64 + parts.slice as u64;
         let offset = unit * self.slices_per_unit() as u64 + within;
         (SuperblockId(parts.block as u64), offset)
     }

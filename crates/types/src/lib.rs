@@ -36,10 +36,9 @@ mod device;
 mod error;
 mod geometry;
 mod time;
+mod trace;
 
-pub use addr::{
-    ChannelId, ChipId, ChunkId, Lpn, LpnRange, Ppa, SuperblockId, ZoneId, SLICE_BYTES,
-};
+pub use addr::{ChannelId, ChipId, ChunkId, Lpn, LpnRange, Ppa, SuperblockId, ZoneId, SLICE_BYTES};
 pub use config::{
     CellType, DeviceConfig, DeviceConfigBuilder, MapGranularity, MediaLatency, MediaTimings,
     SearchStrategy, ZonePadding,
@@ -49,6 +48,9 @@ pub use device::{Completion, IoKind, IoRequest, StorageDevice, ZoneInfo, ZoneSta
 pub use error::{ConfigError, DeviceError};
 pub use geometry::{Geometry, PpaParts};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    CountingSink, DeviceEvent, FlushKind, L2pOutcome, MediaOp, Probe, TraceRecord, TraceSink,
+};
 
 #[cfg(test)]
 mod proptests;

@@ -6,13 +6,13 @@ use crate::{ChipId, DeviceConfig, Geometry, Lpn, LpnRange, SuperblockId, ZonePad
 
 fn arb_geometry() -> impl Strategy<Value = Geometry> {
     (
-        1usize..4,   // channels
-        1usize..4,   // chips per channel
-        2usize..12,  // blocks per chip
-        1usize..3,   // slc blocks per chip
-        1usize..6,   // programming units per block
-        1usize..5,   // pages per unit
-        1usize..4,   // planes per chip
+        1usize..4,  // channels
+        1usize..4,  // chips per channel
+        2usize..12, // blocks per chip
+        1usize..3,  // slc blocks per chip
+        1usize..6,  // programming units per block
+        1usize..5,  // pages per unit
+        1usize..4,  // planes per chip
     )
         .prop_map(|(ch, cpc, extra_blocks, slc, upb, ppu, planes)| Geometry {
             channels: ch,
@@ -84,7 +84,7 @@ proptest! {
         let chunk = g.superpage_bytes().min(g.superblock_bytes());
         let zone_ok = {
             let padded = g.superblock_bytes().next_power_of_two();
-            padded % chunk == 0
+            padded.is_multiple_of(chunk)
         };
         prop_assume!(zone_ok);
         let cfg = DeviceConfig::builder(g)

@@ -1,0 +1,418 @@
+//! Device-internal event tracing (the `conzone-trace` layer).
+//!
+//! End-of-run aggregates ([`Counters`](crate::Counters)) say *how much*
+//! happened; this module says *when*. Every device model emits typed
+//! [`DeviceEvent`]s through one cheap [`Probe`] handle as it advances the
+//! simulated clock, and any [`TraceSink`] implementation can collect them
+//! — a bounded ring buffer for export (see `conzone_sim::trace`), or the
+//! in-crate [`CountingSink`] when only totals are wanted.
+//!
+//! Emission is a single `Option` test when no sink is attached
+//! ([`Probe::disabled`]), so instrumented hot paths cost nothing in the
+//! default configuration.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::addr::ZoneId;
+use crate::config::CellType;
+use crate::time::SimTime;
+
+/// Why a write buffer was flushed to media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushKind {
+    /// A whole programming unit went to its canonical location (path ①/③).
+    Full,
+    /// A sub-unit remainder was evicted into SLC (path ②) — a buffer
+    /// conflict, an explicit flush, or a zone close forced it out early.
+    Premature,
+}
+
+/// Outcome of one L2P cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L2pOutcome {
+    /// Hit on a zone-granularity entry.
+    HitZone,
+    /// Hit on a chunk-granularity entry.
+    HitChunk,
+    /// Hit on a page-granularity entry.
+    HitPage,
+    /// Miss — mapping entries must be fetched from flash.
+    Miss,
+}
+
+/// What a media operation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MediaOp {
+    /// Page/unit program.
+    Program,
+    /// Page read.
+    Read,
+    /// Superblock erase.
+    Erase,
+}
+
+/// One device-internal event, stamped by the emitting [`Probe`] with the
+/// nanosecond simulation clock.
+///
+/// Variants mirror the paper's mechanisms (§III): write-buffer flushes and
+/// conflicts, the SLC secondary buffer (combines, patches), composite GC,
+/// the hybrid L2P path, the persistence log, raw media operations, and
+/// zone resets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceEvent {
+    /// A write buffer flushed `slices` slices of `zone` (full or
+    /// premature).
+    BufferFlush {
+        /// Zone owning the flushed data.
+        zone: ZoneId,
+        /// Full-unit canonical flush or premature SLC eviction.
+        kind: FlushKind,
+        /// Slices flushed.
+        slices: u64,
+    },
+    /// Two zones mapped to the same buffer collided; the previous owner's
+    /// data is being evicted.
+    BufferConflict {
+        /// Zone whose incoming write triggered the eviction.
+        zone: ZoneId,
+    },
+    /// Staged SLC fragments were read back and combined with buffered data
+    /// into a full programming unit (path ③).
+    SlcCombine {
+        /// Zone being combined.
+        zone: ZoneId,
+        /// Staged slices read back from SLC.
+        staged_slices: u64,
+    },
+    /// Zone-tail slices beyond the backing superblock were patched into
+    /// reserved SLC (§III-E).
+    PatchSlice {
+        /// Zone being patched.
+        zone: ZoneId,
+        /// Patched slices.
+        slices: u64,
+    },
+    /// An SLC garbage-collection pass started.
+    GcBegin {
+        /// Live slices in the victim superblock (to migrate).
+        valid_slices: u64,
+    },
+    /// The SLC garbage-collection pass finished.
+    GcEnd {
+        /// Slices actually migrated.
+        migrated_slices: u64,
+    },
+    /// An L2P cache lookup resolved.
+    L2pLookup {
+        /// Hit level or miss.
+        outcome: L2pOutcome,
+    },
+    /// The L2P cache evicted entries to make room.
+    L2pEviction {
+        /// Entries evicted.
+        count: u64,
+    },
+    /// The L2P persistence log reached its threshold and flushed a mapping
+    /// page to flash (§III-E).
+    L2pLogFlush,
+    /// A raw media operation (program / read / erase) on `cell` media.
+    Media {
+        /// Operation kind.
+        op: MediaOp,
+        /// Cell type of the target media.
+        cell: CellType,
+        /// Bytes transferred (0 for erases).
+        bytes: u64,
+    },
+    /// A zone was reset (direct superblock erase, §III-D).
+    ZoneReset {
+        /// The reset zone.
+        zone: ZoneId,
+    },
+}
+
+impl DeviceEvent {
+    /// Stable short name of the event kind (used by exporters and the
+    /// counting sink).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            DeviceEvent::BufferFlush {
+                kind: FlushKind::Full,
+                ..
+            } => "buffer_flush_full",
+            DeviceEvent::BufferFlush {
+                kind: FlushKind::Premature,
+                ..
+            } => "buffer_flush_premature",
+            DeviceEvent::BufferConflict { .. } => "buffer_conflict",
+            DeviceEvent::SlcCombine { .. } => "slc_combine",
+            DeviceEvent::PatchSlice { .. } => "patch_slice",
+            DeviceEvent::GcBegin { .. } => "gc_begin",
+            DeviceEvent::GcEnd { .. } => "gc_end",
+            DeviceEvent::L2pLookup {
+                outcome: L2pOutcome::Miss,
+            } => "l2p_miss",
+            DeviceEvent::L2pLookup { .. } => "l2p_hit",
+            DeviceEvent::L2pEviction { .. } => "l2p_eviction",
+            DeviceEvent::L2pLogFlush => "l2p_log_flush",
+            DeviceEvent::Media { op, .. } => match op {
+                MediaOp::Program => "media_program",
+                MediaOp::Read => "media_read",
+                MediaOp::Erase => "media_erase",
+            },
+            DeviceEvent::ZoneReset { .. } => "zone_reset",
+        }
+    }
+
+    /// Index of the event kind into [`CountingSink`] buckets.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            DeviceEvent::BufferFlush {
+                kind: FlushKind::Full,
+                ..
+            } => 0,
+            DeviceEvent::BufferFlush {
+                kind: FlushKind::Premature,
+                ..
+            } => 1,
+            DeviceEvent::BufferConflict { .. } => 2,
+            DeviceEvent::SlcCombine { .. } => 3,
+            DeviceEvent::PatchSlice { .. } => 4,
+            DeviceEvent::GcBegin { .. } => 5,
+            DeviceEvent::GcEnd { .. } => 6,
+            DeviceEvent::L2pLookup {
+                outcome: L2pOutcome::Miss,
+            } => 7,
+            DeviceEvent::L2pLookup { .. } => 8,
+            DeviceEvent::L2pEviction { .. } => 9,
+            DeviceEvent::L2pLogFlush => 10,
+            DeviceEvent::Media {
+                op: MediaOp::Program,
+                ..
+            } => 11,
+            DeviceEvent::Media {
+                op: MediaOp::Read, ..
+            } => 12,
+            DeviceEvent::Media {
+                op: MediaOp::Erase, ..
+            } => 13,
+            DeviceEvent::ZoneReset { .. } => 14,
+        }
+    }
+
+    /// Number of distinct [`DeviceEvent::kind_index`] buckets.
+    pub const KIND_COUNT: usize = 15;
+}
+
+/// A timestamped event as stored by collecting sinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time of the event (nanoseconds since run start).
+    pub time: SimTime,
+    /// The event.
+    pub event: DeviceEvent,
+}
+
+/// Receives the event stream of one or more devices.
+///
+/// `record` takes `&self` so a sink can be shared between a device and the
+/// harness that later drains it; implementations use interior mutability
+/// (atomics in the in-tree sinks).
+pub trait TraceSink {
+    /// Called once per event, in non-decreasing simulation-time order per
+    /// device.
+    fn record(&self, time: SimTime, event: DeviceEvent);
+}
+
+/// A sink that only counts events per kind — no storage, no allocation.
+///
+/// Useful as an always-on "is the device doing what I think" check and as
+/// the cheapest possible attached sink.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    counts: [AtomicU64; DeviceEvent::KIND_COUNT],
+}
+
+impl CountingSink {
+    /// Creates a zeroed counting sink.
+    pub fn new() -> CountingSink {
+        CountingSink::default()
+    }
+
+    /// Events seen of the kind with this [`DeviceEvent::kind_index`].
+    pub fn count_of(&self, kind_index: usize) -> u64 {
+        self.counts[kind_index].load(Ordering::Relaxed)
+    }
+
+    /// Total events seen.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&self, _time: SimTime, event: DeviceEvent) {
+        self.counts[event.kind_index()].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The handle device models emit through.
+///
+/// Cloning is cheap (an `Arc` bump); a disabled probe is a `None` check
+/// per event. Devices hold a probe and the harness decides whether (and
+/// where) events flow by attaching a sink.
+#[derive(Clone, Default)]
+pub struct Probe {
+    sink: Option<Arc<dyn TraceSink + Send + Sync>>,
+}
+
+impl Probe {
+    /// A probe with no sink: every `emit` is a branch and nothing more.
+    pub fn disabled() -> Probe {
+        Probe { sink: None }
+    }
+
+    /// A probe forwarding to `sink`.
+    pub fn attached(sink: Arc<dyn TraceSink + Send + Sync>) -> Probe {
+        Probe { sink: Some(sink) }
+    }
+
+    /// Whether a sink is attached.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits one event at simulation time `t`.
+    #[inline]
+    pub fn emit(&self, t: SimTime, event: DeviceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(t, event);
+        }
+    }
+}
+
+impl fmt::Debug for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Probe({})",
+            if self.enabled() {
+                "attached"
+            } else {
+                "disabled"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probe_is_inert() {
+        let p = Probe::disabled();
+        assert!(!p.enabled());
+        p.emit(
+            SimTime::from_nanos(5),
+            DeviceEvent::L2pLookup {
+                outcome: L2pOutcome::Miss,
+            },
+        );
+    }
+
+    #[test]
+    fn counting_sink_counts_by_kind() {
+        let sink = Arc::new(CountingSink::new());
+        let p = Probe::attached(sink.clone());
+        assert!(p.enabled());
+        let t = SimTime::from_nanos(1);
+        p.emit(
+            t,
+            DeviceEvent::BufferFlush {
+                zone: ZoneId(0),
+                kind: FlushKind::Full,
+                slices: 16,
+            },
+        );
+        p.emit(
+            t,
+            DeviceEvent::BufferFlush {
+                zone: ZoneId(1),
+                kind: FlushKind::Premature,
+                slices: 3,
+            },
+        );
+        p.emit(t, DeviceEvent::ZoneReset { zone: ZoneId(0) });
+        assert_eq!(sink.total(), 3);
+        let full = DeviceEvent::BufferFlush {
+            zone: ZoneId(0),
+            kind: FlushKind::Full,
+            slices: 16,
+        };
+        assert_eq!(sink.count_of(full.kind_index()), 1);
+    }
+
+    #[test]
+    fn kind_names_are_distinct_for_distinct_indices() {
+        let events = [
+            DeviceEvent::BufferFlush {
+                zone: ZoneId(0),
+                kind: FlushKind::Full,
+                slices: 1,
+            },
+            DeviceEvent::BufferFlush {
+                zone: ZoneId(0),
+                kind: FlushKind::Premature,
+                slices: 1,
+            },
+            DeviceEvent::BufferConflict { zone: ZoneId(0) },
+            DeviceEvent::SlcCombine {
+                zone: ZoneId(0),
+                staged_slices: 1,
+            },
+            DeviceEvent::PatchSlice {
+                zone: ZoneId(0),
+                slices: 1,
+            },
+            DeviceEvent::GcBegin { valid_slices: 1 },
+            DeviceEvent::GcEnd { migrated_slices: 1 },
+            DeviceEvent::L2pLookup {
+                outcome: L2pOutcome::Miss,
+            },
+            DeviceEvent::L2pLookup {
+                outcome: L2pOutcome::HitZone,
+            },
+            DeviceEvent::L2pEviction { count: 1 },
+            DeviceEvent::L2pLogFlush,
+            DeviceEvent::Media {
+                op: MediaOp::Program,
+                cell: CellType::Slc,
+                bytes: 4096,
+            },
+            DeviceEvent::Media {
+                op: MediaOp::Read,
+                cell: CellType::Tlc,
+                bytes: 4096,
+            },
+            DeviceEvent::Media {
+                op: MediaOp::Erase,
+                cell: CellType::Qlc,
+                bytes: 0,
+            },
+            DeviceEvent::ZoneReset { zone: ZoneId(0) },
+        ];
+        let mut seen_idx = std::collections::HashSet::new();
+        let mut seen_name = std::collections::HashSet::new();
+        for e in events {
+            assert!(e.kind_index() < DeviceEvent::KIND_COUNT);
+            seen_idx.insert(e.kind_index());
+            seen_name.insert(e.kind_name());
+        }
+        assert_eq!(seen_idx.len(), DeviceEvent::KIND_COUNT);
+        assert_eq!(seen_name.len(), DeviceEvent::KIND_COUNT);
+    }
+}

@@ -49,15 +49,18 @@ impl KvStore {
         key: u64,
         hot: bool,
     ) -> Result<SimTime, conzone::types::DeviceError> {
-        let temp = if hot { Temperature::Hot } else { Temperature::Warm };
+        let temp = if hot {
+            Temperature::Hot
+        } else {
+            Temperature::Warm
+        };
         // Updates rewrite the key's existing file range (the FS stales the
         // old blocks and appends new ones — log-structured semantics);
         // fresh keys take the next slot of the current file.
         let (file, block) = match self.index.get(&key) {
             Some(&slot) => slot,
             None => {
-                if self.blocks_in_file + self.value_blocks
-                    > self.file_capacity * self.value_blocks
+                if self.blocks_in_file + self.value_blocks > self.file_capacity * self.value_blocks
                 {
                     self.next_file += 1;
                     self.blocks_in_file = 0;
@@ -67,7 +70,9 @@ impl KvStore {
                 slot
             }
         };
-        let t = self.fs.write_file(dev, t, file, block, self.value_blocks, temp)?;
+        let t = self
+            .fs
+            .write_file(dev, t, file, block, self.value_blocks, temp)?;
         self.index.insert(key, (file, block));
         Ok(t)
     }

@@ -30,8 +30,7 @@ fn shoot_burst(first_media_zone: u64, meta_zone: u64) -> (Counters, f64, f64) {
     let mut t = SimTime::ZERO;
     // The media stream fills even zones one after another (all mapping to
     // write buffer 0), skipping the metadata zone.
-    let mut media_zones =
-        (first_media_zone..).step_by(2).filter(|z| *z != meta_zone);
+    let mut media_zones = (first_media_zone..).step_by(2).filter(|z| *z != meta_zone);
     let mut media_zone = media_zones.next().expect("zones available");
     let mut media_in_zone = 0u64;
     let mut meta_off = meta_zone * zone;
@@ -68,7 +67,10 @@ fn shoot_burst(first_media_zone: u64, meta_zone: u64) -> (Counters, f64, f64) {
 }
 
 fn main() {
-    println!("camera burst: {PHOTOS} photos of {} MiB each\n", PHOTO_BYTES >> 20);
+    println!(
+        "camera burst: {PHOTOS} photos of {} MiB each\n",
+        PHOTO_BYTES >> 20
+    );
 
     // Media zone 0 and metadata zone 2: both map to write buffer 0.
     let (shared, bw_shared, t_shared) = shoot_burst(0, 2);

@@ -7,7 +7,9 @@
 //! ```
 
 use conzone::host::{replay_trace, MobileTraceBuilder, Trace};
-use conzone::types::{DeviceConfig, Geometry, MapGranularity, SearchStrategy, SimTime, ZonedDevice};
+use conzone::types::{
+    DeviceConfig, Geometry, MapGranularity, SearchStrategy, SimTime, ZonedDevice,
+};
 use conzone::ConZone;
 
 fn device(strategy: SearchStrategy) -> ConZone {

@@ -12,14 +12,17 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use conzone::host::{
-    parse_fio_jobs, replay_trace, run_job, AccessPattern, FioJob, MobileTraceBuilder, Trace,
-    WorkloadPreset,
+    parse_fio_jobs, replay_trace, run_job, run_job_sampled, AccessPattern, FioJob, JobReport,
+    MobileTraceBuilder, Trace, WorkloadPreset,
 };
+use conzone::sim::json::Json;
+use conzone::sim::{export, MetricsSample, RingBufferSink};
 use conzone::types::{
-    DeviceConfig, Geometry, MapGranularity, SearchStrategy, SimTime, StorageDevice, ZoneId,
-    ZonedDevice,
+    DeviceConfig, Geometry, MapGranularity, Probe, SearchStrategy, SimDuration, SimTime,
+    StorageDevice, ZoneId, ZonedDevice,
 };
 use conzone::{ConZone, FemuZns, LegacyDevice};
 
@@ -38,6 +41,26 @@ fn parse_size(s: &str) -> Result<u64, String> {
         .map_err(|e| format!("bad size '{s}': {e}"))
 }
 
+/// Parses "100ms", "1s", "50us", "7500ns" or plain nanoseconds.
+fn parse_duration(s: &str) -> Result<SimDuration, String> {
+    let s = s.trim();
+    let (digits, unit) = match s {
+        _ if s.ends_with("ns") => (&s[..s.len() - 2], 1u64),
+        _ if s.ends_with("us") => (&s[..s.len() - 2], 1_000),
+        _ if s.ends_with("ms") => (&s[..s.len() - 2], 1_000_000),
+        _ if s.ends_with('s') => (&s[..s.len() - 1], 1_000_000_000),
+        _ => (s, 1),
+    };
+    let v: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad duration '{s}': {e}"))?;
+    if v == 0 {
+        return Err(format!("bad duration '{s}': must be > 0"));
+    }
+    Ok(SimDuration::from_nanos(v * unit))
+}
+
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
 #[derive(Debug, Default)]
 struct Args {
@@ -54,7 +77,8 @@ impl Args {
             if let Some(key) = a.strip_prefix("--") {
                 match it.peek() {
                     Some(v) if !v.starts_with("--") => {
-                        args.flags.push((key.to_string(), it.next().unwrap().clone()));
+                        args.flags
+                            .push((key.to_string(), it.next().unwrap().clone()));
                     }
                     _ => args.switches.push(key.to_string()),
                 }
@@ -123,7 +147,8 @@ fn build_config(args: &Args) -> Result<DeviceConfig, String> {
         builder = builder.l2p_log_entries(parse_size(v)?);
     }
     if let Some(v) = args.get("conventional") {
-        builder = builder.conventional_zones(v.parse().map_err(|e| format!("bad --conventional: {e}"))?);
+        builder =
+            builder.conventional_zones(v.parse().map_err(|e| format!("bad --conventional: {e}"))?);
     }
     builder.build().map_err(|e| e.to_string())
 }
@@ -131,18 +156,39 @@ fn build_config(args: &Args) -> Result<DeviceConfig, String> {
 fn cmd_info(args: &Args) -> Result<(), String> {
     let cfg = build_config(args)?;
     let g = &cfg.geometry;
-    println!("geometry : {} ch x {} chips, {} blocks/chip ({} SLC), {} pages/block",
-        g.channels, g.chips_per_channel, g.blocks_per_chip, g.slc_blocks_per_chip, g.pages_per_block);
-    println!("media    : {} normal region, {} mapping media, {} MiB/s per channel",
-        cfg.normal_cell, cfg.mapping_media, cfg.channel_bytes_per_sec >> 20);
-    println!("zones    : {} x {} MiB (backing {} MiB, patch {} KiB)",
-        cfg.zone_count(), cfg.zone_size_bytes() >> 20, cfg.zone_backing_bytes() >> 20,
-        cfg.zone_patch_slices() * 4);
-    println!("buffers  : {} x {} KiB superpage write buffers", cfg.write_buffers,
-        g.superpage_bytes() >> 10);
-    println!("l2p      : {} entry cache ({} KiB), {} strategy, {} max aggregation",
-        cfg.l2p_cache_entries(), cfg.l2p_cache_bytes >> 10, cfg.search_strategy,
-        cfg.max_aggregation);
+    println!(
+        "geometry : {} ch x {} chips, {} blocks/chip ({} SLC), {} pages/block",
+        g.channels,
+        g.chips_per_channel,
+        g.blocks_per_chip,
+        g.slc_blocks_per_chip,
+        g.pages_per_block
+    );
+    println!(
+        "media    : {} normal region, {} mapping media, {} MiB/s per channel",
+        cfg.normal_cell,
+        cfg.mapping_media,
+        cfg.channel_bytes_per_sec >> 20
+    );
+    println!(
+        "zones    : {} x {} MiB (backing {} MiB, patch {} KiB)",
+        cfg.zone_count(),
+        cfg.zone_size_bytes() >> 20,
+        cfg.zone_backing_bytes() >> 20,
+        cfg.zone_patch_slices() * 4
+    );
+    println!(
+        "buffers  : {} x {} KiB superpage write buffers",
+        cfg.write_buffers,
+        g.superpage_bytes() >> 10
+    );
+    println!(
+        "l2p      : {} entry cache ({} KiB), {} strategy, {} max aggregation",
+        cfg.l2p_cache_entries(),
+        cfg.l2p_cache_bytes >> 10,
+        cfg.search_strategy,
+        cfg.max_aggregation
+    );
     println!("capacity : {} MiB logical", cfg.capacity_bytes() >> 20);
     if cfg.conventional_zones > 0 {
         println!("conv     : {} conventional zones", cfg.conventional_zones);
@@ -151,6 +197,119 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         println!("l2p log  : flush every {} updates", cfg.l2p_log_entries);
     }
     Ok(())
+}
+
+/// Observability options of the `run` command: where to put the event
+/// trace, the interval metrics and whether to emit machine-readable stats.
+struct ObsOpts {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    metrics_interval: SimDuration,
+    stats_json: bool,
+}
+
+impl ObsOpts {
+    fn from_args(args: &Args) -> Result<ObsOpts, String> {
+        Ok(ObsOpts {
+            trace_out: args.get("trace-out").map(str::to_string),
+            metrics_out: args.get("metrics-out").map(str::to_string),
+            metrics_interval: match args.get("metrics-interval") {
+                Some(v) => parse_duration(v)?,
+                None => SimDuration::from_millis(100),
+            },
+            stats_json: args.has("stats-json"),
+        })
+    }
+
+    /// The event sink to attach to the device, when tracing was requested.
+    fn make_sink(&self) -> Option<Arc<RingBufferSink>> {
+        self.trace_out
+            .as_ref()
+            .map(|_| Arc::new(RingBufferSink::new()))
+    }
+}
+
+/// Runs the measured job, collecting interval metrics when requested.
+fn run_measured<D: StorageDevice + ?Sized>(
+    dev: &mut D,
+    job: &FioJob,
+    obs: &ObsOpts,
+) -> Result<JobReport, String> {
+    if obs.metrics_out.is_some() {
+        run_job_sampled(dev, job, obs.metrics_interval).map_err(|e| e.to_string())
+    } else {
+        run_job(dev, job).map_err(|e| e.to_string())
+    }
+}
+
+/// Writes the Chrome trace-event file (loadable in Perfetto / about:tracing)
+/// and the metrics JSONL, as requested.
+fn write_observability(
+    obs: &ObsOpts,
+    sink: Option<&RingBufferSink>,
+    samples: &[MetricsSample],
+) -> Result<(), String> {
+    if let (Some(path), Some(sink)) = (&obs.trace_out, sink) {
+        let records = sink.drain();
+        std::fs::write(path, export::chrome_trace(&records).to_string())
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "trace    : {} events to {path} ({} dropped)",
+            records.len(),
+            sink.dropped()
+        );
+    }
+    if let Some(path) = &obs.metrics_out {
+        std::fs::write(path, export::metrics_jsonl(samples)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics  : {} intervals to {path}", samples.len());
+    }
+    Ok(())
+}
+
+/// One machine-readable blob per job: throughput, counters, latency
+/// summaries (whole-job, per-kind and per-thread) and, for ConZone, the
+/// time breakdown with category names.
+fn stats_json(report: &JobReport, breakdown: Option<&conzone::TimeBreakdown>) -> Json {
+    let mut pairs = vec![
+        ("model", Json::from(report.model)),
+        ("started_ns", Json::U64(report.started.as_nanos())),
+        ("finished_ns", Json::U64(report.finished.as_nanos())),
+        ("bytes", Json::U64(report.bytes)),
+        ("ops", Json::U64(report.ops)),
+        ("bandwidth_mibs", Json::F64(report.bandwidth_mibs())),
+        ("kiops", Json::F64(report.kiops())),
+        ("counters", export::counters_json(&report.counters)),
+        ("latency", export::latency_summary_json(&report.latency)),
+        (
+            "read_latency",
+            export::latency_summary_json(&report.read_latency),
+        ),
+        (
+            "write_latency",
+            export::latency_summary_json(&report.write_latency),
+        ),
+        (
+            "thread_latency",
+            Json::Arr(
+                report
+                    .thread_latency
+                    .iter()
+                    .map(export::latency_summary_json)
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(b) = breakdown {
+        pairs.push((
+            "breakdown_ns",
+            Json::obj(
+                b.categories()
+                    .into_iter()
+                    .map(|(name, d)| (name, Json::U64(d.as_nanos()))),
+            ),
+        ));
+    }
+    Json::obj(pairs)
 }
 
 fn print_report(report: &conzone::host::JobReport) {
@@ -177,6 +336,7 @@ fn print_report(report: &conzone::host::JobReport) {
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
+    let obs = ObsOpts::from_args(args)?;
     // A fio-style INI job file runs every section in order on one device.
     if let Some(path) = args.get("job") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -184,18 +344,35 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         let cfg = build_config(args)?;
         let zone_bytes = cfg.zone_size_bytes();
         let mut dev = ConZone::new(cfg);
+        let sink = obs.make_sink();
+        if let Some(s) = &sink {
+            dev.set_probe(Probe::attached(s.clone()));
+        }
         let mut t = SimTime::ZERO;
+        let mut all_samples: Vec<MetricsSample> = Vec::new();
         for named in jobs {
             let mut job = named.job.start_at(t);
             if job.pattern == AccessPattern::SeqWrite {
                 job = job.zone_bytes(zone_bytes);
             }
-            let report = run_job(&mut dev, &job).map_err(|e| e.to_string())?;
+            let report = run_measured(&mut dev, &job, &obs)?;
             t = report.finished;
-            println!("[{}]", named.name);
-            print_report(&report);
+            all_samples.extend_from_slice(&report.metrics);
+            if obs.stats_json {
+                let mut j = stats_json(&report, Some(&dev.time_breakdown()));
+                if let Json::Obj(pairs) = &mut j {
+                    pairs.insert(0, ("job".to_string(), Json::from(named.name.as_str())));
+                }
+                println!("{j}");
+            } else {
+                println!("[{}]", named.name);
+                print_report(&report);
+            }
         }
-        println!("time     : {}", dev.time_breakdown());
+        if !obs.stats_json {
+            println!("time     : {}", dev.time_breakdown());
+        }
+        write_observability(&obs, sink.as_deref(), &all_samples)?;
         return Ok(());
     }
     let cfg = build_config(args)?;
@@ -229,8 +406,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         .seed(args.num("seed", 7)?);
 
     let device = args.get("device").unwrap_or("conzone");
-    // Reads need data on the device first.
+    // Reads need data on the device first. The probe attaches after the
+    // fill so trace and metrics cover only the measured job.
     let needs_fill = pattern.is_read();
+    let sink = obs.make_sink();
+    let mut breakdown: Option<conzone::TimeBreakdown> = None;
     let report = match device {
         "conzone" => {
             let mut dev = ConZone::new(cfg);
@@ -243,8 +423,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 let f = run_job(&mut dev, &fill).map_err(|e| e.to_string())?;
                 job = job.start_at(f.finished);
             }
-            let report = run_job(&mut dev, &job).map_err(|e| e.to_string())?;
-            println!("time     : {}", dev.time_breakdown());
+            if let Some(s) = &sink {
+                dev.set_probe(Probe::attached(s.clone()));
+            }
+            let report = run_measured(&mut dev, &job, &obs)?;
+            breakdown = Some(dev.time_breakdown());
+            if !obs.stats_json {
+                println!("time     : {}", dev.time_breakdown());
+            }
             report
         }
         "legacy" => {
@@ -256,7 +442,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 let f = run_job(&mut dev, &fill).map_err(|e| e.to_string())?;
                 job = job.start_at(f.finished);
             }
-            run_job(&mut dev, &job).map_err(|e| e.to_string())?
+            if let Some(s) = &sink {
+                dev.set_probe(Probe::attached(s.clone()));
+            }
+            run_measured(&mut dev, &job, &obs)?
         }
         "femu" => {
             let mut dev = FemuZns::new(cfg);
@@ -272,11 +461,19 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 let f = run_job(&mut dev, &fill).map_err(|e| e.to_string())?;
                 job = job.region(0, fill_region).start_at(f.finished);
             }
-            run_job(&mut dev, &job).map_err(|e| e.to_string())?
+            if let Some(s) = &sink {
+                dev.set_probe(Probe::attached(s.clone()));
+            }
+            run_measured(&mut dev, &job, &obs)?
         }
         other => return Err(format!("unknown --device '{other}'")),
     };
-    print_report(&report);
+    if obs.stats_json {
+        println!("{}", stats_json(&report, breakdown.as_ref()));
+    } else {
+        print_report(&report);
+    }
+    write_observability(&obs, sink.as_deref(), &report.metrics)?;
     Ok(())
 }
 
@@ -353,7 +550,10 @@ fn cmd_zones(args: &Args) -> Result<(), String> {
             info.size >> 20
         );
         if z >= first_seq + 3 && z + 2 < dev.zone_count() as u64 {
-            println!("  ...  ({} more empty zones)", dev.zone_count() as u64 - z - 1);
+            println!(
+                "  ...  ({} more empty zones)",
+                dev.zone_count() as u64 - z - 1
+            );
             break;
         }
     }
@@ -409,6 +609,8 @@ usage:
                     [--bs 512k] [--threads 4] [--size 256m] [--region 1g]
                     [--strategy bitmap|multiple|pinned] [--aggregation page|chunk|zone]
                     [--cache 12k] [--buffers 2] [--l2p-log 4096] [--conventional 2]
+                    [--trace-out events.json] [--metrics-out metrics.jsonl]
+                    [--metrics-interval 100ms] [--stats-json]
   conzone replay    <trace-file> [--device conzone|femu] [--open-loop]
   conzone gen-trace [--preset boot|app-install|camera-burst|social-scroll]
                     [--bursts 8] [--burst-bytes 8m] [--reads 5000] [--out trace.txt]
@@ -464,6 +666,74 @@ mod tests {
     }
 
     #[test]
+    fn parse_durations() {
+        assert_eq!(
+            parse_duration("100ms").unwrap(),
+            SimDuration::from_millis(100)
+        );
+        assert_eq!(parse_duration("2s").unwrap(), SimDuration::from_secs(2));
+        assert_eq!(
+            parse_duration("50us").unwrap(),
+            SimDuration::from_micros(50)
+        );
+        assert_eq!(
+            parse_duration("750ns").unwrap(),
+            SimDuration::from_nanos(750)
+        );
+        assert_eq!(parse_duration("123").unwrap(), SimDuration::from_nanos(123));
+        assert!(parse_duration("0ms").is_err());
+        assert!(parse_duration("fast").is_err());
+    }
+
+    #[test]
+    fn run_with_observability_outputs() {
+        let dir = std::env::temp_dir().join("conzone-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("events.json");
+        let metrics_path = dir.join("metrics.jsonl");
+        let a = args(&[
+            "run",
+            "--config",
+            "tiny",
+            "--pattern",
+            "randwrite",
+            "--conventional",
+            "2",
+            "--bs",
+            "16k",
+            "--size",
+            "2m",
+            "--region",
+            "2m",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+            "--metrics-interval",
+            "200us",
+            "--stats-json",
+        ]);
+        cmd_run(&a).expect("observed run ok");
+        // The trace file is valid JSON in Chrome trace-event shape.
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let parsed = conzone::sim::json::parse(&trace).expect("trace parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        // Metrics JSONL: every line parses and carries counters.
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.lines().count() >= 1);
+        for line in metrics.lines() {
+            let m = conzone::sim::json::parse(line).expect("metrics line parses");
+            assert!(m.get("counters").is_some());
+        }
+        std::fs::remove_file(trace_path).ok();
+        std::fs::remove_file(metrics_path).ok();
+    }
+
+    #[test]
     fn flag_parsing() {
         let a = args(&["run", "--bs", "4k", "--open-loop", "--device", "femu"]);
         assert_eq!(a.positional, vec!["run"]);
@@ -512,8 +782,17 @@ mod tests {
         ]);
         cmd_run(&a).expect("run ok");
         let a = args(&[
-            "run", "--config", "tiny", "--pattern", "randread", "--bs", "4k", "--size",
-            "256k", "--region", "2m",
+            "run",
+            "--config",
+            "tiny",
+            "--pattern",
+            "randread",
+            "--bs",
+            "4k",
+            "--size",
+            "256k",
+            "--region",
+            "2m",
         ]);
         cmd_run(&a).expect("randread ok");
     }
@@ -525,8 +804,17 @@ mod tests {
         let path = dir.join("trace.txt");
         let path_str = path.to_str().unwrap();
         let a = args(&[
-            "gen-trace", "--config", "tiny", "--bursts", "2", "--burst-bytes", "512k",
-            "--reads", "50", "--out", path_str,
+            "gen-trace",
+            "--config",
+            "tiny",
+            "--bursts",
+            "2",
+            "--burst-bytes",
+            "512k",
+            "--reads",
+            "50",
+            "--out",
+            path_str,
         ]);
         cmd_gen_trace(&a).expect("gen ok");
         let a = args(&["replay", path_str, "--config", "tiny"]);

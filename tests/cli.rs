@@ -48,8 +48,19 @@ fn run_seqwrite_and_randread() {
     assert!(stdout.contains("time     :"), "breakdown printed: {stdout}");
 
     let (ok, stdout, stderr) = conzone(&[
-        "run", "--config", "tiny", "--pattern", "randread", "--bs", "4k", "--size", "512k",
-        "--region", "2m", "--device", "femu",
+        "run",
+        "--config",
+        "tiny",
+        "--pattern",
+        "randread",
+        "--bs",
+        "4k",
+        "--size",
+        "512k",
+        "--region",
+        "2m",
+        "--device",
+        "femu",
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("femu:"), "{stdout}");
@@ -71,8 +82,17 @@ fn gen_trace_replay_roundtrip() {
     let path = dir.join("e2e-trace.txt");
     let path = path.to_str().unwrap();
     let (ok, stdout, stderr) = conzone(&[
-        "gen-trace", "--config", "tiny", "--bursts", "2", "--burst-bytes", "512k", "--reads",
-        "100", "--out", path,
+        "gen-trace",
+        "--config",
+        "tiny",
+        "--bursts",
+        "2",
+        "--burst-bytes",
+        "512k",
+        "--reads",
+        "100",
+        "--out",
+        path,
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("wrote"), "{stdout}");
@@ -97,7 +117,8 @@ fn run_fio_job_file() {
         "[global]\nbs=256k\nsize=2m\n\n[fill]\nrw=write\n\n[reads]\nrw=randread\nbs=4k\nio_size=256k\n",
     )
     .unwrap();
-    let (ok, stdout, stderr) = conzone(&["run", "--config", "tiny", "--job", path.to_str().unwrap()]);
+    let (ok, stdout, stderr) =
+        conzone(&["run", "--config", "tiny", "--job", path.to_str().unwrap()]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("[fill]"), "{stdout}");
     assert!(stdout.contains("[reads]"), "{stdout}");

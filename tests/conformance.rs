@@ -2,9 +2,9 @@
 //! *semantics* of the zoned interface (accept/reject decisions, write
 //! pointers, states) even though their timing models differ entirely.
 
+use conzone::sim::SimRng;
 use conzone::types::{IoRequest, SimTime, StorageDevice, ZoneId, ZoneState, ZonedDevice};
 use conzone::{ConZone, FemuZns};
-use conzone::sim::SimRng;
 
 /// FEMU zones are superblock-sized (1 MiB in the tiny geometry, same as
 /// ConZone's power-of-two tiny zones), so the two models share an address

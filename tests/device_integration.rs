@@ -2,9 +2,7 @@
 //! shared traits by the host runner.
 
 use conzone::host::{run_job, AccessPattern, FioJob};
-use conzone::types::{
-    DeviceConfig, IoRequest, SimTime, StorageDevice, ZoneId, ZonedDevice,
-};
+use conzone::types::{DeviceConfig, IoRequest, SimTime, StorageDevice, ZoneId, ZonedDevice};
 use conzone::{ConZone, FemuZns, LegacyDevice};
 
 fn cfg() -> DeviceConfig {
@@ -91,10 +89,15 @@ fn zoned_models_agree_on_semantics() {
     }
 
     // Both expose zone info and reset.
-    for (zc, zs) in [(cz.zone_count(), cz.zone_size()), (fm.zone_count(), fm.zone_size())] {
+    for (zc, zs) in [
+        (cz.zone_count(), cz.zone_size()),
+        (fm.zone_count(), fm.zone_size()),
+    ] {
         assert!(zc > 0 && zs > 0);
     }
-    let w = cz.submit(SimTime::ZERO, &IoRequest::write(0, 4096)).unwrap();
+    let w = cz
+        .submit(SimTime::ZERO, &IoRequest::write(0, 4096))
+        .unwrap();
     let r = cz.reset_zone(w.finished, ZoneId(0)).unwrap();
     assert_eq!(
         cz.zone_info(ZoneId(0)).unwrap().state,
@@ -142,7 +145,11 @@ fn counters_tell_consistent_story() {
         }
     }
     let c = dev.counters();
-    assert!(c.buffer_conflicts >= 15, "conflicts: {}", c.buffer_conflicts);
+    assert!(
+        c.buffer_conflicts >= 15,
+        "conflicts: {}",
+        c.buffer_conflicts
+    );
     assert_eq!(
         c.host_write_bytes,
         2 * 8 * 48 * 1024,

@@ -24,7 +24,12 @@ fn fill(dev: &mut impl StorageDevice, bytes: u64, zone: u64) -> SimTime {
     run_job(dev, &job).expect("fill").finished
 }
 
-fn randread(dev: &mut impl StorageDevice, range: u64, ops: u64, start: SimTime) -> conzone::host::JobReport {
+fn randread(
+    dev: &mut impl StorageDevice,
+    range: u64,
+    ops: u64,
+    start: SimTime,
+) -> conzone::host::JobReport {
     let job = FioJob::new(AccessPattern::RandRead, 4096)
         .region(0, range)
         .ops_per_thread(ops)
@@ -166,7 +171,10 @@ fn fig8_shape() {
     let (multiple_kiops, multiple_miss) = run(SearchStrategy::Multiple, MapGranularity::Chunk);
     let (pinned_kiops, pinned_miss) = run(SearchStrategy::Pinned, MapGranularity::Zone);
 
-    assert!((bitmap_miss - multiple_miss).abs() < 0.02, "same operating point");
+    assert!(
+        (bitmap_miss - multiple_miss).abs() < 0.02,
+        "same operating point"
+    );
     assert!(bitmap_miss > 0.05, "misses actually happen: {bitmap_miss}");
     assert!(
         multiple_kiops < bitmap_kiops,

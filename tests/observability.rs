@@ -1,0 +1,224 @@
+//! End-to-end tests of the observability pipeline: device event tracing,
+//! interval metrics sampling, and the Chrome-trace / JSONL exports —
+//! both through the library API and through the `conzone` CLI.
+
+use std::process::Command;
+use std::sync::Arc;
+
+use conzone::host::{run_job, run_job_sampled, AccessPattern, FioJob};
+use conzone::sim::{export, json, RingBufferSink};
+use conzone::types::{DeviceConfig, Probe, SimDuration, StorageDevice};
+use conzone::ConZone;
+
+/// Library-level round-trip: run a workload with a ring sink attached and
+/// an interval sampler, then check the Chrome trace parses back with
+/// monotonic timestamps and the metrics samples tile the run exactly.
+#[test]
+fn trace_and_metrics_round_trip_through_exports() {
+    let mut dev = ConZone::new(DeviceConfig::tiny_for_tests());
+    let sink = Arc::new(RingBufferSink::with_capacity(64 * 1024));
+    dev.set_probe(Probe::attached(sink.clone()));
+
+    let before = dev.counters();
+    let job = FioJob::new(AccessPattern::SeqWrite, 128 * 1024)
+        .zone_bytes(dev.config().zone_size_bytes())
+        .region(0, 4 * 1024 * 1024)
+        .bytes_per_thread(4 * 1024 * 1024);
+    let report = run_job_sampled(&mut dev, &job, SimDuration::from_micros(500)).expect("run");
+    let after = dev.counters();
+
+    // The trace round-trips through the Chrome trace-event export.
+    let records = sink.drain();
+    assert!(!records.is_empty());
+    let parsed = json::parse(&export::chrome_trace(&records).to_string()).expect("valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), records.len());
+    let mut last_ts = f64::MIN;
+    let mut names = std::collections::BTreeSet::new();
+    for e in events {
+        let ts = e.get("ts").and_then(|t| t.as_f64()).expect("ts");
+        assert!(ts >= last_ts, "timestamps must be monotonic");
+        last_ts = ts;
+        names.insert(e.get("name").and_then(|n| n.as_str()).unwrap().to_string());
+    }
+    // A sequential write over whole zones drains the shared buffer in
+    // full programming units.
+    assert!(names.contains("buffer_flush_full"), "{names:?}");
+
+    // Metrics samples tile [start, finished] with one Counters delta per
+    // interval, and the deltas sum to the whole-run delta.
+    assert!(!report.metrics.is_empty());
+    for w in report.metrics.windows(2) {
+        assert_eq!(w[0].end, w[1].start, "intervals must tile");
+    }
+    assert_eq!(report.metrics.first().unwrap().start, job.start);
+    assert_eq!(report.metrics.last().unwrap().end, report.finished);
+    let summed: u64 = report
+        .metrics
+        .iter()
+        .map(|s| s.delta.host_write_bytes)
+        .sum();
+    assert_eq!(summed, after.since(&before).host_write_bytes);
+
+    // And the JSONL export has one parseable line per interval.
+    let jsonl = export::metrics_jsonl(&report.metrics);
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), report.metrics.len());
+    for line in lines {
+        let obj = json::parse(line).expect("each line is one JSON object");
+        assert!(obj.get("start_ns").and_then(|v| v.as_u64()).is_some());
+        assert!(obj.get("end_ns").and_then(|v| v.as_u64()).is_some());
+        assert!(obj.get("counters").is_some());
+    }
+}
+
+/// A randwrite churn workload in conventional zones exercises SLC GC; the
+/// paired GcBegin/GcEnd records become `B`/`E` spans in the Chrome trace.
+#[test]
+fn gc_events_pair_into_spans() {
+    let mut dev = ConZone::new(
+        DeviceConfig::builder(conzone::types::Geometry::tiny())
+            .chunk_bytes(256 * 1024)
+            .data_backing(true)
+            .conventional_zones(2)
+            .build()
+            .expect("config"),
+    );
+    let sink = Arc::new(RingBufferSink::with_capacity(64 * 1024));
+    dev.set_probe(Probe::attached(sink.clone()));
+
+    // Overwrite 1 MiB four times over: SLC churn forces garbage collection.
+    let job = FioJob::new(AccessPattern::RandWrite, 4096)
+        .region(0, 1024 * 1024)
+        .bytes_per_thread(4 * 1024 * 1024);
+    run_job(&mut dev, &job).expect("churn");
+    assert!(dev.counters().gc_runs > 0, "workload must trigger GC");
+
+    let records = sink.drain();
+    let parsed = json::parse(&export::chrome_trace(&records).to_string()).expect("valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .unwrap();
+    let mut begins = 0i64;
+    let mut ends = 0i64;
+    for e in events {
+        if e.get("name").and_then(|n| n.as_str()) == Some("gc") {
+            match e.get("ph").and_then(|p| p.as_str()) {
+                Some("B") => begins += 1,
+                Some("E") => {
+                    ends += 1;
+                    assert!(ends <= begins, "E before matching B");
+                }
+                other => panic!("gc event with phase {other:?}"),
+            }
+        }
+    }
+    assert!(begins > 0, "no GC spans in trace");
+    assert_eq!(begins, ends, "every GC begin must have an end");
+}
+
+fn conzone_cli(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_conzone"))
+        .args(args)
+        .output()
+        .expect("spawn conzone");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The acceptance scenario: `conzone run` with `--trace-out` and
+/// `--metrics-out` produces a Perfetto-loadable trace containing GC,
+/// buffer-flush and L2P-miss events with monotonic timestamps, plus a
+/// metrics JSONL with one counters delta per interval.
+#[test]
+fn cli_trace_has_gc_flush_and_l2p_miss_events() {
+    let dir = std::env::temp_dir().join("conzone-observability-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let job_path = dir.join("obs.fio");
+    let trace_path = dir.join("events.json");
+    let metrics_path = dir.join("metrics.jsonl");
+    // Fill crosses from the conventional zones into sequential zones
+    // (buffer flushes), the churn job forces SLC GC, and the small L2P
+    // cache makes the read phase miss.
+    std::fs::write(
+        &job_path,
+        "[global]\nbs=128k\nsize=4m\n\n[fill]\nrw=write\n\n\
+         [churn]\nrw=randwrite\nbs=4k\nsize=1m\nio_size=4m\n\n\
+         [reads]\nrw=randread\nbs=4k\nio_size=1m\n",
+    )
+    .unwrap();
+
+    let (ok, _, stderr) = conzone_cli(&[
+        "run",
+        "--config",
+        "tiny",
+        "--job",
+        job_path.to_str().unwrap(),
+        "--conventional",
+        "2",
+        "--cache",
+        "256",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+        "--metrics-interval",
+        "200us",
+    ]);
+    assert!(ok, "{stderr}");
+
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let parsed = json::parse(&trace).expect("trace file is valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents");
+    assert!(!events.is_empty());
+    let mut last_ts = f64::MIN;
+    let mut names = std::collections::BTreeSet::new();
+    for e in events {
+        let ts = e.get("ts").and_then(|t| t.as_f64()).expect("ts");
+        assert!(ts >= last_ts, "timestamps must be monotonic");
+        last_ts = ts;
+        names.insert(e.get("name").and_then(|n| n.as_str()).unwrap().to_string());
+    }
+    for required in ["gc", "buffer_flush_full", "l2p_miss"] {
+        assert!(names.contains(required), "missing {required} in {names:?}");
+    }
+
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    let mut intervals = 0usize;
+    let mut write_bytes = 0u64;
+    for line in metrics.lines() {
+        let obj = json::parse(line).expect("metrics line parses");
+        let start = obj
+            .get("start_ns")
+            .and_then(|v| v.as_u64())
+            .expect("start_ns");
+        let end = obj.get("end_ns").and_then(|v| v.as_u64()).expect("end_ns");
+        assert!(end > start, "non-empty interval");
+        let counters = obj.get("counters").expect("counters delta");
+        write_bytes += counters
+            .get("host_write_bytes")
+            .and_then(|v| v.as_u64())
+            .expect("host_write_bytes");
+        intervals += 1;
+    }
+    assert!(
+        intervals > 10,
+        "expected many 200us intervals, got {intervals}"
+    );
+    // fill 4 MiB + churn 4 MiB of host writes, spread over the intervals.
+    assert_eq!(write_bytes, 8 * 1024 * 1024);
+
+    std::fs::remove_file(&job_path).ok();
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&metrics_path).ok();
+}

@@ -52,7 +52,7 @@ fn small_cfg() -> DeviceConfig {
         pages_per_block: 8,
         page_bytes: 16 * 1024,
         program_unit_bytes: 64 * 1024,
-    planes_per_chip: 1,
+        planes_per_chip: 1,
     };
     DeviceConfig::builder(g)
         .chunk_bytes(128 * 1024)
@@ -147,7 +147,7 @@ proptest! {
             .count() as u64;
         prop_assert_eq!(c.zone_resets, executed_resets);
         prop_assert!(c.l2p_miss_rate() <= 1.0);
-        prop_assert!(c.host_write_bytes % SLICE_BYTES == 0);
+        prop_assert!(c.host_write_bytes.is_multiple_of(SLICE_BYTES));
     }
 
     /// Legacy devices preserve the last write of every sector under random

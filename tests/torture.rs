@@ -7,12 +7,12 @@
 //! verification and invariant checks throughout.
 
 use bytes::Bytes;
+use conzone::sim::SimRng;
 use conzone::types::{
-    DeviceConfig, Geometry, IoRequest, SearchStrategy, SimTime, StorageDevice, ZoneId,
-    ZoneState, ZonedDevice, SLICE_BYTES,
+    DeviceConfig, Geometry, IoRequest, SearchStrategy, SimTime, StorageDevice, ZoneId, ZoneState,
+    ZonedDevice, SLICE_BYTES,
 };
 use conzone::ConZone;
-use conzone::sim::SimRng;
 
 fn torture_config() -> DeviceConfig {
     let g = Geometry {
@@ -23,7 +23,7 @@ fn torture_config() -> DeviceConfig {
         pages_per_block: 16,
         page_bytes: 16 * 1024,
         program_unit_bytes: 64 * 1024,
-    planes_per_chip: 1,
+        planes_per_chip: 1,
     };
     DeviceConfig::builder(g)
         .chunk_bytes(256 * 1024)
@@ -76,7 +76,7 @@ fn everything_at_once() {
                 if wp[zone as usize] == 0 && open >= 4 {
                     continue;
                 }
-                let n = 1 + rng.below(8).min(zs - wp[zone as usize] - 0);
+                let n = 1 + rng.below(8).min(zs - wp[zone as usize]);
                 let mut buf = Vec::new();
                 for i in 0..n {
                     tag += 1;

@@ -1,0 +1,75 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace (parallel
+//! benchmark sweeps); std's scoped threads (Rust 1.63+) provide the same
+//! guarantees, so the stand-in adapts crossbeam's closure-takes-scope API
+//! onto `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to spawned closures, mirroring
+    /// `crossbeam::thread::Scope`.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam style) so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a thread scope; all spawned threads are joined before
+    /// this returns. Returns `Err` with the panic payload if the closure
+    /// (or an unjoined child) panicked, matching crossbeam's signature.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_join_and_return() {
+            let data = [1u64, 2, 3];
+            let sums: Vec<u64> = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            assert_eq!(sums, vec![10, 20, 30]);
+        }
+    }
+}

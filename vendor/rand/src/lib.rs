@@ -1,0 +1,8 @@
+//! Offline placeholder for `rand`.
+//!
+//! The workspace declares rand as a dev-dependency but all randomness in
+//! the simulator flows through the deterministic `conzone_sim::SimRng`;
+//! nothing imports this crate. The placeholder exists only so dependency
+//! resolution succeeds without a crates.io mirror.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The real derives generate data-model plumbing; since the workspace's
+//! serde traits are empty markers that nothing ever bounds on, emitting no
+//! code at all is a valid implementation of the derive contract here.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and any `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and any `#[serde(...)]` attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
