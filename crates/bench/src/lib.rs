@@ -169,14 +169,25 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Formats a bandwidth cell.
+/// Formats a bandwidth cell; non-finite values (degenerate zero-duration
+/// reports) print as `n/a` instead of a misleading number.
 pub fn mibs(report: &JobReport) -> String {
-    format!("{:.0}", report.bandwidth_mibs())
+    let v = report.bandwidth_mibs();
+    if v.is_finite() {
+        format!("{v:.0}")
+    } else {
+        "n/a".to_string()
+    }
 }
 
-/// Formats a KIOPS cell.
+/// Formats a KIOPS cell; non-finite values print as `n/a`.
 pub fn kiops(report: &JobReport) -> String {
-    format!("{:.1}", report.kiops())
+    let v = report.kiops();
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "n/a".to_string()
+    }
 }
 
 /// Formats a microseconds latency cell.

@@ -60,6 +60,9 @@ pub struct ConZone {
     pub(crate) breakdown: TimeBreakdown,
     /// Trace probe; disabled by default (a no-op on the hot paths).
     pub(crate) probe: Probe,
+    /// `Some` between `power_cut()` and `remount()`: what was lost at the
+    /// cut, awaiting the recovery report.
+    pub(crate) cut_state: Option<crate::power::CutState>,
 }
 
 impl ConZone {
@@ -88,6 +91,7 @@ impl ConZone {
             l2p_log_pending: 0,
             breakdown: TimeBreakdown::default(),
             probe: Probe::disabled(),
+            cut_state: None,
             cfg,
         }
     }
@@ -241,6 +245,7 @@ impl StorageDevice for ConZone {
     }
 
     fn submit(&mut self, now: SimTime, request: &IoRequest) -> Result<Completion, DeviceError> {
+        self.ensure_powered()?;
         request.validate()?;
         let end = request.offset + request.len;
         if end > self.cfg.capacity_bytes() {
@@ -290,6 +295,7 @@ impl StorageDevice for ConZone {
     }
 
     fn flush(&mut self, now: SimTime) -> Result<Completion, DeviceError> {
+        self.ensure_powered()?;
         let mut t = now;
         for buf in 0..self.buffers.len() {
             t = self.flush_buffer(t, buf, true)?;
@@ -312,6 +318,8 @@ impl StorageDevice for ConZone {
         c.flash_data_reads = stats.page_reads;
         c.erases_slc = stats.erases_slc;
         c.erases_normal = stats.erases_normal;
+        c.read_retries = stats.read_retries;
+        c.blocks_retired = stats.blocks_retired;
         c.l2p_evictions = self.cache.evictions();
         c
     }
@@ -349,6 +357,7 @@ impl ZonedDevice for ConZone {
     }
 
     fn reset_zone(&mut self, now: SimTime, zone: ZoneId) -> Result<Completion, DeviceError> {
+        self.ensure_powered()?;
         let finished = self.reset_zone_inner(now, zone)?;
         Ok(Completion {
             submitted: now,

@@ -120,13 +120,21 @@ impl ConZone {
                 if n == 0 {
                     continue;
                 }
-                any = true;
                 let pay =
                     data.map(|p| &p[idx * SLICE_BYTES as usize..(idx + n) * SLICE_BYTES as usize]);
-                let out = self
-                    .flash
-                    .program_slc(t, chip, sb.raw() as usize, n, pay)
-                    .map_err(internal)?;
+                let out = match self.flash.program_slc(t, chip, sb.raw() as usize, n, pay) {
+                    Ok(out) => out,
+                    Err(conzone_flash::FlashError::ProgramFailed { .. }) => {
+                        // Burned slices count as progress; retry the same
+                        // live data on the next placement round.
+                        self.counters.program_failures += 1;
+                        any = true;
+                        continue;
+                    }
+                    Err(conzone_flash::FlashError::BlockRetired { .. }) => continue,
+                    Err(e) => return Err(internal(e)),
+                };
+                any = true;
                 finish = finish.max(out.finish);
                 for i in 0..n {
                     let lpn = lpns[idx + i];

@@ -39,6 +39,7 @@ mod buffer;
 mod device;
 mod gc;
 mod lifecycle;
+mod power;
 mod read;
 mod slc;
 mod write;

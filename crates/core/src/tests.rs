@@ -2,8 +2,9 @@
 
 use bytes::Bytes;
 use conzone_types::{
-    Counters, DeviceConfig, DeviceError, Geometry, IoRequest, MapGranularity, SearchStrategy,
-    SimTime, StorageDevice, ZoneId, ZonePadding, ZoneState, ZonedDevice, SLICE_BYTES,
+    Counters, DeviceConfig, DeviceError, FaultConfig, Geometry, IoRequest, Lpn, LpnRange,
+    MapGranularity, PowerCycle, SearchStrategy, SimTime, StorageDevice, ZoneId, ZonePadding,
+    ZoneState, ZonedDevice, SLICE_BYTES,
 };
 
 use crate::ConZone;
@@ -893,4 +894,157 @@ fn l2p_log_disabled_never_flushes() {
     let zs = d.zone_size();
     write_at(&mut d, SimTime::ZERO, 0, pattern(zs as usize, 84));
     assert_eq!(d.counters().l2p_log_flushes, 0);
+}
+
+#[test]
+fn power_cut_drops_buffer_and_remount_recovers_slc() {
+    let mut d = dev();
+    let zs = d.zone_size();
+    let zss = zs / SLICE_BYTES;
+    let mut t = SimTime::ZERO;
+    // Stage zone 0's first two slices into SLC via a buffer conflict,
+    // then leave two more slices volatile in the write buffer.
+    t = write_at(&mut d, t, 0, pattern(8192, 90));
+    t = write_at(&mut d, t, 2 * zs, pattern(8192, 91));
+    t = write_at(&mut d, t, 8192, pattern(8192, 92));
+    let in_flight = d.in_flight_slices();
+    assert_eq!(in_flight, 4 + 2, "4 SLC slices + 2 buffered slices");
+
+    let lost = d.power_cut(t).unwrap();
+    assert_eq!(lost, 2, "only the buffered tail is volatile");
+    // Everything is rejected until remount, including a second cut.
+    assert!(matches!(
+        d.submit(t, &IoRequest::read(0, 4096)),
+        Err(DeviceError::Unsupported(_))
+    ));
+    assert!(matches!(
+        d.submit(t, &IoRequest::write_data(16384, pattern(4096, 93))),
+        Err(DeviceError::Unsupported(_))
+    ));
+    assert!(d.power_cut(t).is_err());
+
+    let report = d.remount(t).unwrap();
+    assert_eq!(report.cut_at, t);
+    assert!(report.finished > t, "replay scan takes media time");
+    assert_eq!(report.lost_slices, lost);
+    assert_eq!(report.recovered_slices + report.lost_slices, in_flight);
+    assert_eq!(report.lost, vec![LpnRange::new(Lpn(2), 2)]);
+    assert_eq!(
+        report.recovered,
+        vec![LpnRange::new(Lpn(0), 2), LpnRange::new(Lpn(2 * zss), 2)]
+    );
+    assert_eq!(d.in_flight_slices(), report.recovered_slices);
+    let c = d.counters();
+    assert_eq!(c.lost_slices, 2);
+    assert_eq!(c.recovered_slices, 4);
+
+    // Open zones came back closed; recovered data is intact; the lost
+    // range reads as unwritten because the write pointer rewound.
+    assert_eq!(d.zone_info(ZoneId(0)).unwrap().state, ZoneState::Closed);
+    assert_eq!(d.zone_info(ZoneId(0)).unwrap().write_pointer, 8192);
+    let t = report.finished;
+    let (t, back) = read_at(&mut d, t, 0, 8192);
+    assert_eq!(back, pattern(8192, 90));
+    let (t, back) = read_at(&mut d, t, 2 * zs, 8192);
+    assert_eq!(back, pattern(8192, 91));
+    assert!(matches!(
+        d.submit(t, &IoRequest::read(8192, 4096)),
+        Err(DeviceError::UnwrittenRead { .. })
+    ));
+    // The host may rewrite the lost range at the rewound pointer.
+    let t = write_at(&mut d, t, 8192, pattern(8192, 94));
+    let (_, back) = read_at(&mut d, t, 8192, 8192);
+    assert_eq!(back, pattern(8192, 94));
+    // A second remount without a cut is rejected.
+    assert!(d.remount(t).is_err());
+}
+
+#[test]
+fn power_cut_with_nothing_in_flight_loses_nothing() {
+    let mut d = dev();
+    let zs = d.zone_size();
+    // A full zone write drains the buffer completely.
+    let t = write_at(&mut d, SimTime::ZERO, 0, pattern(zs as usize, 95));
+    assert_eq!(d.in_flight_slices(), 0);
+    let lost = d.power_cut(t).unwrap();
+    assert_eq!(lost, 0);
+    let report = d.remount(t).unwrap();
+    assert_eq!(report.lost_slices, 0);
+    assert!(report.lost.is_empty());
+    assert_eq!(d.zone_info(ZoneId(0)).unwrap().state, ZoneState::Full);
+    let (_, back) = read_at(&mut d, report.finished, 0, zs);
+    assert_eq!(back, pattern(zs as usize, 95));
+}
+
+#[test]
+fn program_failures_divert_to_slc_and_data_survives() {
+    let mut d = dev_with(|b| b.fault(FaultConfig::with_rates(0.2, 0.0, 0.0)));
+    let zs = d.zone_size();
+    let data = pattern(zs as usize, 96);
+    let t = write_at(&mut d, SimTime::ZERO, 0, data.clone());
+    let c = d.counters();
+    assert!(c.program_failures > 0, "faults injected: {c:?}");
+    assert!(
+        c.flash_program_bytes_slc > 0,
+        "failed units re-issued into SLC"
+    );
+    // Burned attempts program no durable bytes, so WAF stays at 1.0
+    // until GC churns; it must never drop below it.
+    assert!(c.write_amplification() >= 1.0);
+    let (_, back) = read_at(&mut d, t, 0, zs);
+    assert_eq!(back, data, "every acked byte readable despite failures");
+}
+
+#[test]
+fn erase_failures_retire_blocks() {
+    let mut d = dev_with(|b| b.fault(FaultConfig::with_rates(0.0, 1.0, 0.0)));
+    let zs = d.zone_size();
+    let mut t = write_at(&mut d, SimTime::ZERO, 0, pattern(zs as usize, 97));
+    t = d.reset_zone(t, ZoneId(0)).unwrap().finished;
+    let retired = d.counters().blocks_retired;
+    assert!(retired > 0, "every erase fails and retires its block");
+    assert_eq!(d.zone_info(ZoneId(0)).unwrap().state, ZoneState::Empty);
+    // The zone's canonical blocks are gone: a rewritten superpage (which
+    // forces a flush) diverts entirely into SLC.
+    let sp = d.config().geometry.superpage_bytes() as usize;
+    t = write_at(&mut d, t, 0, pattern(sp, 98));
+    let c = d.counters();
+    assert!(c.flash_program_bytes_slc >= sp as u64);
+    let (_, back) = read_at(&mut d, t, 0, sp as u64);
+    assert_eq!(back, pattern(sp, 98));
+}
+
+#[test]
+fn read_retries_add_latency_and_count() {
+    let run = |fault: FaultConfig| -> (SimTime, Counters) {
+        let mut d = dev_with(|b| b.fault(fault));
+        let sp = d.config().geometry.superpage_bytes();
+        let t = write_at(&mut d, SimTime::ZERO, 0, pattern(sp as usize, 99));
+        let (t, _) = read_at(&mut d, t, 0, sp);
+        (t, d.counters())
+    };
+    let (t_clean, c_clean) = run(FaultConfig::default());
+    let (t_retry, c_retry) = run(FaultConfig::with_rates(0.0, 0.0, 1.0));
+    assert_eq!(c_clean.read_retries, 0);
+    assert!(c_retry.read_retries > 0, "every sense retries");
+    assert!(t_retry > t_clean, "retry steps cost time");
+}
+
+#[test]
+fn fault_schedules_are_deterministic() {
+    let run = || -> (SimTime, Counters) {
+        let mut d = dev_with(|b| b.fault(FaultConfig::with_rates(0.1, 0.5, 0.3)));
+        let zs = d.zone_size();
+        let mut t = write_at(&mut d, SimTime::ZERO, 0, pattern(zs as usize, 100));
+        let (t2, _) = read_at(&mut d, t, 0, 128 * 1024);
+        t = d.reset_zone(t2, ZoneId(0)).unwrap().finished;
+        t = write_at(&mut d, t, 0, pattern(128 * 1024, 101));
+        (t, d.counters())
+    };
+    let (t1, c1) = run();
+    let (t2, c2) = run();
+    assert_eq!(t1, t2);
+    assert_eq!(c1, c2);
+    assert!(c1.program_failures > 0 || c1.blocks_retired > 0);
+    assert!(c1.read_retries > 0);
 }

@@ -276,23 +276,43 @@ impl ConZone {
                 let data_slice = payload.as_ref().map(|p| {
                     &p[(u * unit * SLICE_BYTES) as usize..((u + 1) * unit * SLICE_BYTES) as usize]
                 });
-                let out = self
+                match self
                     .flash
                     .program_unit(t, parts.chip, parts.block, data_slice)
-                    .map_err(internal)?;
-                debug_assert_eq!(
-                    out.first, first_ppa,
-                    "write pointer must match the reserved layout"
-                );
-                // Host-visible: the buffer frees once the transfer lands in
-                // the chip register; tPROG continues in the background.
-                finish = finish.max(out.buffer_free);
-                for i in 0..unit {
-                    self.table
-                        .set(zone_base.offset(off + i), first_ppa.offset(i), true);
+                {
+                    Ok(out) => {
+                        debug_assert_eq!(
+                            out.first, first_ppa,
+                            "write pointer must match the reserved layout"
+                        );
+                        // Host-visible: the buffer frees once the transfer
+                        // lands in the chip register; tPROG continues in
+                        // the background.
+                        finish = finish.max(out.buffer_free);
+                        for i in 0..unit {
+                            self.table
+                                .set(zone_base.offset(off + i), first_ppa.offset(i), true);
+                        }
+                        self.note_bits(zone_base.offset(off), unit, MapGranularity::Page);
+                        self.note_l2p_updates(unit);
+                    }
+                    Err(
+                        e @ (FlashError::ProgramFailed { .. } | FlashError::BlockRetired { .. }),
+                    ) => {
+                        // The reserved slices are burned (the cursor still
+                        // advanced, keeping the fixed layout intact); the
+                        // unit's payload is re-issued into the SLC
+                        // secondary buffer, which page-maps it outside the
+                        // canonical layout.
+                        if matches!(e, FlashError::ProgramFailed { .. }) {
+                            self.counters.program_failures += 1;
+                        }
+                        let lpns: Vec<Lpn> = (0..unit).map(|i| zone_base.offset(off + i)).collect();
+                        let redo = self.program_slc_batch(t, &lpns, data_slice, false, None)?;
+                        finish = finish.max(redo);
+                    }
+                    Err(e) => return Err(internal(e)),
                 }
-                self.note_bits(zone_base.offset(off), unit, MapGranularity::Page);
-                self.note_l2p_updates(unit);
             }
             t = finish;
             self.zones[zidx].flushed_slices = full_end;
@@ -409,13 +429,25 @@ impl ConZone {
                 if n == 0 {
                     continue;
                 }
-                any = true;
                 let pay = payload
                     .map(|p| &p[idx * SLICE_BYTES as usize..(idx + n) * SLICE_BYTES as usize]);
-                let out = self
-                    .flash
-                    .program_slc(t, chip, sb.raw() as usize, n, pay)
-                    .map_err(internal)?;
+                let out = match self.flash.program_slc(t, chip, sb.raw() as usize, n, pay) {
+                    Ok(out) => out,
+                    Err(FlashError::ProgramFailed { .. }) => {
+                        // The claimed slices are burned; count the failure
+                        // as progress (the block filled a little) and
+                        // re-place the same slices on the next round.
+                        self.counters.program_failures += 1;
+                        any = true;
+                        continue;
+                    }
+                    Err(FlashError::BlockRetired { .. }) => {
+                        // This chip's block left the usable set: skip it.
+                        continue;
+                    }
+                    Err(e) => return Err(internal(e)),
+                };
+                any = true;
                 finish = finish.max(out.buffer_free);
                 for i in 0..n {
                     let lpn = lpns[idx + i];

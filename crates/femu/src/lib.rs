@@ -104,8 +104,10 @@ impl FemuZns {
             .collect();
         let zone_size_slices = cfg.geometry.superblock_bytes() / SLICE_BYTES;
         let mut femu_cfg = cfg;
-        // FEMU does not model the UFS channel.
+        // FEMU does not model the UFS channel, and its ZNS mode has no
+        // fault plane either.
         femu_cfg.model_channel_bandwidth = false;
+        femu_cfg.fault = conzone_types::FaultConfig::default();
         let seed = femu_cfg.seed;
         FemuZns {
             flash: FlashArray::new(&femu_cfg),
@@ -671,6 +673,20 @@ impl ZonedDevice for FemuZns {
             data: None,
             assigned_offset: None,
         })
+    }
+}
+
+impl conzone_types::PowerCycle for FemuZns {
+    fn power_cut(&mut self, _now: SimTime) -> Result<u64, DeviceError> {
+        Err(DeviceError::Unsupported(
+            "femu baseline does not model power loss".to_string(),
+        ))
+    }
+
+    fn remount(&mut self, _now: SimTime) -> Result<conzone_types::RecoveryReport, DeviceError> {
+        Err(DeviceError::Unsupported(
+            "femu baseline does not model power loss".to_string(),
+        ))
     }
 }
 

@@ -16,12 +16,13 @@
 
 use conzone_sim::{Reservation, Resource, ResourceBank};
 use conzone_types::{
-    CellType, ChipId, DeviceConfig, DeviceEvent, Geometry, MediaOp, MediaTimings, Ppa, Probe,
-    SimDuration, SimTime, SuperblockId, SLICE_BYTES,
+    CellType, ChipId, DeviceConfig, DeviceEvent, FaultKind, Geometry, MediaOp, MediaTimings, Ppa,
+    Probe, SimDuration, SimTime, SuperblockId, SLICE_BYTES,
 };
 
 use crate::block::Block;
 use crate::error::FlashError;
+use crate::fault::FaultPlane;
 use crate::store::DataStore;
 
 /// Cumulative media-level statistics.
@@ -39,6 +40,10 @@ pub struct FlashStats {
     pub erases_slc: u64,
     /// Block erases in the normal region.
     pub erases_normal: u64,
+    /// Read-retry steps paid across all page senses.
+    pub read_retries: u64,
+    /// Blocks permanently retired (failed erases + grown bad blocks).
+    pub blocks_retired: u64,
 }
 
 /// Result of a program operation.
@@ -89,6 +94,7 @@ pub struct FlashArray {
     store: DataStore,
     stats: FlashStats,
     probe: Probe,
+    fault: FaultPlane,
 }
 
 impl FlashArray {
@@ -119,6 +125,7 @@ impl FlashArray {
             store: DataStore::new(cfg.data_backing),
             stats: FlashStats::default(),
             probe: Probe::disabled(),
+            fault: FaultPlane::new(cfg.fault, g.nchips() * g.blocks_per_chip),
         }
     }
 
@@ -238,6 +245,26 @@ impl FlashArray {
                 cursor: self.blocks[idx].cursor(),
             });
         }
+        if self.fault.is_retired(idx) {
+            // The zone's fixed LPN→PPA mapping still owns these slices, so
+            // the cursor advances (burning them) even though nothing lands.
+            self.burn_slices(idx, unit_slices)?;
+            return Err(FlashError::BlockRetired {
+                chip: chip.raw(),
+                block: block as u64,
+            });
+        }
+        if self.fault.program_fails() {
+            self.burn_slices(idx, unit_slices)?;
+            // The chip still pays transfer + tPROG for the failed attempt.
+            let plane = self.geometry.plane_of(chip, block);
+            self.schedule_program(now, chip, plane, unit_bytes as u64, cell, 1);
+            self.note_program_failure(now, chip, block, idx);
+            return Err(FlashError::ProgramFailed {
+                chip: chip.raw(),
+                block: block as u64,
+            });
+        }
         let start_slice = self.blocks[idx].program(unit_slices)?;
         let first = self.block_base(chip, block).offset(start_slice as u64);
         if let Some(d) = data {
@@ -292,19 +319,41 @@ impl FlashArray {
             }
         }
         let idx = self.block_index(chip, block);
+        if self.fault.is_retired(idx) {
+            // SLC placement is flexible: no burn, the caller just picks
+            // another block.
+            return Err(FlashError::BlockRetired {
+                chip: chip.raw(),
+                block: block as u64,
+            });
+        }
         let start_slice = self.blocks[idx].program(count)?;
         let first = self.block_base(chip, block).offset(start_slice as u64);
+        // One program operation per flash page covered by the run.
+        let spp = self.geometry.slices_per_page();
+        let first_page = start_slice / spp;
+        let last_page = (start_slice + count - 1) / spp;
+        let ops = (last_page - first_page + 1) as u64;
+        if self.fault.program_fails() {
+            // Burn the just-claimed slices; the chip still pays the
+            // transfer + tPROG of the failed attempt.
+            for i in start_slice..start_slice + count {
+                self.blocks[idx].invalidate(i)?;
+            }
+            let plane = self.geometry.plane_of(chip, block);
+            self.schedule_program(now, chip, plane, bytes, CellType::Slc, ops);
+            self.note_program_failure(now, chip, block, idx);
+            return Err(FlashError::ProgramFailed {
+                chip: chip.raw(),
+                block: block as u64,
+            });
+        }
         if let Some(d) = data {
             for (i, chunk) in d.chunks_exact(SLICE_BYTES as usize).enumerate() {
                 self.store.put(first.offset(i as u64), chunk);
             }
         }
         self.count_program(now, CellType::Slc, bytes);
-        // One program operation per flash page covered by the run.
-        let spp = self.geometry.slices_per_page();
-        let first_page = start_slice / spp;
-        let last_page = (start_slice + count - 1) / spp;
-        let ops = (last_page - first_page + 1) as u64;
         let plane = self.geometry.plane_of(chip, block);
         let (buffer_free, finish) =
             self.schedule_program(now, chip, plane, bytes, CellType::Slc, ops);
@@ -314,6 +363,54 @@ impl FlashArray {
             buffer_free,
             finish,
         })
+    }
+
+    /// Advances a block's cursor by `count` slices and marks them dead.
+    /// The fixed zone→block mapping requires failed unit programs to
+    /// consume their slices so later units still land at the expected
+    /// physical addresses.
+    fn burn_slices(&mut self, idx: usize, count: usize) -> Result<(), FlashError> {
+        let start = self.blocks[idx].program(count)?;
+        for i in start..start + count {
+            self.blocks[idx].invalidate(i)?;
+        }
+        Ok(())
+    }
+
+    /// Bookkeeping for one injected program failure: trace event plus
+    /// grown-bad promotion when the block's failure count crosses the
+    /// configured threshold.
+    fn note_program_failure(&mut self, now: SimTime, chip: ChipId, block: usize, idx: usize) {
+        self.probe.emit(
+            now,
+            DeviceEvent::FaultInjected {
+                kind: FaultKind::Program,
+                chip: chip.raw(),
+                block: block as u64,
+            },
+        );
+        if self.fault.record_program_failure(idx) {
+            self.stats.blocks_retired += 1;
+            self.probe.emit(
+                now,
+                DeviceEvent::BlockRetired {
+                    chip: chip.raw(),
+                    block: block as u64,
+                },
+            );
+        }
+    }
+
+    /// Whether a block is permanently retired (failed erase or grown bad).
+    #[inline]
+    pub fn is_block_retired(&self, chip: ChipId, block: usize) -> bool {
+        self.fault.is_retired(self.block_index(chip, block))
+    }
+
+    /// Number of permanently retired blocks.
+    #[inline]
+    pub fn retired_blocks(&self) -> u64 {
+        self.fault.retired_count()
     }
 
     /// Reserves `ops` transfer-then-program rounds on the chip (one round
@@ -382,9 +479,16 @@ impl FlashArray {
         for (chip, block, _page, bytes) in order {
             let cell = self.cell_of_block(block);
             let plane = self.geometry.plane_of(chip, block);
-            let sense = self
-                .planes
-                .acquire(plane, now, self.timings.latency(cell).read);
+            let mut sense_lat = self.timings.latency(cell).read;
+            let steps = self.fault.read_retry_steps();
+            if steps > 0 {
+                // Each retry step re-senses at a shifted reference
+                // voltage, stretching this page's chip occupancy.
+                sense_lat += self.fault.retry_penalty(steps);
+                self.stats.read_retries += u64::from(steps);
+                self.probe.emit(now, DeviceEvent::ReadRetry { steps });
+            }
+            let sense = self.planes.acquire(plane, now, sense_lat);
             let channel = self.geometry.channel_of(chip).raw() as usize;
             let xfer = self
                 .channels
@@ -490,13 +594,45 @@ impl FlashArray {
     }
 
     /// Erases one block; live data (if any) is destroyed.
+    ///
+    /// Erases of retired blocks are zero-time no-ops (the controller skips
+    /// them), though the block state is still reset so superblock erase
+    /// accounting stays consistent. A failed erase retires the block
+    /// permanently — it drops out of its superblock's usable set — but
+    /// still occupies the chip for the full erase latency.
     pub fn erase_block(&mut self, now: SimTime, chip: ChipId, block: usize) -> Reservation {
         let cell = self.cell_of_block(block);
         let idx = self.block_index(chip, block);
-        self.blocks[idx].erase();
+        let plane = self.geometry.plane_of(chip, block);
         let base = self.block_base(chip, block);
+        if self.fault.is_retired(idx) {
+            self.blocks[idx].erase();
+            self.store
+                .remove_range(base, self.geometry.slices_per_block());
+            return self.planes.acquire(plane, now, SimDuration::ZERO);
+        }
+        self.blocks[idx].erase();
         self.store
             .remove_range(base, self.geometry.slices_per_block());
+        if self.fault.erase_fails() {
+            self.fault.retire(idx);
+            self.stats.blocks_retired += 1;
+            self.probe.emit(
+                now,
+                DeviceEvent::FaultInjected {
+                    kind: FaultKind::Erase,
+                    chip: chip.raw(),
+                    block: block as u64,
+                },
+            );
+            self.probe.emit(
+                now,
+                DeviceEvent::BlockRetired {
+                    chip: chip.raw(),
+                    block: block as u64,
+                },
+            );
+        }
         if cell == CellType::Slc {
             self.stats.erases_slc += 1;
         } else {
@@ -510,7 +646,6 @@ impl FlashArray {
                 bytes: 0,
             },
         );
-        let plane = self.geometry.plane_of(chip, block);
         self.planes
             .acquire(plane, now, self.timings.latency(cell).erase)
     }
@@ -795,6 +930,158 @@ mod tests {
         let p1 = a.program_unit(SimTime::ZERO, ChipId(0), 4, None).unwrap();
         let p3 = a.program_unit(SimTime::ZERO, ChipId(0), 6, None).unwrap();
         assert!(p3.finish >= p1.finish + SimDuration::from_nanos(937_500));
+    }
+
+    fn faulty_array(program: f64, erase: f64, retry: f64) -> FlashArray {
+        let cfg = conzone_types::DeviceConfig::builder(conzone_types::Geometry::tiny())
+            .chunk_bytes(256 * 1024)
+            .fault(conzone_types::FaultConfig::with_rates(
+                program, erase, retry,
+            ))
+            .build()
+            .unwrap();
+        FlashArray::new(&cfg)
+    }
+
+    #[test]
+    fn program_failure_burns_the_unit_and_reports() {
+        let mut a = faulty_array(1.0, 0.0, 0.0);
+        let err = a
+            .program_unit(SimTime::ZERO, ChipId(0), 4, None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FlashError::ProgramFailed { chip: 0, block: 4 }
+        ));
+        // The cursor advanced past the burned unit; nothing is live.
+        let blk = a.block(ChipId(0), 4);
+        assert_eq!(blk.cursor(), a.geometry().slices_per_unit());
+        assert_eq!(blk.valid_count(), 0);
+        // The chip was still occupied by the failed attempt.
+        assert!(a.chip_free_at(ChipId(0)) > SimTime::ZERO);
+        // No bytes counted as durably programmed.
+        assert_eq!(a.stats().program_bytes_tlc, 0);
+    }
+
+    #[test]
+    fn grown_bad_block_retires_after_threshold_failures() {
+        let mut a = faulty_array(1.0, 0.0, 0.0); // threshold 2 via with_rates
+        assert!(a.program_unit(SimTime::ZERO, ChipId(0), 4, None).is_err());
+        assert!(!a.is_block_retired(ChipId(0), 4));
+        assert!(a.program_unit(SimTime::ZERO, ChipId(0), 4, None).is_err());
+        assert!(a.is_block_retired(ChipId(0), 4));
+        assert_eq!(a.stats().blocks_retired, 1);
+        // Further programs hit the retirement bitmap, still burning slices.
+        let err = a
+            .program_unit(SimTime::ZERO, ChipId(0), 4, None)
+            .unwrap_err();
+        assert!(matches!(err, FlashError::BlockRetired { .. }));
+        assert_eq!(
+            a.block(ChipId(0), 4).cursor(),
+            3 * a.geometry().slices_per_unit()
+        );
+    }
+
+    #[test]
+    fn slc_program_failure_burns_only_claimed_slices() {
+        let mut a = faulty_array(1.0, 0.0, 0.0);
+        let err = a
+            .program_slc(SimTime::ZERO, ChipId(1), 0, 3, None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FlashError::ProgramFailed { chip: 1, block: 0 }
+        ));
+        let blk = a.block(ChipId(1), 0);
+        assert_eq!(blk.cursor(), 3);
+        assert_eq!(blk.valid_count(), 0);
+        assert_eq!(a.stats().program_bytes_slc, 0);
+    }
+
+    #[test]
+    fn erase_failure_retires_block_and_next_erase_is_free() {
+        let mut a = faulty_array(0.0, 1.0, 0.0);
+        let r = a.erase_block(SimTime::ZERO, ChipId(0), 4);
+        assert!(r.end > SimTime::ZERO, "failed erase still takes time");
+        assert!(a.is_block_retired(ChipId(0), 4));
+        assert_eq!(a.stats().blocks_retired, 1);
+        assert_eq!(a.retired_blocks(), 1);
+        let before = a.stats().erases_normal;
+        let r = a.erase_block(r.end, ChipId(0), 4);
+        assert_eq!(r.end, r.start, "retired block erases are no-ops");
+        assert_eq!(a.stats().erases_normal, before);
+    }
+
+    #[test]
+    fn read_retry_stretches_the_sense() {
+        let mut clean = faulty_array(0.0, 0.0, 0.0);
+        let mut faulty = faulty_array(0.0, 0.0, 1.0);
+        for a in [&mut clean, &mut faulty] {
+            a.program_slc(SimTime::ZERO, ChipId(0), 0, 2, None).unwrap();
+        }
+        let t = SimTime::ZERO + SimDuration::from_millis(10);
+        let base = clean
+            .read_slices(t, &[clean.block_base(ChipId(0), 0)])
+            .unwrap();
+        let slow = faulty
+            .read_slices(t, &[faulty.block_base(ChipId(0), 0)])
+            .unwrap();
+        // Every sense retries (rate 1.0) by 1..=3 steps of 25 us.
+        assert!(slow.finish >= base.finish + SimDuration::from_micros(25));
+        let retries = faulty.stats().read_retries;
+        assert!((1..=3).contains(&retries), "{retries}");
+        assert_eq!(clean.stats().read_retries, 0);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let run = || {
+            let mut a = faulty_array(0.3, 0.3, 0.3);
+            let mut log = Vec::new();
+            for i in 0..12 {
+                let chip = ChipId(i % 4);
+                log.push(a.program_unit(SimTime::ZERO, chip, 4, None).is_err());
+                log.push(a.program_slc(SimTime::ZERO, chip, 0, 2, None).is_err());
+            }
+            (log, a.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_rates_never_draw_from_the_fault_rng() {
+        // With all-zero rates every fault check early-outs before touching
+        // the RNG, so the fault seed cannot influence state or timing —
+        // a default-configured array is bit-identical to a fault-free one.
+        let run = |seed: u64| {
+            let fault = conzone_types::FaultConfig {
+                seed,
+                ..Default::default()
+            };
+            let cfg = conzone_types::DeviceConfig::builder(conzone_types::Geometry::tiny())
+                .chunk_bytes(256 * 1024)
+                .fault(fault)
+                .build()
+                .unwrap();
+            let mut a = FlashArray::new(&cfg);
+            let mut log = Vec::new();
+            let mut t = SimTime::ZERO;
+            for i in 0..8 {
+                let chip = ChipId(i % 4);
+                let p = a.program_unit(t, chip, 4, None).unwrap();
+                log.push(p.finish);
+                let r = a.read_slices(p.finish, &[a.block_base(chip, 4)]).unwrap();
+                log.push(r.finish);
+                t = r.finish;
+                let e = a.erase_block(t, chip, 5);
+                log.push(e.end);
+            }
+            (log, a.stats())
+        };
+        assert_eq!(run(1), run(0xdead_beef));
+        let (_, stats) = run(7);
+        assert_eq!(stats.read_retries, 0);
+        assert_eq!(stats.blocks_retired, 0);
     }
 
     #[test]

@@ -52,6 +52,23 @@ pub enum FlashError {
         /// Description of the offending component.
         what: String,
     },
+    /// The fault plane failed this program operation (transient). The
+    /// targeted slices are burned (cursor advanced, marked dead); the
+    /// caller must re-issue the payload elsewhere.
+    ProgramFailed {
+        /// Chip of the failed program.
+        chip: u64,
+        /// Block (in-chip index) of the failed program.
+        block: u64,
+    },
+    /// The targeted block is permanently retired (failed erase or grown
+    /// bad); the caller must place the data on another block.
+    BlockRetired {
+        /// Chip of the retired block.
+        chip: u64,
+        /// Block (in-chip index) of the retired block.
+        block: u64,
+    },
 }
 
 impl fmt::Display for FlashError {
@@ -80,6 +97,12 @@ impl fmt::Display for FlashError {
                 write!(f, "payload of {got} bytes, expected {expected}")
             }
             FlashError::OutOfGeometry { what } => write!(f, "address outside geometry: {what}"),
+            FlashError::ProgramFailed { chip, block } => {
+                write!(f, "program failed on chip {chip} block {block}")
+            }
+            FlashError::BlockRetired { chip, block } => {
+                write!(f, "chip {chip} block {block} is retired")
+            }
         }
     }
 }
@@ -94,6 +117,10 @@ mod tests {
     fn display_messages() {
         let e = FlashError::ReadDead { ppa: Ppa(42) };
         assert!(e.to_string().contains("Ppa(42)"));
+        let e = FlashError::ProgramFailed { chip: 1, block: 9 };
+        assert!(e.to_string().contains("chip 1 block 9"));
+        let e = FlashError::BlockRetired { chip: 2, block: 5 };
+        assert!(e.to_string().contains("retired"));
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FlashError>();
     }

@@ -27,6 +27,7 @@ mod array;
 mod bitvec;
 mod block;
 mod error;
+mod fault;
 mod store;
 mod wear;
 
@@ -34,5 +35,6 @@ pub use array::{FlashArray, FlashStats, HostStage, ProgramOutcome, ReadOutcome};
 pub use bitvec::BitVec;
 pub use block::Block;
 pub use error::FlashError;
+pub use fault::FaultPlane;
 pub use store::DataStore;
 pub use wear::{erase_budget, RegionWear, WearReport};

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod crash;
 mod f2fs;
 mod fio_file;
 mod job;
@@ -39,10 +40,11 @@ mod trace;
 mod verify;
 mod workloads;
 
+pub use crash::{power_cycle_and_verify, CrashVerdict};
 pub use f2fs::{F2fsLite, F2fsStats, Temperature};
 pub use fio_file::{parse_fio_jobs, NamedJob, ParseFioError};
 pub use job::{AccessPattern, FioJob};
-pub use runner::{run_job, run_job_sampled, HostError, JobReport};
+pub use runner::{run_job, run_job_sampled, run_job_until, HostError, JobReport};
 pub use trace::{
     replay_budget, replay_counters, replay_trace, MobileTraceBuilder, ParseTraceError, Trace,
     TraceKind, TraceOp,

@@ -33,6 +33,8 @@ pub enum HostError {
     },
     /// The job description is inconsistent with the device.
     BadJob(String),
+    /// A power-cycle verification found a crash-consistency violation.
+    Crash(String),
 }
 
 impl core::fmt::Display for HostError {
@@ -45,6 +47,7 @@ impl core::fmt::Display for HostError {
                 write!(f, "read verification failed at offset {offset}")
             }
             HostError::BadJob(why) => write!(f, "bad job: {why}"),
+            HostError::Crash(why) => write!(f, "crash-consistency violation: {why}"),
         }
     }
 }
@@ -93,20 +96,36 @@ impl JobReport {
     }
 
     /// Throughput in MiB/s.
+    ///
+    /// An empty job (no operations) reports `0.0`. A degenerate report —
+    /// operations completed in zero simulated time — reports `NaN` rather
+    /// than a misleading zero, so table formatters can print `n/a`.
     pub fn bandwidth_mibs(&self) -> f64 {
         let secs = self.duration().as_secs_f64();
         if secs == 0.0 {
-            0.0
+            if self.ops > 0 {
+                f64::NAN
+            } else {
+                0.0
+            }
         } else {
             self.bytes as f64 / (1024.0 * 1024.0) / secs
         }
     }
 
     /// Throughput in thousands of I/O operations per second.
+    ///
+    /// Degenerate reports follow the same convention as
+    /// [`bandwidth_mibs`](Self::bandwidth_mibs): `NaN` when operations
+    /// completed in zero duration, `0.0` when nothing ran.
     pub fn kiops(&self) -> f64 {
         let secs = self.duration().as_secs_f64();
         if secs == 0.0 {
-            0.0
+            if self.ops > 0 {
+                f64::NAN
+            } else {
+                0.0
+            }
         } else {
             self.ops as f64 / 1000.0 / secs
         }
@@ -146,7 +165,24 @@ pub fn run_job<D: StorageDevice + ?Sized>(
     dev: &mut D,
     job: &FioJob,
 ) -> Result<JobReport, HostError> {
-    run_job_inner(dev, job, None)
+    run_job_inner(dev, job, None, None)
+}
+
+/// Runs a job like [`run_job`] but stops issuing new requests once the
+/// simulated clock reaches `stop_at` — requests already in flight complete
+/// normally. The truncated [`JobReport`] covers only what actually ran.
+/// Used by the crash-consistency harness to interrupt a workload at the
+/// power-cut instant.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_job`].
+pub fn run_job_until<D: StorageDevice + ?Sized>(
+    dev: &mut D,
+    job: &FioJob,
+    stop_at: SimTime,
+) -> Result<JobReport, HostError> {
+    run_job_inner(dev, job, None, Some(stop_at))
 }
 
 /// Runs a job like [`run_job`] while also collecting a [`Counters`] delta
@@ -161,13 +197,14 @@ pub fn run_job_sampled<D: StorageDevice + ?Sized>(
     job: &FioJob,
     interval: SimDuration,
 ) -> Result<JobReport, HostError> {
-    run_job_inner(dev, job, Some(interval))
+    run_job_inner(dev, job, Some(interval), None)
 }
 
 fn run_job_inner<D: StorageDevice + ?Sized>(
     dev: &mut D,
     job: &FioJob,
     sample_interval: Option<SimDuration>,
+    stop_at: Option<SimTime>,
 ) -> Result<JobReport, HostError> {
     let capacity = dev.capacity_bytes();
     let region_start = job.region_offset;
@@ -282,6 +319,13 @@ fn run_job_inner<D: StorageDevice + ?Sized>(
     let mut finished = job.start;
 
     while let Some((t, th)) = queue.pop() {
+        if let Some(stop) = stop_at {
+            // The queue pops in time order: once one slot passes the stop
+            // point, every remaining one would too.
+            if t >= stop {
+                break;
+            }
+        }
         let state = &mut threads[th];
         if state.issued >= state.limit {
             continue;
@@ -555,6 +599,32 @@ mod tests {
         // Tail of each zone stays buffered (1 MiB is not a 48 KiB
         // multiple), so WAF is at most 1 — never amplified.
         assert!(r.waf() <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_reports_are_nan_not_zero() {
+        let empty = LatencyHistogram::new().summary();
+        let mut r = JobReport {
+            model: "test",
+            started: SimTime::ZERO,
+            finished: SimTime::ZERO,
+            bytes: 4096,
+            ops: 1,
+            latency: empty,
+            read_latency: empty,
+            write_latency: empty,
+            thread_latency: Vec::new(),
+            metrics: Vec::new(),
+            counters: Counters::new(),
+        };
+        // Ops completed in zero simulated time: NaN, not a silent 0.
+        assert!(r.bandwidth_mibs().is_nan());
+        assert!(r.kiops().is_nan());
+        // A genuinely empty report stays at zero.
+        r.ops = 0;
+        r.bytes = 0;
+        assert_eq!(r.bandwidth_mibs(), 0.0);
+        assert_eq!(r.kiops(), 0.0);
     }
 
     #[test]

@@ -33,9 +33,9 @@ use bytes::Bytes;
 use conzone_flash::{FlashArray, FlashError};
 use conzone_ftl::{LruCache, MappingTable};
 use conzone_types::{
-    ChipId, Completion, Counters, DeviceConfig, DeviceError, DeviceEvent, FlushKind, IoKind,
-    IoRequest, L2pOutcome, Lpn, LpnRange, Ppa, Probe, SimTime, StorageDevice, SuperblockId, ZoneId,
-    SLICE_BYTES,
+    ChipId, Completion, Counters, DeviceConfig, DeviceError, DeviceEvent, FaultConfig, FlushKind,
+    IoKind, IoRequest, L2pOutcome, Lpn, LpnRange, PowerCycle, Ppa, Probe, RecoveryReport, SimTime,
+    StorageDevice, SuperblockId, ZoneId, SLICE_BYTES,
 };
 
 /// Fraction of normal superblocks held back as GC over-provisioning.
@@ -87,6 +87,9 @@ impl LegacyDevice {
     /// (Legacy has a single append stream and no zones); the geometry's SLC
     /// blocks are simply unused spare area.
     pub fn new(cfg: DeviceConfig) -> LegacyDevice {
+        let mut cfg = cfg;
+        // The Legacy baseline does not reproduce the fault plane.
+        cfg.fault = FaultConfig::default();
         let g = cfg.geometry;
         let normal: Vec<SuperblockId> = (g.slc_blocks_per_chip as u64..g.blocks_per_chip as u64)
             .map(SuperblockId)
@@ -574,6 +577,20 @@ impl StorageDevice for LegacyDevice {
 
     fn model_name(&self) -> &'static str {
         "legacy"
+    }
+}
+
+impl PowerCycle for LegacyDevice {
+    fn power_cut(&mut self, _now: SimTime) -> Result<u64, DeviceError> {
+        Err(DeviceError::Unsupported(
+            "legacy baseline does not model power loss".to_string(),
+        ))
+    }
+
+    fn remount(&mut self, _now: SimTime) -> Result<RecoveryReport, DeviceError> {
+        Err(DeviceError::Unsupported(
+            "legacy baseline does not model power loss".to_string(),
+        ))
     }
 }
 

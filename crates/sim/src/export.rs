@@ -15,7 +15,7 @@
 //! Plus small helpers ([`counters_json`], [`latency_summary_json`]) used
 //! by the CLI's `--stats-json` report.
 
-use conzone_types::{CellType, Counters, DeviceEvent, L2pOutcome, TraceRecord};
+use conzone_types::{CellType, Counters, DeviceEvent, FaultKind, L2pOutcome, TraceRecord};
 
 use crate::json::Json;
 use crate::stats::LatencySummary;
@@ -73,6 +73,31 @@ fn event_args(event: &DeviceEvent) -> Vec<(&'static str, Json)> {
             ("bytes", Json::U64(bytes)),
         ],
         DeviceEvent::ZoneReset { zone } => vec![("zone", Json::U64(zone.raw()))],
+        DeviceEvent::FaultInjected { kind, chip, block } => vec![
+            (
+                "fault",
+                Json::from(match kind {
+                    FaultKind::Program => "program",
+                    FaultKind::Erase => "erase",
+                }),
+            ),
+            ("chip", Json::U64(chip)),
+            ("block", Json::U64(block)),
+        ],
+        DeviceEvent::BlockRetired { chip, block } => {
+            vec![("chip", Json::U64(chip)), ("block", Json::U64(block))]
+        }
+        DeviceEvent::ReadRetry { steps } => vec![("steps", Json::U64(u64::from(steps)))],
+        DeviceEvent::PowerCut { lost_slices } => {
+            vec![("lost_slices", Json::U64(lost_slices))]
+        }
+        DeviceEvent::RecoveryReplay {
+            recovered_slices,
+            lost_slices,
+        } => vec![
+            ("recovered_slices", Json::U64(recovered_slices)),
+            ("lost_slices", Json::U64(lost_slices)),
+        ],
     }
 }
 

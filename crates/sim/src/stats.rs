@@ -56,6 +56,19 @@ fn bucket_low(index: usize) -> u64 {
     }
 }
 
+/// Midpoint of a bucket: the unbiased point estimate for samples known
+/// only to lie somewhere inside it. Exact (== the value) for the linear
+/// buckets below `SUBBUCKETS` and for the first tier, whose width is 1.
+fn bucket_mid(index: usize) -> u64 {
+    if index < SUBBUCKETS {
+        index as u64
+    } else {
+        let tier = (index / SUBBUCKETS - 1) as u32;
+        // The bucket spans 2^tier values starting at its lower bound.
+        bucket_low(index) + ((1u64 << tier) >> 1)
+    }
+}
+
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> LatencyHistogram {
@@ -125,8 +138,8 @@ impl LatencyHistogram {
         SimDuration::from_nanos(self.max_ns)
     }
 
-    /// The `q`-quantile (`0.0 ..= 1.0`) with ~3 % relative error; zero if
-    /// empty.
+    /// The `q`-quantile (`0.0 ..= 1.0`) with ~1.6 % relative error; zero
+    /// if empty.
     ///
     /// # Panics
     ///
@@ -141,8 +154,10 @@ impl LatencyHistogram {
         for (idx, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                // Report the bucket's lower bound, clamped to observed range.
-                return SimDuration::from_nanos(bucket_low(idx).clamp(self.min_ns, self.max_ns));
+                // Report the bucket's midpoint clamped to the observed
+                // range: the lower bound systematically under-reports by
+                // up to a full sub-bucket width, the midpoint is unbiased.
+                return SimDuration::from_nanos(bucket_mid(idx).clamp(self.min_ns, self.max_ns));
             }
         }
         SimDuration::from_nanos(self.max_ns)
@@ -252,7 +267,9 @@ mod tests {
         for (q, expect_us) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
             let got = h.quantile(q).as_nanos() as f64 / 1000.0;
             let err = (got - expect_us).abs() / expect_us;
-            assert!(err < 0.05, "q={q}: got {got}, want ~{expect_us}");
+            // Midpoint reporting halves the one-sided bucket-width error
+            // of the old lower-bound estimate.
+            assert!(err < 0.02, "q={q}: got {got}, want ~{expect_us}");
         }
     }
 

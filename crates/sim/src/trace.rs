@@ -15,8 +15,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use conzone_types::{
-    CellType, Counters, DeviceEvent, FlushKind, L2pOutcome, MediaOp, SimDuration, SimTime,
-    TraceRecord, TraceSink, ZoneId,
+    CellType, Counters, DeviceEvent, FaultKind, FlushKind, L2pOutcome, MediaOp, SimDuration,
+    SimTime, TraceRecord, TraceSink, ZoneId,
 };
 
 fn cell_to_bits(c: CellType) -> u64 {
@@ -62,6 +62,20 @@ fn encode(event: DeviceEvent) -> (u64, u64, u64) {
         DeviceEvent::L2pLogFlush => (tag, 0, 0),
         DeviceEvent::Media { op: _, cell, bytes } => (tag | (cell_to_bits(cell) << 8), bytes, 0),
         DeviceEvent::ZoneReset { zone } => (tag, zone.raw(), 0),
+        DeviceEvent::FaultInjected { kind, chip, block } => {
+            let extra = match kind {
+                FaultKind::Program => 0u64,
+                FaultKind::Erase => 1,
+            };
+            (tag | (extra << 8), chip, block)
+        }
+        DeviceEvent::BlockRetired { chip, block } => (tag, chip, block),
+        DeviceEvent::ReadRetry { steps } => (tag, u64::from(steps), 0),
+        DeviceEvent::PowerCut { lost_slices } => (tag, lost_slices, 0),
+        DeviceEvent::RecoveryReplay {
+            recovered_slices,
+            lost_slices,
+        } => (tag, recovered_slices, lost_slices),
     }
 }
 
@@ -118,6 +132,22 @@ fn decode(tag_word: u64, a: u64, b: u64) -> Option<DeviceEvent> {
             bytes: a,
         },
         14 => DeviceEvent::ZoneReset { zone: ZoneId(a) },
+        15 => DeviceEvent::FaultInjected {
+            kind: if extra == 0 {
+                FaultKind::Program
+            } else {
+                FaultKind::Erase
+            },
+            chip: a,
+            block: b,
+        },
+        16 => DeviceEvent::BlockRetired { chip: a, block: b },
+        17 => DeviceEvent::ReadRetry { steps: a as u32 },
+        18 => DeviceEvent::PowerCut { lost_slices: a },
+        19 => DeviceEvent::RecoveryReplay {
+            recovered_slices: a,
+            lost_slices: b,
+        },
         _ => return None,
     })
 }
@@ -372,6 +402,23 @@ mod tests {
                 bytes: 0,
             },
             DeviceEvent::ZoneReset { zone: ZoneId(11) },
+            DeviceEvent::FaultInjected {
+                kind: FaultKind::Program,
+                chip: 2,
+                block: 17,
+            },
+            DeviceEvent::FaultInjected {
+                kind: FaultKind::Erase,
+                chip: 0,
+                block: 6,
+            },
+            DeviceEvent::BlockRetired { chip: 3, block: 8 },
+            DeviceEvent::ReadRetry { steps: 2 },
+            DeviceEvent::PowerCut { lost_slices: 14 },
+            DeviceEvent::RecoveryReplay {
+                recovered_slices: 9,
+                lost_slices: 14,
+            },
         ]
     }
 

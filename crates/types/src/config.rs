@@ -185,6 +185,77 @@ pub enum ZonePadding {
     SlcAligned,
 }
 
+/// Seeded fault-injection configuration of the flash fault plane.
+///
+/// All rates default to zero, which disables injection entirely: the fault
+/// plane never draws from its RNG, so a default-configured device is
+/// bit-identical (state *and* timing) to a build without the fault plane.
+/// Rates are per-operation probabilities in `[0, 1]`.
+///
+/// The fault RNG is seeded from [`FaultConfig::seed`] alone — independent
+/// of the workload and jitter seeds — so two runs with the same seed and
+/// the same operation sequence produce byte-identical fault schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed of the dedicated fault RNG.
+    pub seed: u64,
+    /// Probability that one program operation (unit or SLC batch) fails.
+    /// The failed slices are burned; the core re-issues the data elsewhere.
+    pub program_fail_rate: f64,
+    /// Probability that one block erase fails, permanently retiring the
+    /// block (it drops out of its superblock's usable set).
+    pub erase_fail_rate: f64,
+    /// Probability that one data page read needs read-retry: the sense is
+    /// repeated with stepped reference voltages, each step costing
+    /// [`FaultConfig::read_retry_step`] extra latency.
+    pub read_retry_rate: f64,
+    /// Program failures on one block before it is retired as a *grown bad
+    /// block*. Zero means program failures never retire a block.
+    pub grown_bad_threshold: u32,
+    /// Maximum retry steps of one read-retry event; the actual count is
+    /// drawn uniformly from `1..=max_read_retries`.
+    pub max_read_retries: u32,
+    /// Extra sense latency per read-retry step.
+    pub read_retry_step: SimDuration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            seed: 0xFA07_5EED,
+            program_fail_rate: 0.0,
+            erase_fail_rate: 0.0,
+            read_retry_rate: 0.0,
+            grown_bad_threshold: 0,
+            max_read_retries: 0,
+            read_retry_step: SimDuration::ZERO,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A fault config with the given per-operation rates and sensible
+    /// defaults for the remaining knobs (grown-bad after 2 program
+    /// failures, up to 3 read-retry steps of 25 µs each).
+    pub fn with_rates(program_fail: f64, erase_fail: f64, read_retry: f64) -> FaultConfig {
+        FaultConfig {
+            program_fail_rate: program_fail,
+            erase_fail_rate: erase_fail,
+            read_retry_rate: read_retry,
+            grown_bad_threshold: 2,
+            max_read_retries: 3,
+            read_retry_step: SimDuration::from_micros(25),
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Whether any fault class can fire.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.program_fail_rate > 0.0 || self.erase_fail_rate > 0.0 || self.read_retry_rate > 0.0
+    }
+}
+
 /// Complete configuration of a ConZone-style device.
 ///
 /// Build one with [`DeviceConfig::builder`]; the builder validates all
@@ -258,6 +329,11 @@ pub struct DeviceConfig {
     pub data_backing: bool,
     /// Seed for all stochastic elements (jitter models).
     pub seed: u64,
+    /// Fault-injection plane configuration (all-zero rates by default, i.e.
+    /// no faults). `#[serde(default)]` keeps older serialized configs
+    /// loadable.
+    #[serde(default)]
+    pub fault: FaultConfig,
 }
 
 impl DeviceConfig {
@@ -286,6 +362,7 @@ impl DeviceConfig {
                 conventional_zones: 0,
                 data_backing: false,
                 seed: 0x5eed_c0de,
+                fault: FaultConfig::default(),
             },
         }
     }
@@ -467,6 +544,10 @@ impl DeviceConfigBuilder {
         /// Sets the RNG seed for stochastic elements.
         seed: u64
     );
+    setter!(
+        /// Sets the fault-injection plane configuration.
+        fault: FaultConfig
+    );
 
     /// Validates and produces the configuration.
     ///
@@ -534,6 +615,24 @@ impl DeviceConfigBuilder {
                 cfg.conventional_zones,
                 cfg.zone_count()
             )));
+        }
+        for (name, rate) in [
+            ("program_fail_rate", cfg.fault.program_fail_rate),
+            ("erase_fail_rate", cfg.fault.erase_fail_rate),
+            ("read_retry_rate", cfg.fault.read_retry_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(ConfigError::new(format!(
+                    "fault {name} {rate} must be a probability in [0, 1]"
+                )));
+            }
+        }
+        if cfg.fault.read_retry_rate > 0.0
+            && (cfg.fault.max_read_retries == 0 || cfg.fault.read_retry_step == SimDuration::ZERO)
+        {
+            return Err(ConfigError::new(
+                "read_retry_rate needs max_read_retries > 0 and a non-zero read_retry_step",
+            ));
         }
         // Conventional data lives permanently in SLC; leave GC headroom.
         let conventional_bytes = cfg.conventional_zones as u64 * cfg.zone_size_bytes();
@@ -642,6 +741,37 @@ mod tests {
     fn cell_type_names() {
         assert_eq!(CellType::Slc.to_string(), "slc");
         assert_eq!(CellType::ALL.len(), 3);
+    }
+
+    #[test]
+    fn fault_config_defaults_and_validation() {
+        let cfg = DeviceConfig::tiny_for_tests();
+        assert!(!cfg.fault.enabled(), "defaults inject nothing");
+        assert_eq!(cfg.fault.program_fail_rate, 0.0);
+
+        let f = FaultConfig::with_rates(0.01, 0.02, 0.03);
+        assert!(f.enabled());
+        assert!(f.max_read_retries > 0);
+        assert!(DeviceConfig::builder(Geometry::tiny())
+            .chunk_bytes(256 * 1024)
+            .fault(f)
+            .build()
+            .is_ok());
+
+        let bad = FaultConfig::with_rates(1.5, 0.0, 0.0);
+        assert!(DeviceConfig::builder(Geometry::tiny())
+            .chunk_bytes(256 * 1024)
+            .fault(bad)
+            .build()
+            .is_err());
+
+        let mut retry = FaultConfig::with_rates(0.0, 0.0, 0.5);
+        retry.max_read_retries = 0;
+        assert!(DeviceConfig::builder(Geometry::tiny())
+            .chunk_bytes(256 * 1024)
+            .fault(retry)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -80,6 +80,19 @@ pub struct Counters {
     pub gc_migrated_slices: u64,
     /// Zone resets handled.
     pub zone_resets: u64,
+
+    /// Data-page reads that needed read-retry (sum of retry steps).
+    pub read_retries: u64,
+    /// Program operations that failed and were re-issued elsewhere.
+    pub program_failures: u64,
+    /// Blocks permanently retired (failed erases and grown bad blocks).
+    pub blocks_retired: u64,
+    /// Slices whose mapping was rebuilt from non-volatile SLC by the
+    /// remount replay after a power cut.
+    pub recovered_slices: u64,
+    /// Acknowledged-but-unflushed slices lost from volatile write buffers
+    /// at a power cut.
+    pub lost_slices: u64,
 }
 
 impl Counters {
@@ -95,10 +108,17 @@ impl Counters {
     }
 
     /// Write amplification factor: flash bytes programmed per host byte
-    /// written. Returns 0.0 when nothing has been written.
+    /// written. Returns 0.0 for a truly idle interval (nothing written,
+    /// nothing programmed) and `f64::INFINITY` when flash was programmed
+    /// without any host write — a GC-, patch- or recovery-only interval,
+    /// which a plain 0.0 would misreport as "no amplification".
     pub fn write_amplification(&self) -> f64 {
         if self.host_write_bytes == 0 {
-            0.0
+            if self.flash_program_bytes() > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
         } else {
             self.flash_program_bytes() as f64 / self.host_write_bytes as f64
         }
@@ -156,6 +176,11 @@ impl Counters {
             gc_runs,
             gc_migrated_slices,
             zone_resets,
+            read_retries,
+            program_failures,
+            blocks_retired,
+            recovered_slices,
+            lost_slices,
         )
     }
 
@@ -197,21 +222,32 @@ impl Counters {
             gc_runs,
             gc_migrated_slices,
             zone_resets,
+            read_retries,
+            program_failures,
+            blocks_retired,
+            recovered_slices,
+            lost_slices,
         )
     }
 }
 
 impl core::fmt::Display for Counters {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let waf = self.write_amplification();
+        let waf = if waf.is_finite() {
+            format!("{waf:.3}")
+        } else {
+            "inf".to_string()
+        };
         write!(
             f,
-            "host {}r/{}w MiB | flash {} MiB programmed (waf {:.3}) | \
+            "host {}r/{}w MiB | flash {} MiB programmed (waf {}) | \
              l2p {:.1}% miss | {} conflicts, {} premature, {} combines | \
              {} gc, {} resets",
             self.host_read_bytes >> 20,
             self.host_write_bytes >> 20,
             self.flash_program_bytes() >> 20,
-            self.write_amplification(),
+            waf,
             self.l2p_miss_rate() * 100.0,
             self.buffer_conflicts,
             self.premature_flushes,
@@ -237,8 +273,20 @@ mod tests {
 
     #[test]
     fn waf_zero_when_idle() {
+        // Truly idle: nothing written, nothing programmed.
         assert_eq!(Counters::new().write_amplification(), 0.0);
         assert_eq!(Counters::new().l2p_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn waf_infinite_when_flash_programmed_without_host_writes() {
+        // A GC- or recovery-only interval programs flash while the host is
+        // idle; that is infinite amplification, not zero.
+        let mut c = Counters::new();
+        c.flash_program_bytes_slc = 4096;
+        assert!(c.write_amplification().is_infinite());
+        let s = c.to_string();
+        assert!(s.contains("waf inf"), "{s}");
     }
 
     #[test]

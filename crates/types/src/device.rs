@@ -10,7 +10,7 @@
 
 use bytes::Bytes;
 
-use crate::addr::{ZoneId, SLICE_BYTES};
+use crate::addr::{LpnRange, ZoneId, SLICE_BYTES};
 use crate::config::DeviceConfig;
 use crate::counters::Counters;
 use crate::error::DeviceError;
@@ -282,6 +282,81 @@ pub trait ZonedDevice: StorageDevice {
     /// The zone containing byte `offset`.
     fn zone_of(&self, offset: u64) -> ZoneId {
         ZoneId(offset / self.zone_size())
+    }
+}
+
+/// Outcome of a [`PowerCycle::remount`] replay after an unclean power cut.
+///
+/// Recovery is reported at 4 KiB slice granularity: `recovered` lists the
+/// logical pages whose latest acknowledged contents survived in non-volatile
+/// media (the SLC secondary buffer) and were re-linked by the replay scan;
+/// `lost` lists the pages that only existed in volatile write buffers when
+/// power was cut. Both lists are coalesced into maximal runs and sorted, so
+/// two deterministic runs produce identical (`PartialEq`) reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Simulated time the power cut happened.
+    pub cut_at: SimTime,
+    /// Simulated time the remount replay finished.
+    pub finished: SimTime,
+    /// Slices whose mapping was rebuilt from non-volatile SLC.
+    pub recovered_slices: u64,
+    /// Acknowledged-but-unflushed slices lost from volatile buffers.
+    pub lost_slices: u64,
+    /// Logical pages recovered, as coalesced sorted runs.
+    pub recovered: Vec<LpnRange>,
+    /// Logical pages lost, as coalesced sorted runs.
+    pub lost: Vec<LpnRange>,
+}
+
+impl core::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "remount at {}: recovered {} slices ({} runs), lost {} slices ({} runs)",
+            self.finished,
+            self.recovered_slices,
+            self.recovered.len(),
+            self.lost_slices,
+            self.lost.len(),
+        )
+    }
+}
+
+/// Devices that model unclean power loss and recovery.
+///
+/// `power_cut` models yanking the plug at simulated time `now`: everything
+/// volatile (write buffers, L2P cache, unsynced mapping-log entries) is
+/// discarded instantly and the device stops servicing I/O. `remount` models
+/// the subsequent power-on: the device replays its non-volatile structures
+/// (SLC secondary buffer, persisted L2P log) and reports exactly which
+/// logical pages came back and which were lost.
+pub trait PowerCycle: StorageDevice {
+    /// Cuts power at `now`. Returns the number of acknowledged slices that
+    /// were lost from volatile buffers (also recorded in
+    /// [`Counters::lost_slices`] at the following [`PowerCycle::remount`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Unsupported`] on models without a power-loss model;
+    /// `Unsupported` also if power is already cut.
+    fn power_cut(&mut self, now: SimTime) -> Result<u64, DeviceError>;
+
+    /// Remounts the device after [`PowerCycle::power_cut`], replaying
+    /// non-volatile state and charging the simulated replay-scan latency.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Unsupported`] on models without a power-loss model,
+    /// or if power was never cut.
+    fn remount(&mut self, now: SimTime) -> Result<RecoveryReport, DeviceError>;
+
+    /// Acknowledged slices currently at risk from a power cut: volatile
+    /// buffered slices (would be lost) plus live SLC secondary-buffer
+    /// slices (would need replay). The crash proptest checks
+    /// `recovered_slices + lost_slices` against this value at the cut.
+    fn in_flight_slices(&self) -> u64 {
+        0
     }
 }
 

@@ -40,16 +40,20 @@ mod trace;
 
 pub use addr::{ChannelId, ChipId, ChunkId, Lpn, LpnRange, Ppa, SuperblockId, ZoneId, SLICE_BYTES};
 pub use config::{
-    CellType, DeviceConfig, DeviceConfigBuilder, MapGranularity, MediaLatency, MediaTimings,
-    SearchStrategy, ZonePadding,
+    CellType, DeviceConfig, DeviceConfigBuilder, FaultConfig, MapGranularity, MediaLatency,
+    MediaTimings, SearchStrategy, ZonePadding,
 };
 pub use counters::Counters;
-pub use device::{Completion, IoKind, IoRequest, StorageDevice, ZoneInfo, ZoneState, ZonedDevice};
+pub use device::{
+    Completion, IoKind, IoRequest, PowerCycle, RecoveryReport, StorageDevice, ZoneInfo, ZoneState,
+    ZonedDevice,
+};
 pub use error::{ConfigError, DeviceError};
 pub use geometry::{Geometry, PpaParts};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
-    CountingSink, DeviceEvent, FlushKind, L2pOutcome, MediaOp, Probe, TraceRecord, TraceSink,
+    CountingSink, DeviceEvent, FaultKind, FlushKind, L2pOutcome, MediaOp, Probe, TraceRecord,
+    TraceSink,
 };
 
 #[cfg(test)]

@@ -53,6 +53,16 @@ pub enum MediaOp {
     Erase,
 }
 
+/// Which fault class the fault plane injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A program operation failed; the affected slices are burned and the
+    /// data must be re-issued elsewhere.
+    Program,
+    /// A block erase failed; the block is retired on the spot.
+    Erase,
+}
+
 /// One device-internal event, stamped by the emitting [`Probe`] with the
 /// nanosecond simulation clock.
 ///
@@ -131,6 +141,42 @@ pub enum DeviceEvent {
         /// The reset zone.
         zone: ZoneId,
     },
+    /// The fault plane injected a fault into a media operation.
+    FaultInjected {
+        /// Fault class.
+        kind: FaultKind,
+        /// Chip holding the affected block.
+        chip: u64,
+        /// Block index within the chip.
+        block: u64,
+    },
+    /// A block was permanently retired (failed erase, or grown bad after
+    /// repeated program failures) and left its superblock's usable set.
+    BlockRetired {
+        /// Chip holding the retired block.
+        chip: u64,
+        /// Block index within the chip.
+        block: u64,
+    },
+    /// A data page read needed read-retry: `steps` extra stepped senses.
+    ReadRetry {
+        /// Retry steps performed (each costs the configured step latency).
+        steps: u32,
+    },
+    /// Power was cut: volatile write buffers dropped, `lost_slices`
+    /// acknowledged-but-unflushed slices discarded.
+    PowerCut {
+        /// Buffered slices lost across all zones.
+        lost_slices: u64,
+    },
+    /// Remount replayed the SLC secondary buffer and L2P log after a power
+    /// cut, rebuilding the mapping of `recovered_slices` slices.
+    RecoveryReplay {
+        /// Slices whose mapping was recovered from non-volatile SLC.
+        recovered_slices: u64,
+        /// Slices confirmed lost (they only existed in volatile buffers).
+        lost_slices: u64,
+    },
 }
 
 impl DeviceEvent {
@@ -163,6 +209,11 @@ impl DeviceEvent {
                 MediaOp::Erase => "media_erase",
             },
             DeviceEvent::ZoneReset { .. } => "zone_reset",
+            DeviceEvent::FaultInjected { .. } => "fault_injected",
+            DeviceEvent::BlockRetired { .. } => "block_retired",
+            DeviceEvent::ReadRetry { .. } => "read_retry",
+            DeviceEvent::PowerCut { .. } => "power_cut",
+            DeviceEvent::RecoveryReplay { .. } => "recovery_replay",
         }
     }
 
@@ -199,11 +250,16 @@ impl DeviceEvent {
                 op: MediaOp::Erase, ..
             } => 13,
             DeviceEvent::ZoneReset { .. } => 14,
+            DeviceEvent::FaultInjected { .. } => 15,
+            DeviceEvent::BlockRetired { .. } => 16,
+            DeviceEvent::ReadRetry { .. } => 17,
+            DeviceEvent::PowerCut { .. } => 18,
+            DeviceEvent::RecoveryReplay { .. } => 19,
         }
     }
 
     /// Number of distinct [`DeviceEvent::kind_index`] buckets.
-    pub const KIND_COUNT: usize = 15;
+    pub const KIND_COUNT: usize = 20;
 }
 
 /// A timestamped event as stored by collecting sinks.
@@ -404,6 +460,18 @@ mod tests {
                 bytes: 0,
             },
             DeviceEvent::ZoneReset { zone: ZoneId(0) },
+            DeviceEvent::FaultInjected {
+                kind: FaultKind::Program,
+                chip: 0,
+                block: 3,
+            },
+            DeviceEvent::BlockRetired { chip: 1, block: 4 },
+            DeviceEvent::ReadRetry { steps: 2 },
+            DeviceEvent::PowerCut { lost_slices: 7 },
+            DeviceEvent::RecoveryReplay {
+                recovered_slices: 5,
+                lost_slices: 7,
+            },
         ];
         let mut seen_idx = std::collections::HashSet::new();
         let mut seen_name = std::collections::HashSet::new();

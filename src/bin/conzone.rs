@@ -15,14 +15,14 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use conzone::host::{
-    parse_fio_jobs, replay_trace, run_job, run_job_sampled, AccessPattern, FioJob, JobReport,
-    MobileTraceBuilder, Trace, WorkloadPreset,
+    parse_fio_jobs, power_cycle_and_verify, replay_trace, run_job, run_job_sampled, run_job_until,
+    AccessPattern, FioJob, JobReport, MobileTraceBuilder, Trace, WorkloadPreset,
 };
 use conzone::sim::json::Json;
 use conzone::sim::{export, MetricsSample, RingBufferSink};
 use conzone::types::{
-    DeviceConfig, Geometry, MapGranularity, Probe, SearchStrategy, SimDuration, SimTime,
-    StorageDevice, ZoneId, ZonedDevice,
+    DeviceConfig, FaultConfig, Geometry, MapGranularity, Probe, SearchStrategy, SimDuration,
+    SimTime, StorageDevice, ZoneId, ZonedDevice,
 };
 use conzone::{ConZone, FemuZns, LegacyDevice};
 
@@ -150,7 +150,44 @@ fn build_config(args: &Args) -> Result<DeviceConfig, String> {
         builder =
             builder.conventional_zones(v.parse().map_err(|e| format!("bad --conventional: {e}"))?);
     }
+    if let Some(fault) = parse_fault(args)? {
+        builder = builder.fault(fault);
+    }
     builder.build().map_err(|e| e.to_string())
+}
+
+/// Builds the fault-plane configuration from `--fault-rates P,E,R`
+/// (program-fail, erase-fail, read-retry probabilities) and
+/// `--fault-seed N`. Returns `None` when neither flag is present, so the
+/// default zero-rate plane (bit-identical to a fault-free build) is kept.
+fn parse_fault(args: &Args) -> Result<Option<FaultConfig>, String> {
+    let rates = args.get("fault-rates");
+    let seed = args.get("fault-seed");
+    if rates.is_none() && seed.is_none() {
+        return Ok(None);
+    }
+    let mut fault = match rates {
+        Some(v) => {
+            let parts: Vec<&str> = v.split(',').map(str::trim).collect();
+            if parts.len() != 3 {
+                return Err(format!(
+                    "bad --fault-rates '{v}': expected program,erase,read-retry"
+                ));
+            }
+            let mut p = [0.0f64; 3];
+            for (slot, part) in p.iter_mut().zip(&parts) {
+                *slot = part
+                    .parse()
+                    .map_err(|e| format!("bad --fault-rates '{v}': {e}"))?;
+            }
+            FaultConfig::with_rates(p[0], p[1], p[2])
+        }
+        None => FaultConfig::default(),
+    };
+    if let Some(v) = seed {
+        fault.seed = v.parse().map_err(|e| format!("bad --fault-seed: {e}"))?;
+    }
+    Ok(Some(fault))
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {
@@ -337,8 +374,15 @@ fn print_report(report: &conzone::host::JobReport) {
 
 fn cmd_run(args: &Args) -> Result<(), String> {
     let obs = ObsOpts::from_args(args)?;
+    let power_cut = match args.get("power-cut-at") {
+        Some(v) => Some(parse_duration(v)?),
+        None => None,
+    };
     // A fio-style INI job file runs every section in order on one device.
     if let Some(path) = args.get("job") {
+        if power_cut.is_some() {
+            return Err("--power-cut-at is not supported with --job".to_string());
+        }
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let jobs = parse_fio_jobs(&text).map_err(|e| e.to_string())?;
         let cfg = build_config(args)?;
@@ -375,7 +419,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         write_observability(&obs, sink.as_deref(), &all_samples)?;
         return Ok(());
     }
-    let cfg = build_config(args)?;
+    let mut cfg = build_config(args)?;
+    if power_cut.is_some() {
+        // The crash verifier byte-compares recovered data, which needs the
+        // device to actually store payloads.
+        cfg.data_backing = true;
+    }
     let pattern = match args.get("pattern").unwrap_or("seqwrite") {
         "seqwrite" => AccessPattern::SeqWrite,
         "seqread" => AccessPattern::SeqRead,
@@ -399,13 +448,20 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let threads = args.num("threads", 1)? as usize;
     let zone_bytes = cfg.zone_size_bytes();
 
+    let wl_seed = args.num("seed", 7)?;
     let mut job = FioJob::new(pattern, bs)
         .threads(threads)
         .region(0, region)
         .bytes_per_thread(size / threads as u64)
-        .seed(args.num("seed", 7)?);
+        .seed(wl_seed);
+    if power_cut.is_some() {
+        job = job.verify(true);
+    }
 
     let device = args.get("device").unwrap_or("conzone");
+    if power_cut.is_some() && device != "conzone" {
+        return Err("--power-cut-at is only supported for --device conzone".to_string());
+    }
     // Reads need data on the device first. The probe attaches after the
     // fill so trace and metrics cover only the measured job.
     let needs_fill = pattern.is_read();
@@ -415,18 +471,33 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "conzone" => {
             let mut dev = ConZone::new(cfg);
             job = job.zone_bytes(zone_bytes);
+            let mut start = SimTime::ZERO;
             if needs_fill {
                 let fill = FioJob::new(AccessPattern::SeqWrite, 512 * 1024)
                     .zone_bytes(zone_bytes)
                     .region(0, region)
                     .bytes_per_thread(region);
                 let f = run_job(&mut dev, &fill).map_err(|e| e.to_string())?;
-                job = job.start_at(f.finished);
+                start = f.finished;
+                job = job.start_at(start);
             }
             if let Some(s) = &sink {
                 dev.set_probe(Probe::attached(s.clone()));
             }
-            let report = run_measured(&mut dev, &job, &obs)?;
+            let report = match power_cut {
+                Some(after) => {
+                    // Cut power mid-workload, remount and audit the
+                    // device's recovery claims against regenerated payloads.
+                    let cut_at = start + after;
+                    let report =
+                        run_job_until(&mut dev, &job, cut_at).map_err(|e| e.to_string())?;
+                    let verdict = power_cycle_and_verify(&mut dev, wl_seed, cut_at)
+                        .map_err(|e| e.to_string())?;
+                    eprintln!("recovery : {verdict}");
+                    report
+                }
+                None => run_measured(&mut dev, &job, &obs)?,
+            };
             breakdown = Some(dev.time_breakdown());
             if !obs.stats_json {
                 println!("time     : {}", dev.time_breakdown());
@@ -611,6 +682,8 @@ usage:
                     [--cache 12k] [--buffers 2] [--l2p-log 4096] [--conventional 2]
                     [--trace-out events.json] [--metrics-out metrics.jsonl]
                     [--metrics-interval 100ms] [--stats-json]
+                    [--fault-seed N] [--fault-rates 0.01,0.001,0.05]
+                    [--power-cut-at 400us]
   conzone replay    <trace-file> [--device conzone|femu] [--open-loop]
   conzone gen-trace [--preset boot|app-install|camera-burst|social-scroll]
                     [--bursts 8] [--burst-bytes 8m] [--reads 5000] [--out trace.txt]
@@ -772,6 +845,71 @@ mod tests {
         assert_eq!(cfg.max_aggregation, MapGranularity::Chunk);
         assert_eq!(cfg.l2p_cache_entries(), 256);
         assert_eq!(cfg.conventional_zones, 2);
+    }
+
+    #[test]
+    fn fault_flags_configure_the_plane() {
+        // Without fault flags the default zero-rate plane is kept.
+        let cfg = build_config(&args(&["info", "--config", "tiny"])).unwrap();
+        assert!(!cfg.fault.enabled());
+
+        let cfg = build_config(&args(&[
+            "info",
+            "--config",
+            "tiny",
+            "--fault-rates",
+            "0.1, 0.02, 0.3",
+            "--fault-seed",
+            "42",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.fault.program_fail_rate, 0.1);
+        assert_eq!(cfg.fault.erase_fail_rate, 0.02);
+        assert_eq!(cfg.fault.read_retry_rate, 0.3);
+        assert_eq!(cfg.fault.seed, 42);
+
+        // A seed alone re-seeds the default (disabled) plane.
+        let cfg = build_config(&args(&["info", "--config", "tiny", "--fault-seed", "9"])).unwrap();
+        assert!(!cfg.fault.enabled());
+        assert_eq!(cfg.fault.seed, 9);
+
+        // Malformed triples and out-of-range rates are rejected.
+        assert!(build_config(&args(&["info", "--fault-rates", "0.1,0.2"])).is_err());
+        assert!(build_config(&args(&["info", "--fault-rates", "0.1,x,0.3"])).is_err());
+        assert!(build_config(&args(&["info", "--fault-rates", "1.5,0,0"])).is_err());
+    }
+
+    #[test]
+    fn run_with_power_cut_recovers() {
+        let a = args(&[
+            "run",
+            "--config",
+            "tiny",
+            "--bs",
+            "8k",
+            "--size",
+            "1m",
+            "--region",
+            "1m",
+            "--fault-rates",
+            "0.05,0,0",
+            "--fault-seed",
+            "3",
+            "--power-cut-at",
+            "400us",
+        ]);
+        cmd_run(&a).expect("power-cut run ok");
+        // Baselines cannot power cycle; the CLI refuses up front.
+        let a = args(&[
+            "run",
+            "--config",
+            "tiny",
+            "--device",
+            "legacy",
+            "--power-cut-at",
+            "400us",
+        ]);
+        assert!(cmd_run(&a).is_err());
     }
 
     #[test]
