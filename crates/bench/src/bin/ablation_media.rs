@@ -55,7 +55,7 @@ fn run_media(cell: CellType) -> MediaResult {
     let w = run_job(&mut dev, &seq).expect("seq write");
 
     // Conflict (premature-flush) write bandwidth: Fig. 6(b) pattern.
-    let mut dev2 = ConZone::new(cfg.clone());
+    let mut dev2 = ConZone::new(cfg);
     let conflict = FioJob::new(AccessPattern::SeqWrite, 48 * 1024)
         .zone_bytes(zone)
         .threads(2)

@@ -83,7 +83,7 @@ fn run_legacy(use_trim: bool) -> Outcome {
     Outcome {
         user_waf: c.flash_program_bytes() as f64 / user_bytes as f64,
         erases: c.erases_normal + c.erases_slc,
-        device_migrated_mib: (c.gc_migrated_slices * 4096) as f64 / (1 << 20) as f64,
+        device_migrated_mib: (c.gc_migrated_slices * 4096) as f64 / f64::from(1 << 20),
         host_copied_mib: 0.0,
         lifetime_tib: user_bytes as f64
             / wear
@@ -238,8 +238,8 @@ fn run_conzone() -> Outcome {
     Outcome {
         user_waf: c.flash_program_bytes() as f64 / user_bytes as f64,
         erases: c.erases_normal + c.erases_slc,
-        device_migrated_mib: (c.gc_migrated_slices * 4096) as f64 / (1 << 20) as f64,
-        host_copied_mib: (host_copied * EXTENT) as f64 / (1 << 20) as f64,
+        device_migrated_mib: (c.gc_migrated_slices * 4096) as f64 / f64::from(1 << 20),
+        host_copied_mib: (host_copied * EXTENT) as f64 / f64::from(1 << 20),
         lifetime_tib: user_bytes as f64
             / wear
                 .slc

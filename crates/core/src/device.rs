@@ -254,8 +254,9 @@ impl StorageDevice for ConZone {
                 capacity: self.cfg.capacity_bytes(),
             });
         }
-        let range = LpnRange::covering_bytes(request.offset, request.len)
-            .expect("validated request is non-empty");
+        let range = LpnRange::covering_bytes(request.offset, request.len).ok_or_else(|| {
+            DeviceError::Internal("validated request covers no logical pages".to_string())
+        })?;
         match request.kind {
             IoKind::Write => {
                 self.counters.host_write_ops += 1;
@@ -301,6 +302,7 @@ impl StorageDevice for ConZone {
             t = self.flush_buffer(t, buf, true)?;
         }
         t = self.maybe_flush_l2p_log(t);
+        self.debug_assert_invariants("after host flush");
         Ok(Completion {
             submitted: now,
             finished: t + self.cfg.host_overhead,

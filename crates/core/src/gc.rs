@@ -65,6 +65,7 @@ impl ConZone {
                 migrated_slices: ppas.len() as u64,
             },
         );
+        self.debug_assert_invariants_during_io("after SLC garbage collection");
         Ok(t_erase)
     }
 
@@ -77,16 +78,13 @@ impl ConZone {
         old_ppas: &[Ppa],
         data: Option<&[u8]>,
     ) -> Result<SimTime, DeviceError> {
-        let lpns: Vec<Lpn> = old_ppas
-            .iter()
-            .map(|ppa| {
-                *self
-                    .slc
-                    .owner
-                    .get(ppa)
-                    .expect("every live SLC slice has an owner")
-            })
-            .collect();
+        let mut lpns: Vec<Lpn> = Vec::with_capacity(old_ppas.len());
+        for ppa in old_ppas {
+            let lpn = *self.slc.owner.get(ppa).ok_or_else(|| {
+                DeviceError::Internal(format!("live SLC slice {ppa} has no owner"))
+            })?;
+            lpns.push(lpn);
+        }
 
         // Program into the SLC stream without recursive GC: the free-list
         // threshold guarantees a destination superblock is available.
@@ -216,6 +214,7 @@ impl ConZone {
         self.zones[zidx].reset();
         self.counters.zone_resets += 1;
         self.probe.emit(t, DeviceEvent::ZoneReset { zone: zone_id });
+        self.debug_assert_invariants("after zone reset");
         Ok(t + self.cfg.host_overhead)
     }
 

@@ -1,0 +1,620 @@
+//! Debug-mode structural invariant checker.
+//!
+//! The emulator's correctness rests on a handful of cross-structure
+//! agreements — the L2P table, the flash validity bitmaps, the SLC owner
+//! map and the per-zone write-pointer bookkeeping must all describe the
+//! same device state. [`ConZone::check_invariants`] walks the full state
+//! and returns every disagreement it finds; the `debug_assert_invariants`
+//! hooks run it after every SLC garbage-collection pass and every
+//! power-cycle remount in debug and test builds, and compile to nothing
+//! in release builds (the checker is `O(capacity)` per call).
+//!
+//! The invariants, and the corruption each one catches:
+//!
+//! 1. **L2P ↔ flash bijection.** Every mapped logical page points at a
+//!    distinct physical slice that the flash array marks valid, and the
+//!    total number of valid slices equals the mapped-entry count. A
+//!    duplicate PPA means two logical pages alias one slice (a botched
+//!    relocate); an unmapped valid slice is leaked flash space (an
+//!    invalidate forgotten on the overwrite path).
+//! 2. **Zone write-pointer ordering.** Per zone, `staged.len() ≤
+//!    flushed_slices ≤ wp_slices ≤ zone_slices`; the staged run is the
+//!    contiguous tail of the durable prefix; any gap between `wp` and
+//!    `flushed` is exactly the data sitting in the zone's volatile buffer.
+//! 3. **SLC owner bijection.** The owner map covers exactly the valid
+//!    slices of the SLC region, and every entry agrees with the mapping
+//!    table. A dangling owner entry (pointing at an invalid slice) is the
+//!    GC-migration bug class; a valid SLC slice missing from the owner map
+//!    would be lost by zone reset and remount, which iterate the owner.
+//! 4. **No dangling references into retired blocks.** A grown-bad block
+//!    may legitimately hold live data until GC migrates it out, but an
+//!    owner entry pointing at an *erased* slice of a retired block means a
+//!    migration skipped the block and forgot the entry.
+//! 5. **SLC free-list hygiene.** The free/used/active superblock lists
+//!    partition the SLC region with no duplicates, and every free
+//!    superblock is fully erased.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use conzone_types::{ChipId, Lpn, Ppa, ZoneId, ZoneState};
+
+use crate::device::ConZone;
+
+/// Which structural invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum InvariantKind {
+    /// Two mapped logical pages share one physical slice.
+    MappingDuplicatePpa,
+    /// A mapped logical page points at a slice the flash marks invalid.
+    MappingInvalidSlice,
+    /// Valid-slice total disagrees with the mapped-entry count.
+    MappingCountMismatch,
+    /// A zone's write-pointer ordering or buffer linkage is inconsistent.
+    ZoneAccounting,
+    /// A zone's staged run is not the contiguous tail of its durable
+    /// prefix, or a staged reference disagrees with the table/owner.
+    StagedRun,
+    /// An SLC owner entry points outside the SLC region.
+    OwnerOutsideSlc,
+    /// An SLC owner entry points at an invalid (erased or superseded)
+    /// slice of a healthy block.
+    OwnerDangling,
+    /// An SLC owner entry disagrees with the mapping table.
+    OwnerTableMismatch,
+    /// A valid SLC slice has no owner entry (would be lost on remount).
+    OwnerMissing,
+    /// An owner entry references an erased slice of a retired block.
+    RetiredReference,
+    /// The SLC free/used/active lists do not partition the region, or a
+    /// free superblock is not erased.
+    SlcPartition,
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            InvariantKind::MappingDuplicatePpa => "mapping-duplicate-ppa",
+            InvariantKind::MappingInvalidSlice => "mapping-invalid-slice",
+            InvariantKind::MappingCountMismatch => "mapping-count-mismatch",
+            InvariantKind::ZoneAccounting => "zone-accounting",
+            InvariantKind::StagedRun => "staged-run",
+            InvariantKind::OwnerOutsideSlc => "owner-outside-slc",
+            InvariantKind::OwnerDangling => "owner-dangling",
+            InvariantKind::OwnerTableMismatch => "owner-table-mismatch",
+            InvariantKind::OwnerMissing => "owner-missing",
+            InvariantKind::RetiredReference => "retired-reference",
+            InvariantKind::SlcPartition => "slc-partition",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One structural disagreement found by [`ConZone::check_invariants`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// Human-readable description naming the offending addresses.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.detail)
+    }
+}
+
+fn violation(out: &mut Vec<InvariantViolation>, kind: InvariantKind, detail: String) {
+    out.push(InvariantViolation { kind, detail });
+}
+
+#[cfg(debug_assertions)]
+#[track_caller]
+fn panic_on_violations(violations: Vec<InvariantViolation>, context: &str) {
+    if !violations.is_empty() {
+        let list: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        panic!(
+            "device invariants violated {context}:\n  {}",
+            list.join("\n  ")
+        );
+    }
+}
+
+impl ConZone {
+    /// Walks the full device state and returns every structural invariant
+    /// violation found (empty when the device is consistent).
+    ///
+    /// Always compiled — tests assert on the returned list directly — but
+    /// only the `debug_assert_invariants` hooks call it automatically, and
+    /// those are debug/test-only.
+    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        self.check_invariants_inner(true)
+    }
+
+    /// Like [`ConZone::check_invariants`], but restricted to the subset
+    /// that holds *mid-request* — GC runs nested inside the write path,
+    /// where a buffer may have drained before `flushed_slices` advanced
+    /// and a superseded mapping may await its `table.set` to the fresh
+    /// location. The L2P ↔ flash bijection and the buffer-linkage /
+    /// staged-run-shape equalities are quiescent-only; the SLC owner,
+    /// SLC partition and write-pointer ordering checks always apply.
+    fn check_invariants_during_io(&self) -> Vec<InvariantViolation> {
+        self.check_invariants_inner(false)
+    }
+
+    fn check_invariants_inner(&self, quiescent: bool) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        if quiescent {
+            self.check_mapping_bijection(&mut out);
+        }
+        self.check_zone_accounting(&mut out, quiescent);
+        self.check_slc_owner(&mut out);
+        self.check_slc_partition(&mut out);
+        out
+    }
+
+    /// Panics with the violation list if any invariant is broken.
+    /// Compiled out entirely in release builds.
+    #[cfg(debug_assertions)]
+    #[track_caller]
+    pub(crate) fn debug_assert_invariants(&self, context: &str) {
+        panic_on_violations(self.check_invariants(), context);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    pub(crate) fn debug_assert_invariants(&self, _context: &str) {}
+
+    /// Mid-IO variant of [`ConZone::debug_assert_invariants`] for hooks
+    /// that fire nested inside a host request (the GC step).
+    #[cfg(debug_assertions)]
+    #[track_caller]
+    pub(crate) fn debug_assert_invariants_during_io(&self, context: &str) {
+        panic_on_violations(self.check_invariants_during_io(), context);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    pub(crate) fn debug_assert_invariants_during_io(&self, _context: &str) {}
+
+    /// Invariant 1: the mapping table is injective onto the valid slices
+    /// of the flash array, and covers all of them.
+    fn check_mapping_bijection(&self, out: &mut Vec<InvariantViolation>) {
+        let mut seen: BTreeMap<Ppa, Lpn> = BTreeMap::new();
+        let mut mapped = 0u64;
+        for (lpn, entry) in self.table.iter_mapped() {
+            mapped += 1;
+            if let Some(prev) = seen.insert(entry.ppa, lpn) {
+                violation(
+                    out,
+                    InvariantKind::MappingDuplicatePpa,
+                    format!("{prev} and {lpn} both map to {}", entry.ppa),
+                );
+            }
+            if !self.slice_valid(entry.ppa) {
+                violation(
+                    out,
+                    InvariantKind::MappingInvalidSlice,
+                    format!("{lpn} maps to invalid slice {}", entry.ppa),
+                );
+            }
+        }
+        let valid = self.total_valid_slices();
+        if valid != mapped {
+            violation(
+                out,
+                InvariantKind::MappingCountMismatch,
+                format!("{valid} valid flash slices but {mapped} mapped entries"),
+            );
+        }
+    }
+
+    /// Invariant 2: per-zone write-pointer ordering, buffer linkage and
+    /// staged-run contiguity. The buffer-linkage equality only holds
+    /// between host requests (`quiescent`).
+    fn check_zone_accounting(&self, out: &mut Vec<InvariantViolation>, quiescent: bool) {
+        let zs = self.zone_slices();
+        for (zidx, zone) in self.zones.iter().enumerate() {
+            let wp = zone.wp_slices;
+            let flushed = zone.flushed_slices;
+            let staged = zone.staged.len() as u64;
+            if !(flushed <= wp && wp <= zs) {
+                violation(
+                    out,
+                    InvariantKind::ZoneAccounting,
+                    format!(
+                        "zone {zidx}: flushed {flushed} / wp {wp} \
+                         violate flushed <= wp <= {zs}"
+                    ),
+                );
+                continue;
+            }
+            // Mid-IO, freshly staged entries may precede the matching
+            // `flushed_slices` update, so the run-shape checks are
+            // quiescent-only.
+            if quiescent && staged > flushed {
+                violation(
+                    out,
+                    InvariantKind::StagedRun,
+                    format!("zone {zidx}: {staged} staged slices exceed durable prefix {flushed}"),
+                );
+                continue;
+            }
+            // The gap between wp and the durable prefix is exactly the
+            // data sitting in the zone's volatile buffer.
+            if quiescent {
+                let buf = &self.buffers[zidx % self.buffers.len()];
+                let buffered = if buf.owner == Some(ZoneId(zidx as u64)) {
+                    if !buf.is_empty() && buf.start_offset != flushed {
+                        violation(
+                            out,
+                            InvariantKind::ZoneAccounting,
+                            format!(
+                                "zone {zidx}: buffer starts at {} but durable prefix is {flushed}",
+                                buf.start_offset
+                            ),
+                        );
+                    }
+                    buf.slices
+                } else {
+                    0
+                };
+                if wp != flushed + buffered {
+                    violation(
+                        out,
+                        InvariantKind::ZoneAccounting,
+                        format!("zone {zidx}: wp {wp} != flushed {flushed} + buffered {buffered}"),
+                    );
+                }
+            }
+            if zone.state == ZoneState::Empty && wp != 0 {
+                violation(
+                    out,
+                    InvariantKind::ZoneAccounting,
+                    format!("zone {zidx}: Empty with wp {wp}"),
+                );
+            }
+            // The staged run is the contiguous tail of the durable prefix,
+            // and each reference agrees with the table and the owner map.
+            let base = zidx as u64 * zs;
+            let start = flushed.saturating_sub(staged);
+            for (i, s) in zone.staged.iter().enumerate() {
+                let expect_lpn = Lpn(base + start + i as u64);
+                if quiescent && s.lpn != expect_lpn {
+                    violation(
+                        out,
+                        InvariantKind::StagedRun,
+                        format!(
+                            "zone {zidx}: staged[{i}] holds {} but the contiguous run \
+                             expects {expect_lpn}",
+                            s.lpn
+                        ),
+                    );
+                    continue;
+                }
+                match self.table.get(s.lpn) {
+                    Some(e) if e.ppa == s.ppa => {}
+                    Some(e) => violation(
+                        out,
+                        InvariantKind::StagedRun,
+                        format!(
+                            "zone {zidx}: staged {} at {} but the table maps it to {}",
+                            s.lpn, s.ppa, e.ppa
+                        ),
+                    ),
+                    None => violation(
+                        out,
+                        InvariantKind::StagedRun,
+                        format!("zone {zidx}: staged {} at {} is unmapped", s.lpn, s.ppa),
+                    ),
+                }
+                if self.slc.owner.get(&s.ppa) != Some(&s.lpn) {
+                    violation(
+                        out,
+                        InvariantKind::StagedRun,
+                        format!(
+                            "zone {zidx}: staged {} at {} missing from the SLC owner map",
+                            s.lpn, s.ppa
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Invariants 3 and 4: the SLC owner map covers exactly the valid SLC
+    /// slices, agrees with the mapping table, and never dangles into an
+    /// erased slice of a retired block.
+    fn check_slc_owner(&self, out: &mut Vec<InvariantViolation>) {
+        let geometry = self.flash.geometry();
+        for (&ppa, &lpn) in &self.slc.owner {
+            if !geometry.is_slc(ppa) {
+                violation(
+                    out,
+                    InvariantKind::OwnerOutsideSlc,
+                    format!("owner entry {ppa} -> {lpn} is outside the SLC region"),
+                );
+                continue;
+            }
+            if !self.slice_valid(ppa) {
+                let parts = geometry.decode_ppa(ppa);
+                if self.flash.is_block_retired(parts.chip, parts.block) {
+                    violation(
+                        out,
+                        InvariantKind::RetiredReference,
+                        format!(
+                            "owner entry {ppa} -> {lpn} references an erased slice of \
+                             retired block {} on chip {}",
+                            parts.block, parts.chip
+                        ),
+                    );
+                } else {
+                    violation(
+                        out,
+                        InvariantKind::OwnerDangling,
+                        format!("owner entry {ppa} -> {lpn} points at an invalid slice"),
+                    );
+                }
+            }
+            match self.table.get(lpn) {
+                Some(e) if e.ppa == ppa => {}
+                Some(e) => violation(
+                    out,
+                    InvariantKind::OwnerTableMismatch,
+                    format!(
+                        "owner says {lpn} lives at {ppa} but the table says {}",
+                        e.ppa
+                    ),
+                ),
+                None => violation(
+                    out,
+                    InvariantKind::OwnerTableMismatch,
+                    format!("owner entry {ppa} -> {lpn} but {lpn} is unmapped"),
+                ),
+            }
+        }
+        // Reverse direction: every valid SLC slice must be owned, or zone
+        // reset and remount (which iterate the owner map) would miss it.
+        let slc_blocks = self.cfg.geometry.slc_blocks_per_chip;
+        for chip in 0..self.cfg.geometry.nchips() {
+            let chip = ChipId(chip as u64);
+            for block in 0..slc_blocks {
+                let base = self.flash.block_base(chip, block);
+                for idx in self.flash.block(chip, block).iter_valid() {
+                    let ppa = base.offset(idx as u64);
+                    if !self.slc.owner.contains_key(&ppa) {
+                        violation(
+                            out,
+                            InvariantKind::OwnerMissing,
+                            format!("valid SLC slice {ppa} has no owner entry"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invariant 5: the free/used/active lists partition the SLC region,
+    /// and free superblocks are erased.
+    fn check_slc_partition(&self, out: &mut Vec<InvariantViolation>) {
+        let total = self.cfg.geometry.slc_superblocks() as u64;
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let all = self
+            .slc
+            .free
+            .iter()
+            .chain(self.slc.used.iter())
+            .chain(self.slc.active.iter());
+        for sb in all {
+            if sb.raw() >= total {
+                violation(
+                    out,
+                    InvariantKind::SlcPartition,
+                    format!("superblock {sb} is outside the {total}-superblock SLC region"),
+                );
+            }
+            if !seen.insert(sb.raw()) {
+                violation(
+                    out,
+                    InvariantKind::SlcPartition,
+                    format!("superblock {sb} appears on more than one SLC list"),
+                );
+            }
+        }
+        if seen.len() as u64 != total {
+            violation(
+                out,
+                InvariantKind::SlcPartition,
+                format!(
+                    "SLC lists track {} superblocks but the region has {total}",
+                    seen.len()
+                ),
+            );
+        }
+        for &sb in &self.slc.free {
+            if !self.flash.superblock_erased(sb) {
+                violation(
+                    out,
+                    InvariantKind::SlcPartition,
+                    format!("free superblock {sb} is not erased"),
+                );
+            }
+        }
+    }
+
+    /// Whether the flash array marks `ppa` as holding live data.
+    fn slice_valid(&self, ppa: Ppa) -> bool {
+        let parts = self.cfg.geometry.decode_ppa(ppa);
+        let in_block = parts.page * self.cfg.geometry.slices_per_page() + parts.slice;
+        self.flash.block(parts.chip, parts.block).is_valid(in_block)
+    }
+
+    /// Total valid slices across the whole array.
+    fn total_valid_slices(&self) -> u64 {
+        let mut total = 0u64;
+        for chip in 0..self.cfg.geometry.nchips() {
+            let chip = ChipId(chip as u64);
+            for block in 0..self.cfg.geometry.blocks_per_chip {
+                total += self.flash.block(chip, block).valid_count() as u64;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conzone_types::{DeviceConfig, IoRequest, SimTime, StorageDevice};
+
+    use crate::device::ConZone;
+
+    fn kinds(violations: &[InvariantViolation]) -> Vec<InvariantKind> {
+        violations.iter().map(|v| v.kind).collect()
+    }
+
+    /// A device with both canonical zone data and SLC-staged slices: one
+    /// full programming unit plus a 3-slice remainder, drained by a host
+    /// flush (premature flush into the SLC secondary buffer).
+    fn seeded() -> ConZone {
+        let mut dev = ConZone::new(DeviceConfig::tiny_for_tests());
+        let unit = dev.cfg.geometry.program_unit_bytes as u64;
+        let t = dev
+            .submit(SimTime::ZERO, &IoRequest::write(0, unit + 3 * 4096))
+            .expect("seed write")
+            .finished;
+        dev.flush(t).expect("seed flush");
+        dev
+    }
+
+    #[test]
+    fn seeded_device_is_consistent() {
+        let dev = seeded();
+        assert!(dev.slc.owner.len() >= 3, "remainder staged in SLC");
+        assert_eq!(dev.check_invariants(), Vec::new());
+    }
+
+    #[test]
+    fn duplicate_ppa_is_detected() {
+        let mut dev = seeded();
+        let mapped: Vec<(Lpn, conzone_ftl::MapEntry)> = dev.table.iter_mapped().collect();
+        let (_, first) = mapped[0];
+        let (second_lpn, _) = mapped[1];
+        dev.table.relocate(second_lpn, first.ppa);
+        let v = dev.check_invariants();
+        assert!(
+            kinds(&v).contains(&InvariantKind::MappingDuplicatePpa),
+            "expected duplicate-ppa violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn mapping_to_unwritten_slice_is_detected() {
+        let mut dev = seeded();
+        let (lpn, _) = dev.table.iter_mapped().next().expect("mapped entry");
+        // Last normal block of chip 0 is untouched by the seed workload.
+        let bogus = dev
+            .flash
+            .block_base(ChipId(0), dev.cfg.geometry.blocks_per_chip - 1);
+        dev.table.relocate(lpn, bogus);
+        let v = dev.check_invariants();
+        assert!(
+            kinds(&v).contains(&InvariantKind::MappingInvalidSlice),
+            "expected invalid-slice violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn valid_slice_without_owner_is_detected() {
+        let mut dev = seeded();
+        let (&ppa, _) = dev.slc.owner.iter().next().expect("slc-resident slice");
+        dev.slc.owner.remove(&ppa);
+        let v = dev.check_invariants();
+        assert!(
+            kinds(&v).contains(&InvariantKind::OwnerMissing),
+            "expected owner-missing violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn dangling_owner_entry_is_detected() {
+        let mut dev = seeded();
+        // An SLC slice far past the write stream: in-region but unwritten.
+        let dangling = dev
+            .flash
+            .block_base(ChipId(1), dev.cfg.geometry.slc_blocks_per_chip - 1)
+            .offset(5);
+        dev.slc.owner.insert(dangling, Lpn(0));
+        let v = dev.check_invariants();
+        assert!(
+            kinds(&v).contains(&InvariantKind::OwnerDangling),
+            "expected owner-dangling violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn owner_entry_outside_slc_is_detected() {
+        let mut dev = seeded();
+        let outside = dev
+            .flash
+            .block_base(ChipId(0), dev.cfg.geometry.blocks_per_chip - 1);
+        dev.slc.owner.insert(outside, Lpn(0));
+        let v = dev.check_invariants();
+        assert!(
+            kinds(&v).contains(&InvariantKind::OwnerOutsideSlc),
+            "expected owner-outside-slc violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn write_pointer_corruption_is_detected() {
+        let mut dev = seeded();
+        dev.zones[0].wp_slices += 5;
+        let v = dev.check_invariants();
+        assert!(
+            kinds(&v).contains(&InvariantKind::ZoneAccounting),
+            "expected zone-accounting violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn staged_reference_corruption_is_detected() {
+        let mut dev = seeded();
+        let zidx = (0..dev.zones.len())
+            .find(|&z| !dev.zones[z].staged.is_empty())
+            .expect("seed leaves staged slices");
+        dev.zones[zidx].staged[0].ppa = dev.zones[zidx].staged[0].ppa.offset(1000);
+        let v = dev.check_invariants();
+        assert!(
+            kinds(&v).contains(&InvariantKind::StagedRun),
+            "expected staged-run violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn slc_list_duplicate_is_detected() {
+        let mut dev = seeded();
+        let dup = dev.slc.free.front().copied().expect("free superblock");
+        dev.slc.free.push_back(dup);
+        let v = dev.check_invariants();
+        assert!(
+            kinds(&v).contains(&InvariantKind::SlcPartition),
+            "expected slc-partition violation, got {v:?}"
+        );
+    }
+
+    // Release builds compile the hook to a no-op, so the panic only
+    // exists under debug_assertions — which is also the property under
+    // test: zero release-mode cost.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "device invariants violated")]
+    fn debug_hook_panics_on_corruption() {
+        let mut dev = seeded();
+        let (&ppa, _) = dev.slc.owner.iter().next().expect("slc-resident slice");
+        dev.slc.owner.remove(&ppa);
+        dev.debug_assert_invariants("in a corruption test");
+    }
+}

@@ -30,6 +30,9 @@
 //! # Ok::<(), conzone_types::DeviceError>(())
 //! ```
 
+// Unit tests assert freely; the `clippy::unwrap_used` deny (Cargo.toml
+// `[lints]`) is meant for library code reachable from the simulator.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -38,6 +41,7 @@ mod breakdown;
 mod buffer;
 mod device;
 mod gc;
+mod invariants;
 mod lifecycle;
 mod power;
 mod read;
@@ -47,6 +51,9 @@ mod zone;
 
 pub use breakdown::TimeBreakdown;
 pub use device::ConZone;
+pub use invariants::{InvariantKind, InvariantViolation};
 
+#[cfg(test)]
+mod proptests;
 #[cfg(test)]
 mod tests;

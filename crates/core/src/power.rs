@@ -158,6 +158,7 @@ impl PowerCycle for ConZone {
                 lost_slices: cut.lost_slices,
             },
         );
+        self.debug_assert_invariants("after power-cycle remount");
         Ok(RecoveryReport {
             cut_at: cut.cut_at,
             finished: finish,

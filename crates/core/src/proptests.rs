@@ -1,0 +1,128 @@
+//! Property-based test: the structural invariants stay green under random
+//! workloads that exercise every path — sequential and conventional
+//! writes, flushes, zone resets, SLC garbage collection, fault injection
+//! and power cycles. Each operation sequence ends with a full
+//! [`ConZone::check_invariants`] sweep; the in-path debug hooks fire
+//! along the way via `debug_assert_invariants`.
+
+use proptest::prelude::*;
+
+use conzone_types::{
+    DeviceConfig, DeviceError, FaultConfig, Geometry, IoRequest, PowerCycle, SimTime,
+    StorageDevice, ZoneId, ZonedDevice, SLICE_BYTES,
+};
+
+use crate::ConZone;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append `slices` at a sequential zone's write pointer.
+    Write { zone: u8, slices: u8 },
+    /// Overwrite `slices` at `offset` inside the conventional zone.
+    Conventional { offset: u8, slices: u8 },
+    /// Drain every write buffer.
+    Flush,
+    /// Reset a sequential zone.
+    Reset { zone: u8 },
+    /// Power-cut and immediately remount.
+    PowerCycle,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => (any::<u8>(), 1u8..48).prop_map(|(zone, slices)| Op::Write { zone, slices }),
+            2 => (any::<u8>(), 1u8..16)
+                .prop_map(|(offset, slices)| Op::Conventional { offset, slices }),
+            1 => Just(Op::Flush),
+            1 => any::<u8>().prop_map(|zone| Op::Reset { zone }),
+            1 => Just(Op::PowerCycle),
+        ],
+        1..60,
+    )
+}
+
+fn device(faults: bool) -> ConZone {
+    let mut b = DeviceConfig::builder(Geometry::tiny())
+        .chunk_bytes(256 * 1024)
+        .conventional_zones(1);
+    if faults {
+        b = b.fault(FaultConfig::with_rates(0.05, 0.02, 0.1));
+    }
+    ConZone::new(b.build().expect("proptest config"))
+}
+
+/// Applies one op, treating well-formed rejections (zone full, open-zone
+/// limit, out of space) as no-ops: the property is that *accepted*
+/// operations never corrupt structural state.
+fn apply(dev: &mut ConZone, t: SimTime, op: &Op) -> Result<SimTime, DeviceError> {
+    let zone_bytes = dev.config().zone_size_bytes();
+    let zones = dev.zone_count() as u64;
+    let r = match *op {
+        Op::Write { zone, slices } => {
+            // Sequential zones start after the conventional zone 0.
+            let zone = 1 + (u64::from(zone) % (zones - 1));
+            let wp = dev
+                .zone_info(ZoneId(zone))
+                .expect("zone info")
+                .write_pointer;
+            let len = (u64::from(slices) * SLICE_BYTES).min(zone_bytes - wp);
+            if len == 0 {
+                return Ok(t);
+            }
+            dev.submit(t, &IoRequest::write(zone * zone_bytes + wp, len))
+                .map(|c| c.finished)
+        }
+        Op::Conventional { offset, slices } => {
+            let zone_slices = zone_bytes / SLICE_BYTES;
+            let offset = u64::from(offset) % zone_slices;
+            let len = u64::from(slices).min(zone_slices - offset) * SLICE_BYTES;
+            dev.submit(t, &IoRequest::write(offset * SLICE_BYTES, len))
+                .map(|c| c.finished)
+        }
+        Op::Flush => dev.flush(t).map(|c| c.finished),
+        Op::Reset { zone } => {
+            let zone = 1 + (u64::from(zone) % (zones - 1));
+            dev.reset_zone(t, ZoneId(zone)).map(|c| c.finished)
+        }
+        Op::PowerCycle => {
+            dev.power_cut(t).expect("power cut");
+            dev.remount(t).map(|r| r.finished)
+        }
+    };
+    match r {
+        Ok(finish) => Ok(finish),
+        Err(
+            DeviceError::ZoneFull { .. }
+            | DeviceError::TooManyOpenZones { .. }
+            | DeviceError::NoFreeSpace { .. }
+            | DeviceError::NotWritePointer { .. }
+            | DeviceError::ZoneBoundary { .. },
+        ) => Ok(t),
+        Err(e) => Err(e),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random workloads — with and without fault injection — leave the
+    /// device structurally consistent after every operation sequence.
+    #[test]
+    fn invariants_hold_under_random_workload(ops in ops(), faults in any::<bool>()) {
+        let mut dev = device(faults);
+        let mut t = SimTime::ZERO;
+        for op in &ops {
+            match apply(&mut dev, t, op) {
+                Ok(finish) => t = finish,
+                Err(e) => prop_assert!(false, "op {op:?} failed: {e}"),
+            }
+        }
+        let violations = dev.check_invariants();
+        prop_assert!(
+            violations.is_empty(),
+            "violations after {} ops: {violations:?}",
+            ops.len()
+        );
+    }
+}

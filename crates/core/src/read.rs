@@ -86,10 +86,11 @@ impl ConZone {
                             outcome: L2pOutcome::Miss,
                         },
                     );
-                    let actual = self
-                        .table
-                        .granularity_of(lpn)
-                        .expect("durable data below the write pointer is always mapped");
+                    let actual = self.table.granularity_of(lpn).ok_or_else(|| {
+                        DeviceError::Internal(format!(
+                            "durable {lpn} below the write pointer is unmapped"
+                        ))
+                    })?;
                     let fetches = conzone_ftl::mapping_fetches(self.cfg.search_strategy, actual);
                     let page_bytes = self.cfg.geometry.page_bytes as u64;
                     let media = self.cfg.mapping_media;
@@ -108,10 +109,9 @@ impl ConZone {
                     }
                 }
             }
-            let entry = self
-                .table
-                .get(lpn)
-                .expect("durable data below the write pointer is always mapped");
+            let entry = self.table.get(lpn).ok_or_else(|| {
+                DeviceError::Internal(format!("durable {lpn} below the write pointer is unmapped"))
+            })?;
             slots.push(Slot::Flash(ppas.len()));
             ppas.push(entry.ppa);
         }
@@ -136,9 +136,11 @@ impl ConZone {
                         None => v.resize(v.len() + SLICE_BYTES as usize, 0),
                     },
                     Slot::Flash(i) => {
-                        let d = flash_data
-                            .as_ref()
-                            .expect("backing store enabled for flash reads");
+                        let d = flash_data.as_ref().ok_or_else(|| {
+                            DeviceError::Internal(
+                                "flash read returned no payload with data backing on".to_string(),
+                            )
+                        })?;
                         let at = i * SLICE_BYTES as usize;
                         v.extend_from_slice(&d[at..at + SLICE_BYTES as usize]);
                     }

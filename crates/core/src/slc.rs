@@ -1,7 +1,7 @@
 //! SLC-region bookkeeping: superblock free/used lists and the write stream
 //! used for premature flushes, zone-tail patches and GC destinations.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use conzone_types::{Geometry, Lpn, Ppa, SuperblockId};
 
@@ -20,8 +20,10 @@ pub(crate) struct SlcRegion {
     /// Fully programmed superblocks, eligible as GC victims.
     pub used: Vec<SuperblockId>,
     /// Reverse map of every live SLC slice to its logical page, needed by
-    /// GC migration and zone reset invalidation.
-    pub owner: HashMap<Ppa, Lpn>,
+    /// GC migration and zone reset invalidation. Ordered (`BTreeMap`, not
+    /// `HashMap`): zone reset and remount iterate it, so its order is
+    /// sim-visible and must be identical across seeded reruns.
+    pub owner: BTreeMap<Ppa, Lpn>,
 }
 
 impl SlcRegion {
@@ -32,7 +34,7 @@ impl SlcRegion {
                 .map(SuperblockId)
                 .collect(),
             used: Vec::new(),
-            owner: HashMap::new(),
+            owner: BTreeMap::new(),
         }
     }
 

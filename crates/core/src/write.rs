@@ -196,9 +196,9 @@ impl ConZone {
             }
             return Ok(now);
         }
-        let zone_id = self.buffers[buf_idx]
-            .owner
-            .expect("non-empty buffer has an owner");
+        let zone_id = self.buffers[buf_idx].owner.ok_or_else(|| {
+            DeviceError::Internal(format!("non-empty write buffer {buf_idx} has no owner"))
+        })?;
         let zidx = zone_id.raw() as usize;
         let zone_base = self.zone_start(zone_id);
         let unit = self.unit_slices();

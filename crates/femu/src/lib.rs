@@ -78,7 +78,7 @@ pub struct FemuZns {
     /// Payload store keyed by logical slice (zones map 1:1 to media, so
     /// no physical indirection is needed); populated only with
     /// `data_backing`.
-    store: std::collections::HashMap<u64, Box<[u8]>>,
+    store: std::collections::BTreeMap<u64, Box<[u8]>>,
 }
 
 impl FemuZns {
@@ -117,7 +117,7 @@ impl FemuZns {
             rng: SimRng::new(seed ^ FEMU_SEED_MIX),
             zone_size_slices,
             probe: Probe::disabled(),
-            store: std::collections::HashMap::new(),
+            store: std::collections::BTreeMap::new(),
             cfg: femu_cfg,
         }
     }
@@ -368,7 +368,7 @@ impl FemuZns {
         if !ppas.is_empty() {
             // Group into page senses (deterministic first-appearance order).
             let mut order: Vec<(conzone_types::ChipId, u64)> = Vec::new();
-            let mut seen = std::collections::HashMap::new();
+            let mut seen = std::collections::BTreeMap::new();
             for &ppa in &ppas {
                 let parts = self.cfg.geometry.decode_ppa(ppa);
                 let key = (parts.chip.raw(), parts.block, parts.page);

@@ -457,8 +457,8 @@ impl FlashArray {
         // Group into flash pages preserving first-appearance order so
         // resource reservation stays deterministic.
         let mut order: Vec<(ChipId, usize, usize, u64)> = Vec::new(); // (chip, block, page, bytes)
-        let mut seen: std::collections::HashMap<(u64, usize, usize), usize> =
-            std::collections::HashMap::new();
+        let mut seen: std::collections::BTreeMap<(u64, usize, usize), usize> =
+            std::collections::BTreeMap::new();
         for &ppa in ppas {
             let parts = self.geometry.decode_ppa(ppa);
             let blk = self.block(parts.chip, parts.block);
@@ -760,6 +760,8 @@ impl FlashArray {
         (base..base + planes)
             .map(|p| self.planes.free_at(p))
             .min()
+            // xtask-lint: allow(unwrap-expect) — Geometry::validate rejects
+            // planes_per_chip == 0, so the range is never empty.
             .expect("chip has at least one plane")
     }
 }

@@ -118,14 +118,14 @@ mod tests {
     #[test]
     fn zero_rates_never_draw() {
         let mut p = FaultPlane::new(FaultConfig::default(), 8);
-        let before = p.rng.clone();
+        let mut before = p.rng.clone();
         for _ in 0..100 {
             assert!(!p.program_fails());
             assert!(!p.erase_fails());
             assert_eq!(p.read_retry_steps(), 0);
         }
         // The RNG stream is untouched: identical next draw.
-        assert_eq!(p.rng.next_u64(), before.clone().next_u64());
+        assert_eq!(p.rng.next_u64(), before.next_u64());
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! # Ok::<(), conzone_flash::FlashError>(())
 //! ```
 
+// Unit tests assert freely; the `clippy::unwrap_used` deny (Cargo.toml
+// `[lints]`) is meant for library code reachable from the simulator.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

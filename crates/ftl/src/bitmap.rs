@@ -61,6 +61,8 @@ impl MapBitmap {
         let idx = (lpn.raw() / 4) as usize;
         let shift = (lpn.raw() % 4) * 2;
         MapGranularity::from_bits((self.bits[idx] >> shift) & 0b11)
+            // xtask-lint: allow(unwrap-expect) — set_range rejects the reserved
+            // bit pattern, so a stored pair always decodes.
             .expect("bitmap never stores the reserved pattern")
     }
 

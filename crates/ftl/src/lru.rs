@@ -5,6 +5,9 @@
 //! cache implements both: pinned entries are never chosen as eviction
 //! victims.
 
+// xtask-lint: allow(hash-collections) — keyed O(1) index lookups only; the
+// recency order lives in the explicit linked list and is never taken from
+// map iteration, so hashing cannot leak into sim-visible behaviour.
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -49,6 +52,7 @@ pub enum InsertOutcome {
 /// ```
 #[derive(Debug)]
 pub struct LruCache<K, V> {
+    // xtask-lint: allow(hash-collections) — keyed lookups only, never iterated
     map: HashMap<K, usize>,
     nodes: Vec<Option<Node<K, V>>>,
     free: Vec<usize>,
@@ -69,6 +73,7 @@ impl<K: Hash + Eq + Copy, V> LruCache<K, V> {
     pub fn new(capacity: usize) -> LruCache<K, V> {
         assert!(capacity > 0, "cache capacity must be non-zero");
         LruCache {
+            // xtask-lint: allow(hash-collections) — keyed lookups only
             map: HashMap::with_capacity(capacity),
             nodes: Vec::with_capacity(capacity),
             free: Vec::new(),
@@ -110,10 +115,13 @@ impl<K: Hash + Eq + Copy, V> LruCache<K, V> {
     }
 
     fn node(&self, idx: usize) -> &Node<K, V> {
+        // xtask-lint: allow(unwrap-expect) — linked-list integrity: every index
+        // reachable from the list or the map points at a live node by construction.
         self.nodes[idx].as_ref().expect("linked node must be live")
     }
 
     fn node_mut(&mut self, idx: usize) -> &mut Node<K, V> {
+        // xtask-lint: allow(unwrap-expect) — same linked-list integrity invariant
         self.nodes[idx].as_mut().expect("linked node must be live")
     }
 
@@ -167,6 +175,7 @@ impl<K: Hash + Eq + Copy, V> LruCache<K, V> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let idx = self.map.remove(key)?;
         self.unlink(idx);
+        // xtask-lint: allow(unwrap-expect) — the map only holds live indices
         let node = self.nodes[idx].take().expect("mapped node must be live");
         self.free.push(idx);
         Some(node.value)

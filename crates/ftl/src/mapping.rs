@@ -97,6 +97,8 @@ impl MappingTable {
         Some(MapEntry {
             ppa,
             granularity: MapGranularity::from_bits(flags & 0b11)
+                // xtask-lint: allow(unwrap-expect) — set/unmap only write the
+                // three valid granularities, so the stored bits always decode.
                 .expect("table never stores the reserved bit pattern"),
             canonical: flags & CANONICAL_FLAG != 0,
         })
@@ -244,6 +246,15 @@ impl MappingTable {
     /// Number of mapped entries (for tests and reports).
     pub fn mapped_count(&self) -> u64 {
         self.ppas.iter().filter(|p| p.is_some()).count() as u64
+    }
+
+    /// Iterates every mapped `(lpn, entry)` pair in logical-page order
+    /// (used by the debug invariant checker and reports).
+    pub fn iter_mapped(&self) -> impl Iterator<Item = (Lpn, MapEntry)> + '_ {
+        (0..self.ppas.len()).filter_map(move |i| {
+            let lpn = Lpn(i as u64);
+            self.get(lpn).map(|e| (lpn, e))
+        })
     }
 }
 

@@ -10,7 +10,7 @@
 //! benches can exercise the write-buffer pressure the paper's §II-B
 //! arithmetic describes (six open zones sharing two device write buffers).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use conzone_types::{DeviceError, IoRequest, SimTime, ZoneId, ZonedDevice, SLICE_BYTES};
 
@@ -81,11 +81,11 @@ pub struct F2fsLite {
     logs: [Option<LogCursor>; 6],
     free_zones: VecDeque<u64>,
     /// file → logical block index → device slice address.
-    files: HashMap<u64, HashMap<u64, u64>>,
+    files: BTreeMap<u64, BTreeMap<u64, u64>>,
     /// file → node block device slices.
-    nodes: HashMap<u64, Vec<u64>>,
+    nodes: BTreeMap<u64, Vec<u64>>,
     /// device slice → (file, block index or NODE_BLOCK).
-    owners: HashMap<u64, (u64, u64)>,
+    owners: BTreeMap<u64, (u64, u64)>,
     /// live slices per zone.
     zone_live: Vec<u64>,
     /// written slices per zone (from this allocator's perspective).
@@ -100,7 +100,7 @@ pub struct F2fsLite {
     /// first `n` conventional zones (paper §III-E: "updating the metadata
     /// of F2FS") instead of flowing through the node logs.
     conventional_meta_zones: Option<u64>,
-    node_slots: HashMap<u64, u64>,
+    node_slots: BTreeMap<u64, u64>,
     free_node_slots: Vec<u64>,
     next_node_slot: u64,
     stats: F2fsStats,
@@ -117,16 +117,16 @@ impl F2fsLite {
             nzones,
             logs: [None; 6],
             free_zones: (0..nzones).collect(),
-            files: HashMap::new(),
-            nodes: HashMap::new(),
-            owners: HashMap::new(),
+            files: BTreeMap::new(),
+            nodes: BTreeMap::new(),
+            owners: BTreeMap::new(),
             zone_live: vec![0; nzones as usize],
             zone_written: vec![0; nzones as usize],
             node_interval: 64,
             pending_node: [0; 6],
             cleaning: false,
             conventional_meta_zones: None,
-            node_slots: HashMap::new(),
+            node_slots: BTreeMap::new(),
             free_node_slots: Vec::new(),
             next_node_slot: 0,
             stats: F2fsStats::default(),

@@ -122,7 +122,7 @@ impl Section {
                 self.rate_iops = Some(value.parse().map_err(|e| ParseFioError {
                     line,
                     message: format!("bad rate_iops: {e}"),
-                })?)
+                })?);
             }
             "randseed" => self.randseed = value.parse().map_err(bad_num)?,
             "fsync" => self.fsync = Some(value.parse().map_err(bad_num)?),

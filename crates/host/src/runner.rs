@@ -427,7 +427,7 @@ fn next_offset(
         AccessPattern::Mixed { read_percent } => {
             let blocks = region_len / bs;
             let offset = region_start + state.rng.below(blocks) * bs;
-            let is_read = state.rng.chance(read_percent as f64 / 100.0);
+            let is_read = state.rng.chance(f64::from(read_percent) / 100.0);
             Some((offset, is_read))
         }
         AccessPattern::SeqWrite => {

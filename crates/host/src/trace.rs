@@ -247,7 +247,7 @@ impl MobileTraceBuilder {
         let mut meta_off = 0u64;
         let mut written_media: Vec<(u64, u64)> = Vec::new(); // (offset, len)
 
-        let mut used_zones: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut used_zones: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         used_zones.insert(0);
         for _ in 0..self.bursts {
             let mut streamed = 0;

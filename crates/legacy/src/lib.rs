@@ -72,7 +72,7 @@ pub struct LegacyDevice {
     free: VecDeque<SuperblockId>,
     used: Vec<SuperblockId>,
     /// Reverse map ppa → lpn for GC migration (dense vector over slices).
-    owner: std::collections::HashMap<u64, Lpn>,
+    owner: std::collections::BTreeMap<u64, Lpn>,
     counters: Counters,
     next_mapping_chip: u64,
     logical_slices: u64,
@@ -111,7 +111,7 @@ impl LegacyDevice {
             next_unit: 0,
             free: normal.into_iter().collect(),
             used: Vec::new(),
-            owner: std::collections::HashMap::new(),
+            owner: std::collections::BTreeMap::new(),
             counters: Counters::new(),
             next_mapping_chip: 0,
             logical_slices,

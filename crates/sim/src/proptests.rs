@@ -115,9 +115,9 @@ proptest! {
         for _ in 0..n {
             counts[rng.below(bound) as usize] += 1;
         }
-        let expect = n as f64 / bound as f64;
+        let expect = f64::from(n) / bound as f64;
         for (i, &c) in counts.iter().enumerate() {
-            let dev = (c as f64 - expect).abs() / expect;
+            let dev = (f64::from(c) - expect).abs() / expect;
             prop_assert!(dev < 0.15, "bucket {i}: {c} vs {expect}");
         }
         let mut a = SimRng::new(seed);

@@ -67,7 +67,7 @@ impl SimRng {
         // Unbiased multiply-shift rejection sampling.
         loop {
             let x = self.next_u64();
-            let m = (x as u128) * (bound as u128);
+            let m = u128::from(x) * u128::from(bound);
             let low = m as u64;
             if low >= bound {
                 return (m >> 64) as u64;
@@ -170,8 +170,8 @@ mod tests {
         let mut rng = SimRng::new(4);
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / f64::from(n);
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -90,7 +90,7 @@ impl LatencyHistogram {
         }
         self.buckets[idx] += 1;
         self.count += 1;
-        self.sum_ns += ns as u128;
+        self.sum_ns += u128::from(ns);
         self.min_ns = self.min_ns.min(ns);
         self.max_ns = self.max_ns.max(ns);
     }
@@ -120,7 +120,7 @@ impl LatencyHistogram {
         if self.count == 0 {
             SimDuration::ZERO
         } else {
-            SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64)
+            SimDuration::from_nanos((self.sum_ns / u128::from(self.count)) as u64)
         }
     }
 
@@ -231,7 +231,17 @@ mod tests {
 
     #[test]
     fn bucket_low_bounds_value() {
-        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, u32::MAX as u64] {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            123_456,
+            u64::from(u32::MAX),
+        ] {
             let idx = bucket_index(v);
             let low = bucket_low(idx);
             assert!(low <= v, "low {low} > value {v}");

@@ -102,6 +102,10 @@ pub enum DeviceError {
         /// Length of the attached data buffer, in bytes.
         got: u64,
     },
+    /// An internal accounting invariant was violated — an FTL bug, not a
+    /// host error. Device models return this instead of panicking so a
+    /// long seeded run surfaces the broken state as a typed error.
+    Internal(String),
 }
 
 impl fmt::Display for DeviceError {
@@ -138,6 +142,9 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::DataLengthMismatch { expected, got } => {
                 write!(f, "request declares {expected} bytes but carries {got}")
+            }
+            DeviceError::Internal(what) => {
+                write!(f, "internal invariant violated: {what}")
             }
         }
     }

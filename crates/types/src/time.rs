@@ -129,7 +129,7 @@ impl SimDuration {
     pub fn for_transfer(bytes: u64, bytes_per_sec: u64) -> SimDuration {
         assert!(bytes_per_sec > 0, "transfer rate must be non-zero");
         // ns = bytes * 1e9 / rate, using u128 to avoid overflow.
-        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
+        let ns = (u128::from(bytes) * 1_000_000_000u128).div_ceil(u128::from(bytes_per_sec));
         SimDuration(ns as u64)
     }
 }

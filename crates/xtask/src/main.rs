@@ -1,0 +1,66 @@
+//! `cargo xtask` — repo-local developer tasks.
+//!
+//! The `.cargo/config.toml` alias makes `cargo xtask lint` run the
+//! determinism-hygiene pass described in the library crate (and in
+//! `docs/internals.md` §8). Exit status is nonzero when any rule fires,
+//! so CI can gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ → the workspace root two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--root <path>]");
+    eprintln!();
+    eprintln!("Runs the determinism-hygiene lint pass over the workspace:");
+    for rule in xtask::RULES {
+        eprintln!("  - {rule}");
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = workspace_root();
+    let mut cmd = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "lint" if cmd.is_none() => cmd = Some("lint"),
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if cmd != Some("lint") {
+        return usage();
+    }
+
+    match xtask::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean ({} rules)", xtask::RULES.len());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: failed to scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Passing fixture: deterministic collections, simulated time only, typed
+//! errors, and one keyed-only hash map behind a reasoned allow directive.
+
+use std::collections::BTreeMap;
+
+// xtask-lint: allow(hash-collections) — keyed lookups only, never iterated
+use std::collections::HashMap as KeyedMap;
+
+pub struct State {
+    pub ordered: BTreeMap<u64, u64>,
+    pub keyed: KeyedMap<u64, u64>,
+}
+
+pub fn lookup(s: &State, k: u64) -> Result<u64, String> {
+    s.ordered
+        .get(&k)
+        .or_else(|| s.keyed.get(&k))
+        .copied()
+        .ok_or_else(|| format!("no entry for {k}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_test_code() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

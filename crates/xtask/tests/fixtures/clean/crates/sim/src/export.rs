@@ -1,0 +1,11 @@
+//! Passing fixture: the exporter maps every `DeviceEvent` variant.
+
+use crate::DeviceEvent;
+
+pub fn event_args(e: &DeviceEvent) -> Vec<(&'static str, u64)> {
+    match e {
+        DeviceEvent::HostRead { bytes } => vec![("bytes", *bytes)],
+        DeviceEvent::HostWrite { bytes } => vec![("bytes", *bytes)],
+        DeviceEvent::PowerCut => vec![],
+    }
+}

@@ -1,0 +1,17 @@
+//! Passing fixture: every `Counters` field appears in both exporter lists.
+
+pub struct Counters {
+    pub host_reads: u64,
+    pub host_writes: u64,
+    pub gc_runs: u64,
+}
+
+impl Counters {
+    pub fn named_fields(&self) -> Vec<(&'static str, u64)> {
+        fields!(host_reads, host_writes, gc_runs)
+    }
+
+    pub fn since(&self, base: &Counters) -> Counters {
+        diff!(host_reads, host_writes, gc_runs)
+    }
+}

@@ -1,0 +1,25 @@
+//! Passing fixture: every `DeviceEvent` variant is handled everywhere.
+
+pub enum DeviceEvent {
+    HostRead { bytes: u64 },
+    HostWrite { bytes: u64 },
+    PowerCut,
+}
+
+impl DeviceEvent {
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            DeviceEvent::HostRead { .. } => "host_read",
+            DeviceEvent::HostWrite { .. } => "host_write",
+            DeviceEvent::PowerCut => "power_cut",
+        }
+    }
+
+    pub fn kind_index(&self) -> usize {
+        match self {
+            DeviceEvent::HostRead { .. } => 0,
+            DeviceEvent::HostWrite { .. } => 1,
+            DeviceEvent::PowerCut => 2,
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Violating fixture: `gc_runs` is missing from both exporter lists, and
+//! the interval diff names a field that does not exist.
+
+pub struct Counters {
+    pub host_reads: u64,
+    pub gc_runs: u64,
+}
+
+impl Counters {
+    pub fn named_fields(&self) -> Vec<(&'static str, u64)> {
+        fields!(host_reads)
+    }
+
+    pub fn since(&self, base: &Counters) -> Counters {
+        diff!(host_reads, bogus)
+    }
+}

@@ -1,0 +1,10 @@
+//! Companion to the events fixture: the exporter itself is complete.
+
+use crate::DeviceEvent;
+
+pub fn event_args(e: &DeviceEvent) -> Vec<(&'static str, u64)> {
+    match e {
+        DeviceEvent::HostRead { bytes } => vec![("bytes", *bytes)],
+        DeviceEvent::PowerCut => vec![],
+    }
+}

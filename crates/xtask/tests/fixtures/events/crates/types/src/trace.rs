@@ -1,0 +1,23 @@
+//! Violating fixture: `PowerCut` is not handled by `kind_name` (the other
+//! two mappings cover it).
+
+pub enum DeviceEvent {
+    HostRead { bytes: u64 },
+    PowerCut,
+}
+
+impl DeviceEvent {
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            DeviceEvent::HostRead { .. } => "host_read",
+            _ => "other",
+        }
+    }
+
+    pub fn kind_index(&self) -> usize {
+        match self {
+            DeviceEvent::HostRead { .. } => 0,
+            DeviceEvent::PowerCut => 1,
+        }
+    }
+}

@@ -1,0 +1,3 @@
+//! Violating fixture: a hash map holding sim-visible state.
+
+use std::collections::HashMap;

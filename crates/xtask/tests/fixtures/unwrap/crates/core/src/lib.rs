@@ -1,0 +1,5 @@
+//! Violating fixture: an unwrap in non-test library code of a core crate.
+
+pub fn first(v: &[u64]) -> u64 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,5 @@
+//! Violating fixture: ambient wall-clock time in simulator-reachable code.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,156 @@
+//! Fixture tests for the determinism-hygiene lint pass: one passing tree
+//! plus one violating tree per rule under `tests/fixtures/`, asserting the
+//! exact diagnostics, the binary's exit status, and — as a self-check —
+//! that the live workspace itself scans clean.
+//!
+//! The fixture trees mimic the workspace layout (`crates/<name>/src/*.rs`)
+//! because the scanner derives its per-crate rule policy from the path.
+//! They live under `tests/`, which `collect_sources` skips, so the real
+//! workspace lint never descends into them.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::{lint_workspace, Violation};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str) -> Vec<Violation> {
+    lint_workspace(&fixture(name)).expect("fixture tree scans")
+}
+
+#[test]
+fn clean_tree_has_no_violations() {
+    let v = lint("clean");
+    assert!(v.is_empty(), "clean fixture should pass every rule: {v:#?}");
+}
+
+#[test]
+fn hash_collections_fires_with_exact_diagnostic() {
+    let v = lint("hash");
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].file, Path::new("crates/sim/src/state.rs"));
+    assert_eq!(v[0].line, 3);
+    assert_eq!(v[0].rule, "hash-collections");
+    assert_eq!(
+        v[0].message,
+        "HashMap in sim-visible state: iteration order is randomized per \
+         process and breaks seeded reruns; use BTreeMap/BTreeSet or an \
+         insertion-ordered structure"
+    );
+    assert_eq!(
+        v[0].to_string(),
+        "crates/sim/src/state.rs:3: [hash-collections] HashMap in \
+         sim-visible state: iteration order is randomized per process and \
+         breaks seeded reruns; use BTreeMap/BTreeSet or an \
+         insertion-ordered structure"
+    );
+}
+
+#[test]
+fn wall_clock_fires_with_exact_diagnostic() {
+    let v = lint("wallclock");
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].file, Path::new("crates/host/src/timer.rs"));
+    assert_eq!(v[0].line, 4);
+    assert_eq!(v[0].rule, "wall-clock");
+    assert_eq!(
+        v[0].message,
+        "Instant::now is ambient nondeterminism: simulated time comes from \
+         SimTime and randomness from seeded generators (bench and test \
+         code are exempt)"
+    );
+}
+
+#[test]
+fn unwrap_expect_fires_with_exact_diagnostic() {
+    let v = lint("unwrap");
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].file, Path::new("crates/core/src/lib.rs"));
+    assert_eq!(v[0].line, 4);
+    assert_eq!(v[0].rule, "unwrap-expect");
+    assert_eq!(
+        v[0].message,
+        ".unwrap() in non-test library code: return a typed error \
+         (DeviceError/FlashError/JsonError) instead"
+    );
+}
+
+#[test]
+fn counter_coverage_fires_with_exact_diagnostics() {
+    let v = lint("counters");
+    assert_eq!(v.len(), 3, "{v:#?}");
+    for violation in &v {
+        assert_eq!(violation.file, Path::new("crates/types/src/counters.rs"));
+        assert_eq!(violation.line, 4, "anchored at `pub struct Counters`");
+        assert_eq!(violation.rule, "counter-coverage");
+    }
+    assert_eq!(
+        v[0].message,
+        "Counters field `gc_runs` is missing from the named_fields \
+         exporter list: it would silently vanish from every exporter"
+    );
+    assert_eq!(
+        v[1].message,
+        "Counters field `gc_runs` is missing from the since() interval \
+         diff: it would silently vanish from every exporter"
+    );
+    assert_eq!(
+        v[2].message,
+        "since() interval diff names `bogus`, which is not a Counters field"
+    );
+}
+
+#[test]
+fn event_coverage_fires_with_exact_diagnostic() {
+    let v = lint("events");
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].file, Path::new("crates/types/src/trace.rs"));
+    assert_eq!(v[0].line, 10, "anchored at `fn kind_name`");
+    assert_eq!(v[0].rule, "event-coverage");
+    assert_eq!(
+        v[0].message,
+        "DeviceEvent::PowerCut is not handled by fn kind_name"
+    );
+}
+
+fn run_binary(root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(root)
+        .output()
+        .expect("xtask binary runs")
+}
+
+#[test]
+fn binary_exit_status_reflects_findings() {
+    let clean = run_binary(&fixture("clean"));
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert!(clean.status.success(), "clean fixture: {stdout}");
+    assert!(stdout.contains("xtask lint: clean"), "{stdout}");
+
+    for tree in ["hash", "wallclock", "unwrap", "counters", "events"] {
+        let out = run_binary(&fixture(tree));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            !out.status.success(),
+            "fixture `{tree}` should exit nonzero: {stdout}"
+        );
+        assert!(stdout.contains("violation(s)"), "`{tree}`: {stdout}");
+    }
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/xtask")
+        .to_path_buf();
+    let v = lint_workspace(&root).expect("workspace scans");
+    assert!(v.is_empty(), "live workspace has lint violations: {v:#?}");
+}
