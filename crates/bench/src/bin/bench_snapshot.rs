@@ -1,0 +1,313 @@
+//! `bench_snapshot`: one schema-versioned performance snapshot of the
+//! emulator *itself* — the committed `BENCH_<date>.json` trajectory
+//! (ROADMAP item 2, `docs/internals.md` §9).
+//!
+//! Unlike the figure binaries, which measure the modelled device, this one
+//! measures the model: simulated operations per wall-clock second on two
+//! reference workloads, the wall cost of attaching the observability layer
+//! (which must not change simulated results at all), per-subsystem wall
+//! shares from the `selfprof` profiler when compiled in, and peak RSS.
+//!
+//! ```text
+//! cargo run --release -p conzone-bench --features selfprof --bin bench_snapshot -- \
+//!     [--smoke] [--out BENCH_2026-08-08.json]
+//! ```
+//!
+//! `--smoke` shrinks the workloads for CI; the committed trajectory uses
+//! the full scale. Emitted JSON is parseable by `conzone_sim::json` and
+//! validated by `cargo xtask bench`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use conzone_bench::conzone_device;
+use conzone_core::ConZone;
+use conzone_host::{run_job, AccessPattern, FioJob, JobReport};
+use conzone_sim::json::Json;
+use conzone_sim::{profile, RingBufferSink, SpanBuffer};
+use conzone_types::{MapGranularity, Probe, SearchStrategy, StorageDevice};
+
+/// Schema tag of the emitted JSON; bump on any incompatible shape change.
+const SCHEMA: &str = "conzone-bench/1";
+
+/// Workload scale: the committed trajectory uses `FULL`, CI uses `SMOKE`.
+///
+/// `reps` repeats each measured run on a fresh device and averages the
+/// wall time — single runs finish in milliseconds, where scheduler noise
+/// would swamp the trajectory.
+struct Scale {
+    seq_bytes: u64,
+    read_fill_bytes: u64,
+    read_range: u64,
+    read_ops: u64,
+    reps: u32,
+}
+
+const FULL: Scale = Scale {
+    seq_bytes: 1 << 30,
+    read_fill_bytes: 256 << 20,
+    read_range: 128 << 20,
+    read_ops: 100_000,
+    reps: 5,
+};
+
+const SMOKE: Scale = Scale {
+    seq_bytes: 16 << 20,
+    read_fill_bytes: 16 << 20,
+    read_range: 8 << 20,
+    read_ops: 2_000,
+    reps: 1,
+};
+
+fn device() -> ConZone {
+    conzone_device(MapGranularity::Zone, SearchStrategy::Bitmap)
+}
+
+fn seq_job(bytes: u64, zone_bytes: u64) -> FioJob {
+    FioJob::new(AccessPattern::SeqWrite, 512 * 1024)
+        .zone_bytes(zone_bytes)
+        .region(0, bytes)
+        .bytes_per_thread(bytes)
+}
+
+/// One measured workload: the (deterministic, rep-invariant) job report
+/// plus the average wall seconds one run took.
+struct Measured {
+    report: JobReport,
+    wall_seconds: f64,
+}
+
+/// The sequential-write reference workload, optionally with the full
+/// observability layer (span sink + event probe) attached. Each rep uses
+/// a fresh device; wall time is the per-run average.
+fn run_seqwrite(scale: &Scale, instrumented: bool) -> (Measured, u64) {
+    let mut total_wall = 0.0;
+    let mut last: Option<(JobReport, u64)> = None;
+    for _ in 0..scale.reps {
+        let mut dev = device();
+        let zone_bytes = dev.config().zone_size_bytes();
+        let spans = Arc::new(SpanBuffer::with_capacity(1 << 22));
+        if instrumented {
+            dev.set_span_sink(spans.clone());
+            dev.set_probe(Probe::attached(Arc::new(RingBufferSink::with_capacity(
+                1 << 22,
+            ))));
+        }
+        let t0 = Instant::now();
+        let report = run_job(&mut dev, &seq_job(scale.seq_bytes, zone_bytes)).expect("seqwrite");
+        total_wall += t0.elapsed().as_secs_f64();
+        last = Some((report, spans.recorded()));
+    }
+    let (report, spans_recorded) = last.expect("reps >= 1");
+    (
+        Measured {
+            report,
+            wall_seconds: total_wall / f64::from(scale.reps),
+        },
+        spans_recorded,
+    )
+}
+
+/// The random-read reference workload (fill, then measure reads only).
+fn run_randread(scale: &Scale) -> Measured {
+    let mut total_wall = 0.0;
+    let mut last: Option<JobReport> = None;
+    for _ in 0..scale.reps {
+        let mut dev = device();
+        let zone_bytes = dev.config().zone_size_bytes();
+        let fill = run_job(&mut dev, &seq_job(scale.read_fill_bytes, zone_bytes)).expect("fill");
+        let job = FioJob::new(AccessPattern::RandRead, 4096)
+            .region(0, scale.read_range)
+            .ops_per_thread(scale.read_ops)
+            .bytes_per_thread(u64::MAX)
+            .seed(7)
+            .start_at(fill.finished);
+        let t0 = Instant::now();
+        let report = run_job(&mut dev, &job).expect("randread");
+        total_wall += t0.elapsed().as_secs_f64();
+        last = Some(report);
+    }
+    Measured {
+        report: last.expect("reps >= 1"),
+        wall_seconds: total_wall / f64::from(scale.reps),
+    }
+}
+
+fn ops_per_wall_second(m: &Measured) -> f64 {
+    if m.wall_seconds > 0.0 {
+        m.report.ops as f64 / m.wall_seconds
+    } else {
+        f64::INFINITY
+    }
+}
+
+fn workload_json(name: &str, m: &Measured) -> Json {
+    let sim_seconds = m.report.duration().as_nanos() as f64 / 1e9;
+    Json::obj([
+        ("name", Json::from(name)),
+        ("sim_ops", Json::U64(m.report.ops)),
+        ("sim_bytes", Json::U64(m.report.bytes)),
+        ("sim_seconds", Json::F64(sim_seconds)),
+        ("wall_seconds", Json::F64(m.wall_seconds)),
+        ("ops_per_wall_second", Json::F64(ops_per_wall_second(m))),
+    ])
+}
+
+/// Per-top-level-scope wall shares from the folded profile: each folded
+/// line carries *self* nanoseconds, so summing lines by their root frame
+/// yields inclusive time per subsystem entry point.
+fn profile_shares(folded: &str) -> Vec<(String, u64)> {
+    let mut by_root: Vec<(String, u64)> = Vec::new();
+    for line in folded.lines() {
+        let Some((path, ns)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let root = path.split(';').next().unwrap_or(path).to_string();
+        let ns: u64 = ns.parse().unwrap_or(0);
+        match by_root.iter_mut().find(|(r, _)| *r == root) {
+            Some((_, total)) => *total += ns,
+            None => by_root.push((root, ns)),
+        }
+    }
+    by_root.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    by_root
+}
+
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0; // not Linux: the field stays 0 rather than guessing
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let scale = if smoke { &SMOKE } else { &FULL };
+
+    // Reference workloads, null instrumentation (the headline numbers).
+    let (seq, _) = run_seqwrite(scale, false);
+    let read1 = run_randread(scale);
+
+    // Reproducibility: the headline read workload again, fresh device,
+    // same seed. Simulated results must be identical; wall throughput
+    // should agree within ±10 % on a quiet machine.
+    let read2 = run_randread(scale);
+    let repro_identical = read1.report.finished == read2.report.finished
+        && read1.report.counters == read2.report.counters;
+    let a = ops_per_wall_second(&read1);
+    let b = ops_per_wall_second(&read2);
+    let delta_pct = if a > 0.0 {
+        (a - b).abs() / a * 100.0
+    } else {
+        0.0
+    };
+
+    // Overhead guard: attaching the span recorder and the event probe must
+    // not change a single simulated result. Wall cost is reported for the
+    // trajectory but is machine-dependent; the identity check is not.
+    let (seq_instr, spans_recorded) = run_seqwrite(scale, true);
+    let instrumented_identical = seq.report.finished == seq_instr.report.finished
+        && seq.report.counters == seq_instr.report.counters;
+    let wall_overhead_pct = if seq.wall_seconds > 0.0 {
+        (seq_instr.wall_seconds - seq.wall_seconds) / seq.wall_seconds * 100.0
+    } else {
+        0.0
+    };
+
+    // Self-profiled pass over both workloads (only meaningful with
+    // `--features selfprof`; the null build leaves `folded` empty).
+    profile::reset();
+    let (_prof_w, _) = run_seqwrite(scale, false);
+    let _prof_r = run_randread(scale);
+    let folded = profile::folded();
+    let shares = profile_shares(&folded);
+    let share_total: u64 = shares.iter().map(|(_, ns)| ns).sum::<u64>().max(1);
+
+    let json = Json::obj([
+        ("schema", Json::from(SCHEMA)),
+        ("smoke", Json::Bool(smoke)),
+        ("config", Json::from("paper")),
+        (
+            "workloads",
+            Json::Arr(vec![
+                workload_json("seqwrite-512k", &seq),
+                workload_json("randread-4k", &read1),
+            ]),
+        ),
+        (
+            "repro",
+            Json::obj([
+                ("workload", Json::from("randread-4k")),
+                ("sim_identical", Json::Bool(repro_identical)),
+                ("first_ops_per_wall_second", Json::F64(a)),
+                ("second_ops_per_wall_second", Json::F64(b)),
+                ("delta_pct", Json::F64(delta_pct)),
+            ]),
+        ),
+        (
+            "overhead",
+            Json::obj([
+                ("workload", Json::from("seqwrite-512k")),
+                ("instrumented_identical", Json::Bool(instrumented_identical)),
+                ("spans_recorded", Json::U64(spans_recorded)),
+                ("null_wall_seconds", Json::F64(seq.wall_seconds)),
+                (
+                    "instrumented_wall_seconds",
+                    Json::F64(seq_instr.wall_seconds),
+                ),
+                ("wall_overhead_pct", Json::F64(wall_overhead_pct)),
+            ]),
+        ),
+        (
+            "selfprof",
+            Json::obj([
+                ("enabled", Json::Bool(profile::enabled())),
+                ("folded", Json::from(folded.as_str())),
+                (
+                    "wall_shares",
+                    Json::Obj(
+                        shares
+                            .iter()
+                            .map(|(root, ns)| {
+                                (root.clone(), Json::F64(*ns as f64 / share_total as f64))
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ("peak_rss_bytes", Json::U64(peak_rss_bytes())),
+    ]);
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).expect("write snapshot");
+            eprintln!("bench snapshot written to {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if !instrumented_identical || !repro_identical {
+        eprintln!(
+            "bench_snapshot: FAILED — observability attachment or rerun \
+             changed simulated results (must be bit-identical)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -7,8 +7,8 @@ use conzone_flash::FlashArray;
 use conzone_ftl::{L2pCache, MapBitmap, MappingTable};
 use conzone_types::{
     Completion, Counters, DeviceConfig, DeviceError, IoKind, IoRequest, Lpn, LpnRange,
-    MapGranularity, Probe, SearchStrategy, SimTime, StorageDevice, ZoneId, ZoneInfo, ZoneState,
-    ZonedDevice,
+    MapGranularity, Probe, SearchStrategy, SimTime, SpanKind, SpanRecorder, SpanSink,
+    StorageDevice, ZoneId, ZoneInfo, ZoneState, ZonedDevice,
 };
 
 use crate::breakdown::TimeBreakdown;
@@ -60,6 +60,8 @@ pub struct ConZone {
     pub(crate) breakdown: TimeBreakdown,
     /// Trace probe; disabled by default (a no-op on the hot paths).
     pub(crate) probe: Probe,
+    /// Causal IO-span recorder; disabled by default (a branch per phase).
+    pub(crate) spans: SpanRecorder,
     /// `Some` between `power_cut()` and `remount()`: what was lost at the
     /// cut, awaiting the recovery report.
     pub(crate) cut_state: Option<crate::power::CutState>,
@@ -91,6 +93,7 @@ impl ConZone {
             l2p_log_pending: 0,
             breakdown: TimeBreakdown::default(),
             probe: Probe::disabled(),
+            spans: SpanRecorder::disabled(),
             cut_state: None,
             cfg,
         }
@@ -102,6 +105,19 @@ impl ConZone {
     pub fn set_probe(&mut self, probe: Probe) {
         self.flash.set_probe(probe.clone());
         self.probe = probe;
+    }
+
+    /// Attaches a span sink: every host command from now on opens a root
+    /// span child-scoped into the phases it blocked on (see
+    /// [`conzone_types::SpanKind`]). Use [`ConZone::clear_span_sink`] to
+    /// detach.
+    pub fn set_span_sink(&mut self, sink: std::sync::Arc<dyn SpanSink + Send + Sync>) {
+        self.spans = SpanRecorder::attached(sink);
+    }
+
+    /// Detaches the span sink; phase brackets become single branches again.
+    pub fn clear_span_sink(&mut self) {
+        self.spans = SpanRecorder::disabled();
     }
 
     /// Where host-visible device time has gone so far.
@@ -129,9 +145,10 @@ impl ConZone {
     /// "the flushing back of the L2P log may block host requests").
     pub(crate) fn maybe_flush_l2p_log(&mut self, now: SimTime) -> SimTime {
         let threshold = self.cfg.l2p_log_entries;
-        if threshold == 0 {
+        if threshold == 0 || self.l2p_log_pending < threshold {
             return now;
         }
+        let _p = conzone_sim::profile::scope("l2p_log_flush");
         let mut t = now;
         while self.l2p_log_pending >= threshold {
             self.l2p_log_pending -= threshold;
@@ -144,6 +161,10 @@ impl ConZone {
             t = finish;
         }
         self.breakdown.l2p_log += t - now;
+        if t > now {
+            self.spans.open(now, SpanKind::L2pLog);
+            self.spans.close(t);
+        }
         t
     }
 
@@ -257,55 +278,81 @@ impl StorageDevice for ConZone {
         let range = LpnRange::covering_bytes(request.offset, request.len).ok_or_else(|| {
             DeviceError::Internal("validated request covers no logical pages".to_string())
         })?;
-        match request.kind {
+        // The root span covers submit to completion; error paths roll the
+        // stack back so an aborted command never leaves phases dangling.
+        let depth = self.spans.depth();
+        let result = match request.kind {
             IoKind::Write => {
                 self.counters.host_write_ops += 1;
                 self.counters.host_write_bytes += request.len;
-                let finished = self.write_range(now, range, request.data.as_deref())?;
-                Ok(Completion {
-                    submitted: now,
-                    finished,
-                    data: None,
-                    assigned_offset: None,
-                })
+                self.spans.open(now, SpanKind::IoWrite);
+                self.write_range(now, range, request.data.as_deref())
+                    .map(|finished| Completion {
+                        submitted: now,
+                        finished,
+                        data: None,
+                        assigned_offset: None,
+                    })
             }
             IoKind::Append => {
                 self.counters.host_write_ops += 1;
                 self.counters.host_write_bytes += request.len;
-                let (finished, assigned) =
-                    self.append_range(now, range, request.data.as_deref())?;
-                Ok(Completion {
-                    submitted: now,
-                    finished,
-                    data: None,
-                    assigned_offset: Some(assigned),
-                })
+                self.spans.open(now, SpanKind::IoAppend);
+                self.append_range(now, range, request.data.as_deref()).map(
+                    |(finished, assigned)| Completion {
+                        submitted: now,
+                        finished,
+                        data: None,
+                        assigned_offset: Some(assigned),
+                    },
+                )
             }
             IoKind::Read => {
                 self.counters.host_read_ops += 1;
                 self.counters.host_read_bytes += request.len;
-                let (finished, data) = self.read_range(now, range)?;
-                Ok(Completion {
-                    submitted: now,
-                    finished,
-                    data: data.map(Bytes::from),
-                    assigned_offset: None,
-                })
+                self.spans.open(now, SpanKind::IoRead);
+                self.read_range(now, range)
+                    .map(|(finished, data)| Completion {
+                        submitted: now,
+                        finished,
+                        data: data.map(Bytes::from),
+                        assigned_offset: None,
+                    })
+            }
+        };
+        match result {
+            Ok(c) => {
+                self.spans.close(c.finished);
+                Ok(c)
+            }
+            Err(e) => {
+                self.spans.cancel_to(depth);
+                Err(e)
             }
         }
     }
 
     fn flush(&mut self, now: SimTime) -> Result<Completion, DeviceError> {
         self.ensure_powered()?;
+        let depth = self.spans.depth();
+        self.spans.open(now, SpanKind::IoFlush);
         let mut t = now;
         for buf in 0..self.buffers.len() {
-            t = self.flush_buffer(t, buf, true)?;
+            match self.flush_buffer(t, buf, true) {
+                Ok(next) => t = next,
+                Err(e) => {
+                    self.spans.cancel_to(depth);
+                    return Err(e);
+                }
+            }
         }
         t = self.maybe_flush_l2p_log(t);
         self.debug_assert_invariants("after host flush");
+        let finished = t + self.cfg.host_overhead;
+        self.spans.close(finished);
         Ok(Completion {
             submitted: now,
-            finished: t + self.cfg.host_overhead,
+            finished,
             data: None,
             assigned_offset: None,
         })
@@ -360,13 +407,23 @@ impl ZonedDevice for ConZone {
 
     fn reset_zone(&mut self, now: SimTime, zone: ZoneId) -> Result<Completion, DeviceError> {
         self.ensure_powered()?;
-        let finished = self.reset_zone_inner(now, zone)?;
-        Ok(Completion {
-            submitted: now,
-            finished,
-            data: None,
-            assigned_offset: None,
-        })
+        let depth = self.spans.depth();
+        self.spans.open(now, SpanKind::ZoneReset);
+        match self.reset_zone_inner(now, zone) {
+            Ok(finished) => {
+                self.spans.close(finished);
+                Ok(Completion {
+                    submitted: now,
+                    finished,
+                    data: None,
+                    assigned_offset: None,
+                })
+            }
+            Err(e) => {
+                self.spans.cancel_to(depth);
+                Err(e)
+            }
+        }
     }
 
     fn open_zone(&mut self, now: SimTime, zone: ZoneId) -> Result<Completion, DeviceError> {

@@ -7,7 +7,8 @@
 //! data still lingering in SLC.
 
 use conzone_types::{
-    ChipId, DeviceError, DeviceEvent, Lpn, Ppa, SimTime, SuperblockId, ZoneId, SLICE_BYTES,
+    ChipId, DeviceError, DeviceEvent, Lpn, Ppa, SimTime, SpanKind, SuperblockId, ZoneId,
+    SLICE_BYTES,
 };
 
 use crate::device::ConZone;
@@ -18,6 +19,7 @@ impl ConZone {
     /// fewest valid slices, migrates its live data within SLC, erases it
     /// and returns it to the free list. Returns when the pass completes.
     pub(crate) fn run_slc_gc(&mut self, now: SimTime) -> Result<SimTime, DeviceError> {
+        let _p = conzone_sim::profile::scope("run_slc_gc");
         // Greedy victim by valid count; erase-count tie-break spreads wear
         // across the SLC region (it absorbs every premature flush, so it
         // wears fastest — the paper's lifespan concern, §I).
@@ -59,6 +61,12 @@ impl ConZone {
         let t_erase = self.flash.erase_superblock(t, victim);
         self.slc.reclaim(victim);
         self.breakdown.gc += t_erase.saturating_since(now);
+        // Retroactive emission: the stall window is only known here, and
+        // the early error returns above must not leave an open span.
+        if t_erase > now {
+            self.spans.open(now, SpanKind::GcStall);
+            self.spans.close(t_erase);
+        }
         self.probe.emit(
             t_erase,
             DeviceEvent::GcEnd {
@@ -206,6 +214,10 @@ impl ConZone {
         if !self.flash.superblock_erased(sb) {
             t = self.flash.erase_superblock(now, sb);
             self.breakdown.erase += t.saturating_since(now);
+            if t > now {
+                self.spans.open(now, SpanKind::Erase);
+                self.spans.close(t);
+            }
         }
 
         self.table.unmap_zone(zone_id);

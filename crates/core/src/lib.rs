@@ -41,6 +41,7 @@ mod breakdown;
 mod buffer;
 mod device;
 mod gc;
+mod heatmap;
 mod invariants;
 mod lifecycle;
 mod power;
@@ -51,6 +52,7 @@ mod zone;
 
 pub use breakdown::TimeBreakdown;
 pub use device::ConZone;
+pub use heatmap::{BlockHeat, HeatmapSnapshot, ZoneHeat};
 pub use invariants::{InvariantKind, InvariantViolation};
 
 #[cfg(test)]

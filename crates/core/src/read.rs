@@ -8,7 +8,7 @@
 //! flash, grouping by physical page.
 
 use conzone_types::{
-    DeviceError, DeviceEvent, L2pOutcome, LpnRange, MapGranularity, Ppa, SimTime, ZoneId,
+    DeviceError, DeviceEvent, L2pOutcome, LpnRange, MapGranularity, Ppa, SimTime, SpanKind, ZoneId,
     SLICE_BYTES,
 };
 
@@ -31,6 +31,7 @@ impl ConZone {
         now: SimTime,
         range: LpnRange,
     ) -> Result<(SimTime, Option<Vec<u8>>), DeviceError> {
+        let _p = conzone_sim::profile::scope("read_range");
         let zs = self.zone_slices();
         let mut t_map = now;
         let mut slots: Vec<Slot> = Vec::with_capacity(range.count as usize);
@@ -117,7 +118,13 @@ impl ConZone {
         }
 
         // Data reads start after mapping resolution completes (Fig. 4 ③).
+        // Both spans are emitted retroactively once their windows are
+        // known, so a failed read never leaves phases dangling.
         self.breakdown.mapping_fetch += t_map - now;
+        if t_map > now {
+            self.spans.open(now, SpanKind::MapFetch);
+            self.spans.close(t_map);
+        }
         let mut finish = t_map;
         let mut flash_data: Option<Vec<u8>> = None;
         if !ppas.is_empty() {
@@ -125,6 +132,10 @@ impl ConZone {
             finish = out.finish;
             flash_data = out.data;
             self.breakdown.data_read += finish.saturating_since(t_map);
+            if finish > t_map {
+                self.spans.open(t_map, SpanKind::DataRead);
+                self.spans.close(finish);
+            }
         }
 
         let data = if self.cfg.data_backing {

@@ -18,7 +18,7 @@
 use conzone_flash::FlashError;
 use conzone_types::{
     ChipId, DeviceError, DeviceEvent, FlushKind, Lpn, LpnRange, MapGranularity, Ppa, SimTime,
-    SuperblockId, ZoneId, ZoneState, SLICE_BYTES,
+    SpanKind, SuperblockId, ZoneId, ZoneState, SLICE_BYTES,
 };
 
 use crate::device::ConZone;
@@ -38,6 +38,7 @@ impl ConZone {
         range: LpnRange,
         payload: Option<&[u8]>,
     ) -> Result<SimTime, DeviceError> {
+        let _p = conzone_sim::profile::scope("write_range");
         let (zone_id, offset) = self.zone_and_offset(range)?;
         if offset + range.count > self.zone_slices() {
             return Err(DeviceError::ZoneBoundary { zone: zone_id });
@@ -70,7 +71,11 @@ impl ConZone {
 
         // Snapshot sub-activity attribution so write_path stays exclusive
         // of the combine / GC / log time accumulated inside the flushes.
+        // The WritePath span mirrors the same exclusivity: the combine /
+        // GC / log work nests as children, so its *self time* is exactly
+        // this function's write_path charge.
         let sub_before = self.breakdown.combine_read + self.breakdown.gc + self.breakdown.l2p_log;
+        self.spans.open(now, SpanKind::WritePath);
 
         let buf_idx = zone_id.raw() as usize % self.buffers.len();
         let mut t = now;
@@ -118,6 +123,7 @@ impl ConZone {
         let sub_delta =
             self.breakdown.combine_read + self.breakdown.gc + self.breakdown.l2p_log - sub_before;
         self.breakdown.write_path += (t - now) - (t - now).min(sub_delta);
+        self.spans.close(t);
         Ok(t + self.cfg.host_overhead)
     }
 
@@ -190,6 +196,7 @@ impl ConZone {
         buf_idx: usize,
         drain: bool,
     ) -> Result<SimTime, DeviceError> {
+        let _p = conzone_sim::profile::scope("flush_buffer");
         if self.buffers[buf_idx].is_empty() {
             if drain {
                 self.buffers[buf_idx].release();
@@ -233,6 +240,10 @@ impl ConZone {
                 let out = self.flash.read_slices(t, &ppas).map_err(internal)?;
                 t = out.finish;
                 self.breakdown.combine_read += t.saturating_since(read_start);
+                if t > read_start {
+                    self.spans.open(read_start, SpanKind::CombineRead);
+                    self.spans.close(t);
+                }
                 staged_data = out.data;
                 for ppa in ppas {
                     self.flash.invalidate(ppa).map_err(internal)?;
@@ -383,6 +394,7 @@ impl ConZone {
         canonical: bool,
         staged_zone: Option<usize>,
     ) -> Result<SimTime, DeviceError> {
+        let _p = conzone_sim::profile::scope("program_slc_batch");
         let nchips = self.cfg.geometry.nchips();
         let spb = self.cfg.geometry.slices_per_block() as usize;
         let spp = self.cfg.geometry.slices_per_page();

@@ -88,6 +88,16 @@ impl L2pCache {
         self.lru.evictions()
     }
 
+    /// Resident entries over capacity, in `[0, 1]` — the cache-pressure
+    /// figure the heatmap snapshot reports.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity() == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.capacity() as f64
+        }
+    }
+
     fn key_for(&self, lpn: Lpn, granularity: MapGranularity) -> CacheKey {
         let index = match granularity {
             MapGranularity::Page => lpn.raw(),

@@ -248,6 +248,17 @@ impl MappingTable {
         self.ppas.iter().filter(|p| p.is_some()).count() as u64
     }
 
+    /// Mapped slices inside one zone — the utilization column of the
+    /// per-zone heatmap snapshot.
+    pub fn zone_mapped_slices(&self, zone: ZoneId) -> u64 {
+        let start = (zone.raw() * self.zone_slices).min(self.ppas.len() as u64);
+        let end = (start + self.zone_slices).min(self.ppas.len() as u64);
+        self.ppas[start as usize..end as usize]
+            .iter()
+            .filter(|p| p.is_some())
+            .count() as u64
+    }
+
     /// Iterates every mapped `(lpn, entry)` pair in logical-page order
     /// (used by the debug invariant checker and reports).
     pub fn iter_mapped(&self) -> impl Iterator<Item = (Lpn, MapEntry)> + '_ {

@@ -11,11 +11,16 @@
 //!   with `jq` or pandas.
 //! * [`metrics_jsonl`] — one JSON object per [`MetricsSample`] interval,
 //!   with every [`Counters`] field of the interval delta spelled out.
+//! * [`span_jsonl`] / [`span_chrome_trace`] — the causal IO-lifecycle
+//!   spans, as JSONL for analysis and as nested `X` (complete) slices for
+//!   Perfetto.
 //!
 //! Plus small helpers ([`counters_json`], [`latency_summary_json`]) used
 //! by the CLI's `--stats-json` report.
 
-use conzone_types::{CellType, Counters, DeviceEvent, FaultKind, L2pOutcome, TraceRecord};
+use conzone_types::{
+    CellType, Counters, DeviceEvent, FaultKind, L2pOutcome, SpanRecord, TraceRecord,
+};
 
 use crate::json::Json;
 use crate::stats::LatencySummary;
@@ -152,6 +157,62 @@ pub fn trace_jsonl(records: &[TraceRecord]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// One JSON object per closed span, newline-separated:
+/// `{"id": …, "parent": …, "io": …, "kind": "…", "start_ns": …,
+/// "end_ns": …, "dur_ns": …}`.
+pub fn span_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        let line = Json::obj([
+            ("id", Json::U64(s.id)),
+            ("parent", Json::U64(s.parent)),
+            ("io", Json::U64(s.io)),
+            ("kind", Json::from(s.kind.name())),
+            ("start_ns", Json::U64(s.start.as_nanos())),
+            ("end_ns", Json::U64(s.end.as_nanos())),
+            ("dur_ns", Json::U64(s.duration_nanos())),
+        ]);
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds a Chrome trace-event document from closed spans, using `X`
+/// (complete) events so Perfetto nests each IO's causal chain as stacked
+/// slices on one track.
+///
+/// Events are sorted by start time with parents before their children
+/// (ids follow open order, so the id is the tiebreak), which is what the
+/// format requires for `X` events sharing a thread.
+pub fn span_chrome_trace(spans: &[SpanRecord]) -> Json {
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.start, s.id));
+    let mut events = Vec::with_capacity(sorted.len());
+    for s in sorted {
+        events.push(Json::obj([
+            ("name", Json::from(s.kind.name())),
+            ("ph", Json::from("X")),
+            ("ts", Json::F64(s.start.as_nanos() as f64 / 1000.0)),
+            ("dur", Json::F64(s.duration_nanos() as f64 / 1000.0)),
+            ("pid", Json::U64(0)),
+            ("tid", Json::U64(0)),
+            (
+                "args",
+                Json::obj([
+                    ("id", Json::U64(s.id)),
+                    ("parent", Json::U64(s.parent)),
+                    ("io", Json::U64(s.io)),
+                ]),
+            ),
+        ]));
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ns")),
+    ])
 }
 
 /// All counters as a JSON object, field names matching
@@ -310,5 +371,87 @@ mod tests {
         let j = counters_json(&c);
         assert_eq!(j.get("host_write_bytes").unwrap().as_u64(), Some(100));
         assert_eq!(j.get("write_amplification").unwrap().as_f64(), Some(1.5));
+    }
+
+    /// Every exporter serialises through [`Json`], so hostile strings —
+    /// quotes, backslashes, control characters, non-ASCII — must escape on
+    /// the way out and round-trip through our own parser.
+    #[test]
+    fn exported_strings_escape_and_round_trip() {
+        let hostile = "quote\" back\\slash \n\t\u{8} héllo \u{1f}";
+        let doc = Json::obj([(hostile, Json::from(hostile)), ("plain", Json::U64(1))]);
+        let text = doc.to_string();
+        assert!(!text.contains('\n'), "control chars must be escaped");
+        assert!(text.contains("\\\""));
+        assert!(text.contains("\\\\"));
+        assert!(text.contains("\\u001f"));
+        let parsed = json::parse(&text).expect("escaped output parses back");
+        assert_eq!(parsed.get(hostile).unwrap().as_str(), Some(hostile));
+    }
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        use conzone_types::SpanKind;
+        vec![
+            SpanRecord {
+                id: 2,
+                parent: 1,
+                io: 1,
+                kind: SpanKind::WritePath,
+                start: SimTime::from_nanos(1_000),
+                end: SimTime::from_nanos(3_000),
+            },
+            SpanRecord {
+                id: 1,
+                parent: 0,
+                io: 1,
+                kind: SpanKind::IoWrite,
+                start: SimTime::from_nanos(1_000),
+                end: SimTime::from_nanos(4_000),
+            },
+        ]
+    }
+
+    /// The span JSONL export keeps one record per line with a stable,
+    /// documented field order — downstream `cut`/`jq` pipelines and the
+    /// committed goldens rely on it never silently reordering.
+    #[test]
+    fn span_jsonl_has_stable_field_order() {
+        let text = span_jsonl(&sample_spans());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let parsed = json::parse(line).expect("line parses");
+            let Json::Obj(pairs) = parsed else {
+                panic!("span line must be an object")
+            };
+            let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(
+                keys,
+                ["id", "parent", "io", "kind", "start_ns", "end_ns", "dur_ns"]
+            );
+        }
+        // JSONL preserves buffer order (close order), not id order.
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("id").unwrap().as_u64(), Some(2));
+        assert_eq!(first.get("kind").unwrap().as_str(), Some("write_path"));
+        assert_eq!(first.get("dur_ns").unwrap().as_u64(), Some(2_000));
+    }
+
+    /// The Chrome-trace span export must emit parents before children when
+    /// they share a start time (the `X`-event nesting rule), converting
+    /// nanoseconds to the format's microseconds.
+    #[test]
+    fn span_chrome_trace_orders_parents_first() {
+        let doc = span_chrome_trace(&sample_spans());
+        let parsed = json::parse(&doc.to_string()).expect("valid JSON");
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        // Same ts, so the root (lower id) must come first.
+        let args0 = events[0].get("args").unwrap();
+        assert_eq!(args0.get("id").unwrap().as_u64(), Some(1));
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("io_write"));
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(3.0));
+        assert_eq!(events[1].get("name").unwrap().as_str(), Some("write_path"));
     }
 }

@@ -30,15 +30,18 @@
 
 pub mod export;
 pub mod json;
+pub mod profile;
 mod queue;
 mod resource;
 mod rng;
+mod span;
 mod stats;
 mod trace;
 
 pub use queue::EventQueue;
 pub use resource::{Reservation, Resource, ResourceBank};
 pub use rng::SimRng;
+pub use span::{attribute_spans, breakdown_from_spans, KindAttribution, SpanBuffer};
 pub use stats::{LatencyHistogram, LatencySummary};
 pub use trace::{MetricsSample, MetricsSampler, RingBufferSink};
 

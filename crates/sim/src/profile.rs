@@ -1,0 +1,221 @@
+//! Feature-gated wall-time self-profiler (`--features selfprof`).
+//!
+//! Spans measure *simulated* time; this module measures the emulator's
+//! *own* cost — which subsystem burns host CPU, the input the
+//! `BENCH_<date>.json` trajectory tracks (ROADMAP item 2). Hot functions
+//! bracket themselves with [`scope`]:
+//!
+//! ```
+//! let _p = conzone_sim::profile::scope("write_range");
+//! // ... work ...
+//! ```
+//!
+//! Scopes nest into a per-thread call tree; [`folded`] renders it in
+//! folded-stack format (`parent;child <nanoseconds>` per line, the input
+//! `flamegraph.pl` and speedscope accept), and [`reset`] clears the
+//! thread's tree between measurement windows.
+//!
+//! Without the `selfprof` feature every function here is an empty inline
+//! stub and [`ScopeGuard`] is a zero-sized type, so the instrumented hot
+//! paths cost nothing in default builds — the same null-build contract the
+//! trace probe keeps.
+
+/// RAII guard returned by [`scope`]; the scope ends when it drops.
+#[must_use = "the scope ends when the guard drops"]
+#[derive(Debug)]
+pub struct ScopeGuard {
+    #[cfg(feature = "selfprof")]
+    start: std::time::Instant,
+}
+
+/// Whether the profiler is compiled in.
+#[inline]
+pub fn enabled() -> bool {
+    cfg!(feature = "selfprof")
+}
+
+#[cfg(not(feature = "selfprof"))]
+mod imp {
+    use super::ScopeGuard;
+
+    /// Opens a named profiling scope on the current thread.
+    #[inline(always)]
+    pub fn scope(_name: &'static str) -> ScopeGuard {
+        ScopeGuard {}
+    }
+
+    /// Clears the current thread's profile tree.
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// Renders the current thread's profile tree in folded-stack format.
+    #[inline(always)]
+    pub fn folded() -> String {
+        String::new()
+    }
+
+    impl Drop for ScopeGuard {
+        #[inline(always)]
+        fn drop(&mut self) {}
+    }
+}
+
+#[cfg(feature = "selfprof")]
+mod imp {
+    use super::ScopeGuard;
+    use std::cell::RefCell;
+
+    struct Node {
+        name: &'static str,
+        parent: usize,
+        children: Vec<usize>,
+        total_ns: u64,
+    }
+
+    struct Tree {
+        nodes: Vec<Node>,
+        current: usize,
+    }
+
+    impl Tree {
+        fn new() -> Tree {
+            Tree {
+                nodes: vec![Node {
+                    name: "",
+                    parent: 0,
+                    children: Vec::new(),
+                    total_ns: 0,
+                }],
+                current: 0,
+            }
+        }
+    }
+
+    thread_local! {
+        static TREE: RefCell<Tree> = RefCell::new(Tree::new());
+    }
+
+    /// Opens a named profiling scope on the current thread.
+    #[inline]
+    pub fn scope(name: &'static str) -> ScopeGuard {
+        TREE.with(|t| {
+            let mut tree = t.borrow_mut();
+            let cur = tree.current;
+            let child = tree.nodes[cur]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| tree.nodes[c].name == name);
+            let idx = match child {
+                Some(idx) => idx,
+                None => {
+                    let idx = tree.nodes.len();
+                    tree.nodes.push(Node {
+                        name,
+                        parent: cur,
+                        children: Vec::new(),
+                        total_ns: 0,
+                    });
+                    tree.nodes[cur].children.push(idx);
+                    idx
+                }
+            };
+            tree.current = idx;
+        });
+        ScopeGuard {
+            // xtask-lint: allow(wall-clock) — the self-profiler measures
+            // the emulator's own wall-clock cost by design; it never feeds
+            // simulated time and is compiled out without `selfprof`.
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Clears the current thread's profile tree.
+    pub fn reset() {
+        TREE.with(|t| *t.borrow_mut() = Tree::new());
+    }
+
+    /// Renders the current thread's profile tree in folded-stack format:
+    /// one `a;b;c <self-nanoseconds>` line per observed stack, sorted
+    /// lexicographically for stable output. Values are *self* time (the
+    /// scope's total minus its children), the semantic `flamegraph.pl`
+    /// and speedscope expect — summing a subtree reconstructs inclusive
+    /// time.
+    pub fn folded() -> String {
+        TREE.with(|t| {
+            let tree = t.borrow();
+            let mut lines: Vec<String> = Vec::new();
+            let mut stack: Vec<(usize, String)> = tree.nodes[0]
+                .children
+                .iter()
+                .map(|&c| (c, tree.nodes[c].name.to_string()))
+                .collect();
+            while let Some((idx, path)) = stack.pop() {
+                let node = &tree.nodes[idx];
+                let child_ns: u64 = node.children.iter().map(|&c| tree.nodes[c].total_ns).sum();
+                lines.push(format!("{path} {}", node.total_ns.saturating_sub(child_ns)));
+                for &c in &node.children {
+                    stack.push((c, format!("{path};{}", tree.nodes[c].name)));
+                }
+            }
+            lines.sort_unstable();
+            let mut out = lines.join("\n");
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out
+        })
+    }
+
+    impl Drop for ScopeGuard {
+        #[inline]
+        fn drop(&mut self) {
+            let elapsed = self.start.elapsed().as_nanos() as u64;
+            TREE.with(|t| {
+                let mut tree = t.borrow_mut();
+                let cur = tree.current;
+                tree.nodes[cur].total_ns += elapsed;
+                tree.current = tree.nodes[cur].parent;
+            });
+        }
+    }
+}
+
+pub use imp::{folded, reset, scope};
+
+#[cfg(all(test, feature = "selfprof"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folded_output_nests_scopes() {
+        reset();
+        {
+            let _a = scope("outer");
+            {
+                let _b = scope("inner");
+            }
+            {
+                let _b = scope("inner");
+            }
+        }
+        let out = folded();
+        assert!(out.contains("outer "), "{out}");
+        assert!(out.contains("outer;inner "), "{out}");
+        reset();
+        assert!(folded().is_empty());
+    }
+}
+
+#[cfg(all(test, not(feature = "selfprof")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_profiler_is_inert() {
+        assert!(!enabled());
+        let _g = scope("anything");
+        reset();
+        assert_eq!(folded(), "");
+    }
+}

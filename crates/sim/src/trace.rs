@@ -324,13 +324,17 @@ impl MetricsSampler {
 
     /// Closes the final partial interval at `now` (if any activity or time
     /// remains past the last boundary) and returns all samples.
+    ///
+    /// A zero-duration window with activity still yields a (zero-width)
+    /// sample: the PR 2 reporting-math rules make rates over it read as
+    /// `NaN`/`inf` rather than silently vanishing the counted work.
     pub fn finish(mut self, now: SimTime, counters: &Counters) -> Vec<MetricsSample> {
         self.observe(now, counters);
         let start = self.next_boundary - self.interval;
-        if now > start {
+        if now > start || counters.since(&self.last) != Counters::new() {
             self.samples.push(MetricsSample {
                 start,
-                end: now,
+                end: now.max(start),
                 delta: counters.since(&self.last),
             });
         }
@@ -493,5 +497,70 @@ mod tests {
         // Deltas over all intervals add up to the cumulative counter.
         let total: u64 = samples.iter().map(|s| s.delta.host_write_bytes).sum();
         assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn sampler_finish_on_exact_boundary_adds_no_empty_tail() {
+        let mut c = Counters::new();
+        let mut s = MetricsSampler::new(SimDuration::from_millis(1));
+        c.host_write_bytes = 64;
+        s.observe(SimTime::ZERO + SimDuration::from_micros(400), &c);
+        let samples = s.finish(SimTime::ZERO + SimDuration::from_millis(1), &c);
+        // The boundary interval captured everything; no zero-width tail.
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].end, SimTime::ZERO + SimDuration::from_millis(1));
+        assert_eq!(samples[0].delta.host_write_bytes, 64);
+    }
+
+    #[test]
+    fn sampler_zero_duration_run_keeps_nonzero_delta() {
+        // A run that starts and finishes at the same instant must not
+        // silently drop counted work: it yields one zero-width sample, so
+        // rates over it read NaN/inf per the reporting-math rules instead
+        // of the work vanishing.
+        let mut c = Counters::new();
+        c.host_write_bytes = 4096;
+        let s = MetricsSampler::new(SimDuration::from_millis(1));
+        let samples = s.finish(SimTime::ZERO, &c);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].start, SimTime::ZERO);
+        assert_eq!(samples[0].end, SimTime::ZERO);
+        assert_eq!(samples[0].delta.host_write_bytes, 4096);
+        let width = samples[0].end.saturating_since(samples[0].start);
+        let rate = samples[0].delta.host_write_bytes as f64 / width.as_nanos() as f64;
+        assert!(
+            rate.is_infinite() || rate.is_nan(),
+            "explicit NaN/inf, not 0"
+        );
+    }
+
+    #[test]
+    fn sampler_zero_duration_idle_run_is_empty() {
+        let s = MetricsSampler::new(SimDuration::from_millis(1));
+        let samples = s.finish(SimTime::ZERO, &Counters::new());
+        assert!(samples.is_empty(), "nothing happened, nothing to report");
+    }
+
+    #[test]
+    fn sampler_anchored_boundary_finish_with_trailing_delta() {
+        // Activity after the last closed boundary but at an exact
+        // boundary instant: observe() closes it, finish() must not lose
+        // a delta that lands between the two calls.
+        let origin = SimTime::from_nanos(500);
+        let base = Counters::new();
+        let mut s = MetricsSampler::anchored(origin, SimDuration::from_micros(1), &base);
+        let mut c = Counters::new();
+        c.host_read_ops = 3;
+        s.observe(origin + SimDuration::from_micros(1), &c);
+        assert_eq!(s.samples().len(), 1);
+        // More work lands at exactly the same instant; finish at the
+        // boundary keeps it as a zero-width sample.
+        c.host_read_ops = 7;
+        let samples = s.finish(origin + SimDuration::from_micros(1), &c);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].delta.host_read_ops, 4);
+        assert_eq!(samples[1].start, samples[1].end);
+        let total: u64 = samples.iter().map(|s| s.delta.host_read_ops).sum();
+        assert_eq!(total, 7);
     }
 }

@@ -35,6 +35,7 @@ mod counters;
 mod device;
 mod error;
 mod geometry;
+mod span;
 mod time;
 mod trace;
 
@@ -50,6 +51,7 @@ pub use device::{
 };
 pub use error::{ConfigError, DeviceError};
 pub use geometry::{Geometry, PpaParts};
+pub use span::{SpanKind, SpanRecord, SpanRecorder, SpanSink};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     CountingSink, DeviceEvent, FaultKind, FlushKind, L2pOutcome, MediaOp, Probe, TraceRecord,

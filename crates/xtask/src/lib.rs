@@ -2,7 +2,7 @@
 //!
 //! ConZone's value as an emulator rests on bit-identical seeded reruns, so
 //! this pass makes determinism a *statically enforced* property instead of
-//! a test-observed one. Five rules:
+//! a test-observed one. Six rules:
 //!
 //! * [`hash-collections`] — no `std::collections::HashMap`/`HashSet` in
 //!   crates that hold sim-visible state. Their iteration order is
@@ -21,6 +21,10 @@
 //!   counter can never silently vanish from the JSON/metrics exports.
 //! * [`event-coverage`] — every `DeviceEvent` variant must be handled by
 //!   `kind_name`, `kind_index` and the `event_args` exporter mapping.
+//! * [`span-coverage`] — every `SpanKind` variant must be handled by
+//!   `name`, `index` and `breakdown_category`, so a newly added span kind
+//!   can never silently miss the exporters or the breakdown
+//!   reconciliation.
 //!
 //! The pass is a hand-rolled source scanner, not a `syn` parse: the build
 //! environment is fully offline (`vendor/` is the only dependency source
@@ -48,12 +52,13 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Rule identifiers, as used in diagnostics and allow directives.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "hash-collections",
     "wall-clock",
     "unwrap-expect",
     "counter-coverage",
     "event-coverage",
+    "span-coverage",
 ];
 
 /// One lint finding.
@@ -537,12 +542,13 @@ fn counters_struct_fields(body: &str) -> Vec<String> {
         .collect()
 }
 
-/// `DeviceEvent::<Variant>` references inside a body of masked code.
-fn event_refs(body: &str) -> BTreeSet<String> {
+/// `<prefix><Variant>` references (e.g. `DeviceEvent::HostRead`) inside a
+/// body of masked code. `prefix` includes the trailing `::`.
+fn variant_refs(body: &str, prefix: &str) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     let mut from = 0;
-    while let Some(pos) = body[from..].find("DeviceEvent::") {
-        let at = from + pos + "DeviceEvent::".len();
+    while let Some(pos) = body[from..].find(prefix) {
+        let at = from + pos + prefix.len();
         let ident: String = body[at..]
             .chars()
             .take_while(|c| c.is_alphanumeric() || *c == '_')
@@ -686,7 +692,14 @@ fn check_event_coverage(root: &Path, out: &mut Vec<Violation>) {
     for fn_name in ["fn kind_name", "fn kind_index"] {
         match brace_body(&trace_code, fn_name) {
             Some((body, line)) => {
-                check(&variants, &event_refs(body), fn_name, &trace_rel, line, out);
+                check(
+                    &variants,
+                    &variant_refs(body, "DeviceEvent::"),
+                    fn_name,
+                    &trace_rel,
+                    line,
+                    out,
+                );
             }
             None => out.push(Violation {
                 file: trace_rel.clone(),
@@ -704,7 +717,7 @@ fn check_event_coverage(root: &Path, out: &mut Vec<Violation>) {
         match brace_body(&export_code, "fn event_args") {
             Some((body, line)) => check(
                 &variants,
-                &event_refs(body),
+                &variant_refs(body, "DeviceEvent::"),
                 "the event_args exporter mapping",
                 &export_rel,
                 line,
@@ -715,6 +728,46 @@ fn check_event_coverage(root: &Path, out: &mut Vec<Violation>) {
                 line: 1,
                 rule: "event-coverage",
                 message: "could not locate `fn event_args` in the exporter".to_string(),
+            }),
+        }
+    }
+}
+
+/// Cross-checks `SpanKind` variants against `name`, `index` and
+/// `breakdown_category` — the three total mappings every exporter and the
+/// breakdown reconciliation rely on.
+fn check_span_coverage(root: &Path, out: &mut Vec<Violation>) {
+    let span_path = root.join("crates/types/src/span.rs");
+    let Ok(span_src) = std::fs::read_to_string(&span_path) else {
+        return; // fixture trees without a span module skip this rule
+    };
+    let span_rel = PathBuf::from("crates/types/src/span.rs");
+    let (span_code, _) = split_source(&span_src);
+    let Some((enum_body, enum_line)) = brace_body(&span_code, "pub enum SpanKind") else {
+        return;
+    };
+    let variants = enum_variants(enum_body);
+
+    for fn_name in ["fn name", "fn index", "fn breakdown_category"] {
+        match brace_body(&span_code, fn_name) {
+            Some((body, line)) => {
+                let covered = variant_refs(body, "SpanKind::");
+                for v in &variants {
+                    if !covered.contains(v) {
+                        out.push(Violation {
+                            file: span_rel.clone(),
+                            line,
+                            rule: "span-coverage",
+                            message: format!("SpanKind::{v} is not handled by {fn_name}"),
+                        });
+                    }
+                }
+            }
+            None => out.push(Violation {
+                file: span_rel.clone(),
+                line: enum_line,
+                rule: "span-coverage",
+                message: format!("could not locate `{fn_name}` next to SpanKind"),
             }),
         }
     }
@@ -780,6 +833,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     }
     check_counter_coverage(root, &mut out);
     check_event_coverage(root, &mut out);
+    check_span_coverage(root, &mut out);
     out.sort();
     Ok(out)
 }

@@ -1,0 +1,30 @@
+//! Passing fixture: every `SpanKind` variant is handled by all three
+//! mappings.
+
+pub enum SpanKind {
+    IoWrite,
+    WritePath,
+}
+
+impl SpanKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::IoWrite => "io_write",
+            SpanKind::WritePath => "write_path",
+        }
+    }
+
+    pub fn index(&self) -> usize {
+        match self {
+            SpanKind::IoWrite => 0,
+            SpanKind::WritePath => 1,
+        }
+    }
+
+    pub fn breakdown_category(&self) -> Option<&'static str> {
+        match self {
+            SpanKind::IoWrite => None,
+            SpanKind::WritePath => Some("write_path"),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Violating fixture: `GcStall` is not handled by `breakdown_category`
+//! (the name and index mappings cover it).
+
+pub enum SpanKind {
+    IoWrite,
+    WritePath,
+    GcStall,
+}
+
+impl SpanKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::IoWrite => "io_write",
+            SpanKind::WritePath => "write_path",
+            SpanKind::GcStall => "gc_stall",
+        }
+    }
+
+    pub fn index(&self) -> usize {
+        match self {
+            SpanKind::IoWrite => 0,
+            SpanKind::WritePath => 1,
+            SpanKind::GcStall => 2,
+        }
+    }
+
+    pub fn breakdown_category(&self) -> Option<&'static str> {
+        match self {
+            SpanKind::IoWrite => None,
+            SpanKind::WritePath => Some("write_path"),
+            _ => None,
+        }
+    }
+}

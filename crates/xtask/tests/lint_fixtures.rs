@@ -118,6 +118,19 @@ fn event_coverage_fires_with_exact_diagnostic() {
     );
 }
 
+#[test]
+fn span_coverage_fires_with_exact_diagnostic() {
+    let v = lint("spans");
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].file, Path::new("crates/types/src/span.rs"));
+    assert_eq!(v[0].line, 27, "anchored at `fn breakdown_category`");
+    assert_eq!(v[0].rule, "span-coverage");
+    assert_eq!(
+        v[0].message,
+        "SpanKind::GcStall is not handled by fn breakdown_category"
+    );
+}
+
 fn run_binary(root: &Path) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_xtask"))
         .args(["lint", "--root"])
@@ -133,7 +146,7 @@ fn binary_exit_status_reflects_findings() {
     assert!(clean.status.success(), "clean fixture: {stdout}");
     assert!(stdout.contains("xtask lint: clean"), "{stdout}");
 
-    for tree in ["hash", "wallclock", "unwrap", "counters", "events"] {
+    for tree in ["hash", "wallclock", "unwrap", "counters", "events", "spans"] {
         let out = run_binary(&fixture(tree));
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(

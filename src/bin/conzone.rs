@@ -19,10 +19,12 @@ use conzone::host::{
     AccessPattern, FioJob, JobReport, MobileTraceBuilder, Trace, WorkloadPreset,
 };
 use conzone::sim::json::Json;
-use conzone::sim::{export, MetricsSample, RingBufferSink};
+use conzone::sim::{
+    attribute_spans, breakdown_from_spans, export, MetricsSample, RingBufferSink, SpanBuffer,
+};
 use conzone::types::{
     DeviceConfig, FaultConfig, Geometry, MapGranularity, Probe, SearchStrategy, SimDuration,
-    SimTime, StorageDevice, ZoneId, ZonedDevice,
+    SimTime, SpanRecord, StorageDevice, ZoneId, ZonedDevice,
 };
 use conzone::{ConZone, FemuZns, LegacyDevice};
 
@@ -240,21 +242,25 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 /// trace, the interval metrics and whether to emit machine-readable stats.
 struct ObsOpts {
     trace_out: Option<String>,
+    span_out: Option<String>,
     metrics_out: Option<String>,
     metrics_interval: SimDuration,
     stats_json: bool,
+    heatmap: bool,
 }
 
 impl ObsOpts {
     fn from_args(args: &Args) -> Result<ObsOpts, String> {
         Ok(ObsOpts {
             trace_out: args.get("trace-out").map(str::to_string),
+            span_out: args.get("span-out").map(str::to_string),
             metrics_out: args.get("metrics-out").map(str::to_string),
             metrics_interval: match args.get("metrics-interval") {
                 Some(v) => parse_duration(v)?,
                 None => SimDuration::from_millis(100),
             },
             stats_json: args.has("stats-json"),
+            heatmap: args.has("heatmap"),
         })
     }
 
@@ -263,6 +269,15 @@ impl ObsOpts {
         self.trace_out
             .as_ref()
             .map(|_| Arc::new(RingBufferSink::new()))
+    }
+
+    /// The span sink to attach to the device, when `--span-out` was given
+    /// (1 Mi spans, ~60 MiB worst case — excess spans are counted, not
+    /// kept).
+    fn make_span_sink(&self) -> Option<Arc<SpanBuffer>> {
+        self.span_out
+            .as_ref()
+            .map(|_| Arc::new(SpanBuffer::with_capacity(1 << 20)))
     }
 }
 
@@ -279,11 +294,16 @@ fn run_measured<D: StorageDevice + ?Sized>(
     }
 }
 
-/// Writes the Chrome trace-event file (loadable in Perfetto / about:tracing)
-/// and the metrics JSONL, as requested.
+/// Writes the Chrome trace-event file (loadable in Perfetto / about:tracing),
+/// the span dump and the metrics JSONL, as requested. Span files ending in
+/// `.jsonl` get one span per line; any other extension gets a nested Chrome
+/// trace. Drops in either ring are surfaced loudly: a truncated dump that
+/// looks complete is worse than no dump.
 fn write_observability(
     obs: &ObsOpts,
     sink: Option<&RingBufferSink>,
+    spans: Option<&SpanBuffer>,
+    span_records: &[SpanRecord],
     samples: &[MetricsSample],
 ) -> Result<(), String> {
     if let (Some(path), Some(sink)) = (&obs.trace_out, sink) {
@@ -295,12 +315,131 @@ fn write_observability(
             records.len(),
             sink.dropped()
         );
+        if sink.dropped() > 0 {
+            eprintln!(
+                "warning  : the event ring dropped {} records — the trace is \
+                 truncated; trace a shorter phase",
+                sink.dropped()
+            );
+        }
+    }
+    if let (Some(path), Some(spans)) = (&obs.span_out, spans) {
+        let text = if path.ends_with(".jsonl") {
+            export::span_jsonl(span_records)
+        } else {
+            export::span_chrome_trace(span_records).to_string()
+        };
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "spans    : {} spans to {path} ({} dropped)",
+            span_records.len(),
+            spans.dropped()
+        );
+        if spans.dropped() > 0 {
+            eprintln!(
+                "warning  : the span buffer dropped {} spans — attribution \
+                 and the dump are truncated; profile a shorter phase",
+                spans.dropped()
+            );
+        }
     }
     if let Some(path) = &obs.metrics_out {
         std::fs::write(path, export::metrics_jsonl(samples)).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("metrics  : {} intervals to {path}", samples.len());
     }
     Ok(())
+}
+
+/// The `trace` member of a stats object: how many events the ring sink
+/// accepted and how many it had to drop.
+fn trace_counts_json(sink: &RingBufferSink) -> Json {
+    Json::obj([
+        ("recorded", Json::U64(sink.recorded())),
+        ("dropped", Json::U64(sink.dropped())),
+    ])
+}
+
+/// The `spans` member of a stats object: per-kind counts and inclusive /
+/// self sim-time, plus the self-time rollup per breakdown category (which
+/// reconciles with `breakdown_ns` — see `tests/observability.rs`).
+fn span_stats_json(spans: &SpanBuffer, records: &[SpanRecord]) -> Json {
+    let per_kind = Json::Obj(
+        attribute_spans(records)
+            .iter()
+            .filter(|a| a.count > 0)
+            .map(|a| {
+                (
+                    a.kind.name().to_string(),
+                    Json::obj([
+                        ("count", Json::U64(a.count)),
+                        ("total_ns", Json::U64(a.total.as_nanos())),
+                        ("self_ns", Json::U64(a.self_time.as_nanos())),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let breakdown = Json::Obj(
+        breakdown_from_spans(records)
+            .into_iter()
+            .map(|(name, d)| (name.to_string(), Json::U64(d.as_nanos())))
+            .collect(),
+    );
+    Json::obj([
+        ("recorded", Json::U64(spans.recorded())),
+        ("dropped", Json::U64(spans.dropped())),
+        ("per_kind", per_kind),
+        ("breakdown_ns", breakdown),
+    ])
+}
+
+/// The `heatmap` member of a stats object: one row per zone and per
+/// physical block, plus the SLC / cache pressure gauges.
+fn heatmap_json(snap: &conzone::HeatmapSnapshot) -> Json {
+    Json::obj([
+        (
+            "zones",
+            Json::Arr(
+                snap.zones
+                    .iter()
+                    .map(|z| {
+                        Json::obj([
+                            ("zone", Json::U64(z.zone)),
+                            ("state", Json::from(z.state)),
+                            ("conventional", Json::Bool(z.conventional)),
+                            ("wp_slices", Json::U64(z.wp_slices)),
+                            ("flushed_slices", Json::U64(z.flushed_slices)),
+                            ("staged_slices", Json::U64(z.staged_slices)),
+                            ("mapped_slices", Json::U64(z.mapped_slices)),
+                            ("utilization", Json::F64(z.utilization)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "blocks",
+            Json::Arr(
+                snap.blocks
+                    .iter()
+                    .map(|b| {
+                        Json::obj([
+                            ("chip", Json::U64(b.chip)),
+                            ("block", Json::U64(b.block)),
+                            ("cell", Json::from(b.cell)),
+                            ("cursor", Json::U64(b.cursor)),
+                            ("valid_slices", Json::U64(b.valid_slices)),
+                            ("slices", Json::U64(b.slices)),
+                            ("wear", Json::U64(b.wear)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("l2p_occupancy", Json::F64(snap.l2p_occupancy)),
+        ("slc_free_superblocks", Json::U64(snap.slc_free_superblocks)),
+        ("slc_used_superblocks", Json::U64(snap.slc_used_superblocks)),
+    ])
 }
 
 /// One machine-readable blob per job: throughput, counters, latency
@@ -392,9 +531,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         if let Some(s) = &sink {
             dev.set_probe(Probe::attached(s.clone()));
         }
+        let span_buf = obs.make_span_sink();
+        if let Some(s) = &span_buf {
+            dev.set_span_sink(s.clone());
+        }
         let mut t = SimTime::ZERO;
         let mut all_samples: Vec<MetricsSample> = Vec::new();
-        for named in jobs {
+        let njobs = jobs.len();
+        for (i, named) in jobs.into_iter().enumerate() {
             let mut job = named.job.start_at(t);
             if job.pattern == AccessPattern::SeqWrite {
                 job = job.zone_bytes(zone_bytes);
@@ -406,6 +550,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 let mut j = stats_json(&report, Some(&dev.time_breakdown()));
                 if let Json::Obj(pairs) = &mut j {
                     pairs.insert(0, ("job".to_string(), Json::from(named.name.as_str())));
+                    // Ring-sink health is cumulative over the job file.
+                    if let Some(s) = &sink {
+                        pairs.push(("trace".to_string(), trace_counts_json(s)));
+                    }
+                    if obs.heatmap && i + 1 == njobs {
+                        pairs.push(("heatmap".to_string(), heatmap_json(&dev.heatmap_snapshot())));
+                    }
                 }
                 println!("{j}");
             } else {
@@ -416,7 +567,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         if !obs.stats_json {
             println!("time     : {}", dev.time_breakdown());
         }
-        write_observability(&obs, sink.as_deref(), &all_samples)?;
+        let span_records: Vec<SpanRecord> =
+            span_buf.as_ref().map(|b| b.drain()).unwrap_or_default();
+        write_observability(
+            &obs,
+            sink.as_deref(),
+            span_buf.as_deref(),
+            &span_records,
+            &all_samples,
+        )?;
         return Ok(());
     }
     let mut cfg = build_config(args)?;
@@ -462,10 +621,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if power_cut.is_some() && device != "conzone" {
         return Err("--power-cut-at is only supported for --device conzone".to_string());
     }
-    // Reads need data on the device first. The probe attaches after the
-    // fill so trace and metrics cover only the measured job.
+    if (obs.span_out.is_some() || obs.heatmap) && device != "conzone" {
+        return Err("--span-out and --heatmap are only supported for --device conzone".to_string());
+    }
+    // Reads need data on the device first. The probe and span recorder
+    // attach after the fill so trace, spans and metrics cover only the
+    // measured job.
     let needs_fill = pattern.is_read();
     let sink = obs.make_sink();
+    let span_buf = obs.make_span_sink();
+    let mut span_records: Vec<SpanRecord> = Vec::new();
+    let mut heatmap: Option<Json> = None;
     let mut breakdown: Option<conzone::TimeBreakdown> = None;
     let report = match device {
         "conzone" => {
@@ -484,6 +650,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             if let Some(s) = &sink {
                 dev.set_probe(Probe::attached(s.clone()));
             }
+            if let Some(s) = &span_buf {
+                dev.set_span_sink(s.clone());
+            }
             let report = match power_cut {
                 Some(after) => {
                     // Cut power mid-workload, remount and audit the
@@ -499,6 +668,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 None => run_measured(&mut dev, &job, &obs)?,
             };
             breakdown = Some(dev.time_breakdown());
+            if let Some(s) = &span_buf {
+                span_records = s.drain();
+            }
+            if obs.heatmap {
+                heatmap = Some(heatmap_json(&dev.heatmap_snapshot()));
+            }
             if !obs.stats_json {
                 println!("time     : {}", dev.time_breakdown());
             }
@@ -540,11 +715,29 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown --device '{other}'")),
     };
     if obs.stats_json {
-        println!("{}", stats_json(&report, breakdown.as_ref()));
+        let mut j = stats_json(&report, breakdown.as_ref());
+        if let Json::Obj(pairs) = &mut j {
+            if let Some(s) = &sink {
+                pairs.push(("trace".to_string(), trace_counts_json(s)));
+            }
+            if let Some(b) = &span_buf {
+                pairs.push(("spans".to_string(), span_stats_json(b, &span_records)));
+            }
+            if let Some(h) = heatmap.take() {
+                pairs.push(("heatmap".to_string(), h));
+            }
+        }
+        println!("{j}");
     } else {
         print_report(&report);
     }
-    write_observability(&obs, sink.as_deref(), &report.metrics)?;
+    write_observability(
+        &obs,
+        sink.as_deref(),
+        span_buf.as_deref(),
+        &span_records,
+        &report.metrics,
+    )?;
     Ok(())
 }
 
@@ -681,6 +874,7 @@ usage:
                     [--strategy bitmap|multiple|pinned] [--aggregation page|chunk|zone]
                     [--cache 12k] [--buffers 2] [--l2p-log 4096] [--conventional 2]
                     [--trace-out events.json] [--metrics-out metrics.jsonl]
+                    [--span-out spans.json|spans.jsonl] [--heatmap]
                     [--metrics-interval 100ms] [--stats-json]
                     [--fault-seed N] [--fault-rates 0.01,0.001,0.05]
                     [--power-cut-at 400us]

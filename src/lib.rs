@@ -39,7 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use conzone_core::{ConZone, TimeBreakdown};
+pub use conzone_core::{BlockHeat, ConZone, HeatmapSnapshot, TimeBreakdown, ZoneHeat};
 pub use conzone_femu::FemuZns;
 pub use conzone_legacy::LegacyDevice;
 

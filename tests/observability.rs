@@ -1,13 +1,18 @@
 //! End-to-end tests of the observability pipeline: device event tracing,
-//! interval metrics sampling, and the Chrome-trace / JSONL exports —
-//! both through the library API and through the `conzone` CLI.
+//! IO-lifecycle spans, interval metrics sampling, and the Chrome-trace /
+//! JSONL exports — both through the library API and through the `conzone`
+//! CLI.
 
 use std::process::Command;
 use std::sync::Arc;
 
+use proptest::prelude::*;
+
 use conzone::host::{run_job, run_job_sampled, AccessPattern, FioJob};
-use conzone::sim::{export, json, RingBufferSink};
-use conzone::types::{DeviceConfig, Probe, SimDuration, StorageDevice};
+use conzone::sim::{
+    attribute_spans, breakdown_from_spans, export, json, RingBufferSink, SpanBuffer,
+};
+use conzone::types::{DeviceConfig, Probe, SimDuration, SpanRecord, StorageDevice};
 use conzone::ConZone;
 
 /// Library-level round-trip: run a workload with a ring sink attached and
@@ -121,6 +126,187 @@ fn gc_events_pair_into_spans() {
     assert_eq!(begins, ends, "every GC begin must have an end");
 }
 
+/// A tiny device whose small L2P cache, conventional zones and data
+/// backing make a short workload touch every breakdown span kind: map
+/// fetches, data reads, GC stalls and the write path.
+fn spanful_device() -> ConZone {
+    ConZone::new(
+        DeviceConfig::builder(conzone::types::Geometry::tiny())
+            .chunk_bytes(256 * 1024)
+            .data_backing(true)
+            .conventional_zones(2)
+            .l2p_cache_bytes(256)
+            .build()
+            .expect("config"),
+    )
+}
+
+/// Fill, churn (forces SLC GC), then cache-missing random reads — the
+/// fig7-style phase mix. Returns the final finished time.
+fn spanful_workload(dev: &mut ConZone, seed: u64) -> conzone::host::JobReport {
+    let fill = FioJob::new(AccessPattern::SeqWrite, 128 * 1024)
+        .region(0, 4 * 1024 * 1024)
+        .bytes_per_thread(4 * 1024 * 1024);
+    let fill_report = run_job(dev, &fill).expect("fill");
+    let churn = FioJob::new(AccessPattern::RandWrite, 4096)
+        .region(0, 1024 * 1024)
+        .bytes_per_thread(4 * 1024 * 1024)
+        .seed(seed)
+        .start_at(fill_report.finished);
+    let churn_report = run_job(dev, &churn).expect("churn");
+    let reads = FioJob::new(AccessPattern::RandRead, 4096)
+        .region(0, 4 * 1024 * 1024)
+        .ops_per_thread(500)
+        .bytes_per_thread(u64::MAX)
+        .seed(seed.wrapping_add(1))
+        .start_at(churn_report.finished);
+    run_job(dev, &reads).expect("reads")
+}
+
+/// The tentpole acceptance check: per-category self-time sums over the
+/// span dump must reconcile with the device's own `TimeBreakdown` — not
+/// approximately, but nanosecond-exactly, because both sides charge the
+/// same DES intervals.
+#[test]
+fn span_self_times_reconcile_with_time_breakdown() {
+    let mut dev = spanful_device();
+    let spans = Arc::new(SpanBuffer::with_capacity(1 << 20));
+    dev.set_span_sink(spans.clone());
+    spanful_workload(&mut dev, 11);
+
+    assert!(dev.counters().gc_runs > 0, "workload must trigger GC");
+    assert!(
+        dev.counters().l2p_misses > 0,
+        "workload must miss the cache"
+    );
+    assert_eq!(spans.dropped(), 0, "buffer must be large enough");
+
+    let records = spans.drain();
+    assert!(!records.is_empty());
+    let from_spans = breakdown_from_spans(&records);
+    let device_side = dev.time_breakdown();
+    for (name, expected) in device_side.categories() {
+        let got = from_spans
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or(SimDuration::ZERO);
+        assert_eq!(
+            got.as_nanos(),
+            expected.as_nanos(),
+            "category `{name}` disagrees: spans say {got}, breakdown says {expected}"
+        );
+    }
+    // The phase mix really exercised more than the write path.
+    let attr = attribute_spans(&records);
+    for kind in ["map_fetch", "data_read", "write_path", "gc_stall"] {
+        assert!(
+            attr.iter().any(|a| a.kind.name() == kind && a.count > 0),
+            "no `{kind}` spans recorded"
+        );
+    }
+}
+
+/// Attaching the span sink must not perturb the simulation: same finish
+/// time, same counters, bit for bit.
+#[test]
+fn attaching_spans_does_not_change_simulated_results() {
+    let mut plain = spanful_device();
+    let plain_report = spanful_workload(&mut plain, 23);
+
+    let mut instrumented = spanful_device();
+    let spans = Arc::new(SpanBuffer::with_capacity(1 << 20));
+    instrumented.set_span_sink(spans.clone());
+    let instrumented_report = spanful_workload(&mut instrumented, 23);
+
+    assert!(spans.recorded() > 0);
+    assert_eq!(plain_report.finished, instrumented_report.finished);
+    assert_eq!(plain_report.counters, instrumented_report.counters);
+    assert_eq!(plain.counters(), instrumented.counters());
+}
+
+/// Checks one IO's spans form a properly nested tree: exactly one root,
+/// every child's interval inside its parent's, every parent id known.
+fn assert_io_spans_nest(io: u64, spans: &[&SpanRecord]) {
+    let roots: Vec<&&SpanRecord> = spans.iter().filter(|s| s.parent == 0).collect();
+    assert_eq!(roots.len(), 1, "io {io} must have exactly one root span");
+    let by_id: std::collections::BTreeMap<u64, &&SpanRecord> =
+        spans.iter().map(|s| (s.id, s)).collect();
+    assert_eq!(by_id.len(), spans.len(), "span ids must be unique");
+    for s in spans {
+        assert!(s.end >= s.start, "span {} ends before it starts", s.id);
+        if s.parent != 0 {
+            let parent = by_id.get(&s.parent).unwrap_or_else(|| {
+                panic!("io {io}: span {} has unknown parent {}", s.id, s.parent)
+            });
+            assert!(parent.id < s.id, "parents open before children");
+            assert!(
+                parent.start <= s.start && s.end <= parent.end,
+                "io {io}: child {} [{}, {}] escapes parent {} [{}, {}]",
+                s.id,
+                s.start,
+                s.end,
+                parent.id,
+                parent.start,
+                parent.end
+            );
+        } else {
+            assert!(
+                s.kind.breakdown_category().is_none(),
+                "root spans must be IO-lifecycle kinds, got {}",
+                s.kind.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Whatever the workload shape, the recorder never emits a dangling or
+    /// crossing span: per IO the dump is one properly nested tree.
+    #[test]
+    fn span_nesting_is_balanced_per_io(
+        seed in 0u64..1024,
+        churn_kib in 64u64..2048,
+        read_ops in 1u64..400,
+    ) {
+        let mut dev = spanful_device();
+        let spans = Arc::new(SpanBuffer::with_capacity(1 << 20));
+        dev.set_span_sink(spans.clone());
+
+        let fill = FioJob::new(AccessPattern::SeqWrite, 128 * 1024)
+            .region(0, 2 * 1024 * 1024)
+            .bytes_per_thread(2 * 1024 * 1024);
+        let fill_report = run_job(&mut dev, &fill).expect("fill");
+        let churn = FioJob::new(AccessPattern::RandWrite, 4096)
+            .region(0, 1024 * 1024)
+            .bytes_per_thread(churn_kib * 1024)
+            .seed(seed)
+            .start_at(fill_report.finished);
+        let churn_report = run_job(&mut dev, &churn).expect("churn");
+        let reads = FioJob::new(AccessPattern::RandRead, 4096)
+            .region(0, 2 * 1024 * 1024)
+            .ops_per_thread(read_ops)
+            .bytes_per_thread(u64::MAX)
+            .seed(seed.wrapping_add(1))
+            .start_at(churn_report.finished);
+        run_job(&mut dev, &reads).expect("reads");
+
+        let records = spans.drain();
+        prop_assert!(!records.is_empty());
+        let mut by_io: std::collections::BTreeMap<u64, Vec<&SpanRecord>> =
+            std::collections::BTreeMap::new();
+        for s in &records {
+            prop_assert!(s.io != 0, "every span belongs to an IO");
+            by_io.entry(s.io).or_default().push(s);
+        }
+        for (io, group) in &by_io {
+            assert_io_spans_nest(*io, group);
+        }
+    }
+}
+
 fn conzone_cli(args: &[&str]) -> (bool, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_conzone"))
         .args(args)
@@ -221,4 +407,119 @@ fn cli_trace_has_gc_flush_and_l2p_miss_events() {
     std::fs::remove_file(&job_path).ok();
     std::fs::remove_file(&trace_path).ok();
     std::fs::remove_file(&metrics_path).ok();
+}
+
+/// `conzone run --span-out --heatmap --stats-json`: the span file is a
+/// Perfetto-loadable nested trace, the stats JSON carries the span
+/// attribution table that reconciles with the breakdown it also reports,
+/// and the heatmap snapshot has one row per zone.
+#[test]
+fn cli_span_out_heatmap_and_stats_json() {
+    let dir = std::env::temp_dir().join("conzone-span-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let span_path = dir.join("spans.json");
+
+    let (ok, stdout, stderr) = conzone_cli(&[
+        "run",
+        "--config",
+        "tiny",
+        "--pattern",
+        "seqwrite",
+        "--bs",
+        "128k",
+        "--size",
+        "4m",
+        "--region",
+        "16m",
+        "--span-out",
+        span_path.to_str().unwrap(),
+        "--heatmap",
+        "--stats-json",
+    ]);
+    assert!(ok, "{stderr}");
+
+    // The span file is a Chrome trace of X events with nesting args.
+    let trace = std::fs::read_to_string(&span_path).unwrap();
+    let parsed = json::parse(&trace).expect("span trace is valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents");
+    assert!(!events.is_empty());
+    for e in events {
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+        assert!(e.get("dur").unwrap().as_f64().is_some());
+        assert!(e.get("args").unwrap().get("io").unwrap().as_u64().is_some());
+    }
+
+    // The stats JSON reports the span table, and it reconciles with the
+    // breakdown the same document reports.
+    let stats = json::parse(&stdout).expect("stats JSON parses");
+    let spans = stats.get("spans").expect("spans section");
+    assert_eq!(
+        spans.get("recorded").unwrap().as_u64(),
+        Some(events.len() as u64)
+    );
+    assert_eq!(spans.get("dropped").unwrap().as_u64(), Some(0));
+    let per_kind = spans.get("per_kind").expect("per_kind table");
+    assert!(per_kind.get("io_write").is_some(), "{per_kind}");
+    let device_breakdown = stats.get("breakdown_ns").expect("device breakdown");
+    let span_breakdown = spans.get("breakdown_ns").expect("span breakdown");
+    for name in [
+        "mapping_fetch",
+        "data_read",
+        "write_path",
+        "combine_read",
+        "gc",
+        "l2p_log",
+        "erase",
+    ] {
+        assert_eq!(
+            span_breakdown.get(name).unwrap().as_u64(),
+            device_breakdown.get(name).unwrap().as_u64(),
+            "category `{name}` must reconcile"
+        );
+    }
+
+    // The heatmap snapshot has one row per zone and per physical block.
+    let heatmap = stats.get("heatmap").expect("heatmap section");
+    let zones = heatmap.get("zones").unwrap().as_array().unwrap();
+    assert!(!zones.is_empty());
+    for z in zones {
+        for field in ["zone", "state", "wp_slices", "mapped_slices", "utilization"] {
+            assert!(z.get(field).is_some(), "zone row missing `{field}`");
+        }
+    }
+    assert!(!heatmap
+        .get("blocks")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+
+    std::fs::remove_file(&span_path).ok();
+}
+
+/// `--span-out` and `--heatmap` only make sense for the ConZone device;
+/// the CLI must refuse them for baselines rather than silently writing an
+/// empty file.
+#[test]
+fn cli_rejects_span_out_for_baseline_devices() {
+    let (ok, _, stderr) = conzone_cli(&[
+        "run",
+        "--config",
+        "tiny",
+        "--device",
+        "legacy",
+        "--pattern",
+        "seqwrite",
+        "--bs",
+        "128k",
+        "--size",
+        "1m",
+        "--span-out",
+        "/tmp/never-written.json",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--span-out"), "{stderr}");
 }
