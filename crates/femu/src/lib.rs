@@ -45,9 +45,11 @@ use conzone_types::{
 
 /// Median host/guest switch latency per I/O (µ of the log-normal), ns.
 /// "Tens of microseconds" per the paper's §IV-B discussion of KVM exits.
+// xtask-lint: allow(float-determinism) — jitter model parameter, sampled through the seeded rng
 const VM_JITTER_MEDIAN_NS: f64 = 25_000.0;
 /// Log-normal sigma: large fluctuations that "are difficult to simulate
 /// the read latency of flash, which is in the tens of microseconds".
+// xtask-lint: allow(float-determinism) — jitter model parameter, sampled through the seeded rng
 const VM_JITTER_SIGMA: f64 = 0.6;
 
 #[derive(Debug, Clone)]

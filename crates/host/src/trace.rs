@@ -186,6 +186,7 @@ pub struct MobileTraceBuilder {
     burst_bytes: u64,
     metadata_every: u64,
     reads: u64,
+    // xtask-lint: allow(float-determinism) — Zipf skew knob; sampling is seeded and quantized
     read_skew: f64,
 }
 
@@ -229,6 +230,7 @@ impl MobileTraceBuilder {
     }
 
     /// Zipf skew of the reads (0.0 = uniform, ~1.0 = typical hot/cold).
+    // xtask-lint: allow(float-determinism) — Zipf skew knob; sampling is seeded and quantized
     pub fn read_skew(mut self, skew: f64) -> Self {
         self.read_skew = skew;
         self

@@ -121,6 +121,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Json {
         let (ph, name) = match r.event {
             DeviceEvent::GcBegin { .. } => ("B", "gc"),
             DeviceEvent::GcEnd { .. } => ("E", "gc"),
+            // xtask-lint: allow(wildcard-match) — fallback delegates to kind_name, which event-coverage keeps total
             _ => ("i", r.event.kind_name()),
         };
         let mut fields = vec![

@@ -112,7 +112,9 @@ fn escape_into(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            // xtask-lint: allow(truncating-cast) — char → u32 is lossless by definition
             c if (c as u32) < 0x20 => {
+                // xtask-lint: allow(truncating-cast) — char → u32 is lossless by definition
                 out.push_str(&format!("\\u{:04x}", c as u32));
             }
             c => out.push(c),

@@ -63,6 +63,7 @@ mod imp {
 #[cfg(feature = "selfprof")]
 mod imp {
     use super::ScopeGuard;
+    // xtask-lint: allow(fleet-readiness) — selfprof scratch is per-thread by design and never sim-visible
     use std::cell::RefCell;
 
     struct Node {
@@ -91,6 +92,10 @@ mod imp {
         }
     }
 
+    // The profiler tree is deliberately per-thread scratch: it records
+    // wall-clock spans for the `selfprof` feature and is never part of
+    // simulated state. The item-anchored directive covers the whole block.
+    // xtask-lint: allow(fleet-readiness) — selfprof scratch is per-thread by design and never sim-visible
     thread_local! {
         static TREE: RefCell<Tree> = RefCell::new(Tree::new());
     }

@@ -95,6 +95,7 @@ impl SimRng {
     }
 
     /// Bernoulli trial with probability `p`.
+    // xtask-lint: allow(float-determinism) — seeded sampling API; deterministic for a fixed seed
     pub fn chance(&mut self, p: f64) -> bool {
         self.f64() < p
     }
@@ -108,6 +109,7 @@ impl SimRng {
 
     /// A log-normal sample with the given underlying normal parameters.
     /// Useful for long-tailed virtualization-jitter models.
+    // xtask-lint: allow(float-determinism) — seeded sampling API; deterministic for a fixed seed
     pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
         (mu + sigma * self.normal()).exp()
     }

@@ -63,6 +63,7 @@ fn bucket_mid(index: usize) -> u64 {
     if index < SUBBUCKETS {
         index as u64
     } else {
+        // xtask-lint: allow(truncating-cast) — tier index is < 64 by bucket construction
         let tier = (index / SUBBUCKETS - 1) as u32;
         // The bucket spans 2^tier values starting at its lower bound.
         bucket_low(index) + ((1u64 << tier) >> 1)

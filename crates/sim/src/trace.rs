@@ -2,17 +2,36 @@
 //! periodic interval-metrics sampler.
 //!
 //! [`RingBufferSink`] stores events entirely in pre-allocated atomic
-//! slots: recording is one `fetch_add` to claim a slot plus plain atomic
-//! stores (no locks, no allocation on the hot path). Events are packed
-//! into three `u64` words — see the `encode`/`decode` pair — and the ring
-//! overwrites its oldest entries when full, tracking how many were
-//! dropped.
+//! slots: recording is one `fetch_add` to claim an index plus plain
+//! atomic stores (no locks, no allocation on the hot path). Events are
+//! packed into three `u64` words — see the `encode`/`decode` pair — and
+//! the ring overwrites its oldest entries when full, tracking how many
+//! were dropped.
+//!
+//! Each slot is guarded by a per-slot sequence word acting as a
+//! seqlock: a writer parks the sentinel value in it while rewriting the
+//! payload (so concurrent drains skip the slot and a lapped writer
+//! waits instead of interleaving its stores), and a drain re-checks the
+//! word after reading the payload so a record replaced mid-read is
+//! discarded rather than returned torn. The protocol is model-checked
+//! under the vendored loom stand-in — build with `--features loom` and
+//! run `tests/loom_trace.rs` — which explores writer/writer and
+//! writer/drain interleavings exhaustively up to the preemption bound.
 //!
 //! [`MetricsSampler`] turns the cumulative [`Counters`] record into an
 //! interval time series: feed it `(now, counters)` observations and it
 //! emits one [`MetricsSample`] delta per elapsed sampling interval.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+// The sync layer the ring is built on: real std atomics normally, the
+// loom stand-in's checked versions when model-testing.
+#[cfg(feature = "loom")]
+use loom::sync::atomic::{fence, AtomicU64, Ordering};
+#[cfg(feature = "loom")]
+use loom::thread::yield_now;
+#[cfg(not(feature = "loom"))]
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+#[cfg(not(feature = "loom"))]
+use std::thread::yield_now;
 
 use conzone_types::{
     CellType, Counters, DeviceEvent, FaultKind, FlushKind, L2pOutcome, MediaOp, SimDuration,
@@ -142,6 +161,7 @@ fn decode(tag_word: u64, a: u64, b: u64) -> Option<DeviceEvent> {
             block: b,
         },
         16 => DeviceEvent::BlockRetired { chip: a, block: b },
+        // xtask-lint: allow(truncating-cast) — round-trips a u32 packed into the record word
         17 => DeviceEvent::ReadRetry { steps: a as u32 },
         18 => DeviceEvent::PowerCut { lost_slices: a },
         19 => DeviceEvent::RecoveryReplay {
@@ -154,11 +174,18 @@ fn decode(tag_word: u64, a: u64, b: u64) -> Option<DeviceEvent> {
 
 const WORDS_PER_SLOT: usize = 5; // seq, time, tag, a, b
 
+/// Sequence-word sentinel a writer parks in a slot while rewriting its
+/// payload. Real sequence values are `index + 1`, which would need
+/// 2^64 − 1 recorded events to collide with the sentinel.
+const WRITING: u64 = u64::MAX;
+
 /// A bounded, lock-free, overwrite-oldest event sink.
 ///
-/// Writers claim a slot with one `fetch_add` and fill it with atomic
-/// stores; a per-slot sequence word lets [`RingBufferSink::drain`] skip
-/// slots that were mid-write at drain time (only possible while another
+/// Writers claim an index with one `fetch_add`, claim the slot by
+/// swapping [`WRITING`] into its sequence word, fill the payload with
+/// atomic stores and publish by storing `index + 1` back. The sequence
+/// word lets [`RingBufferSink::drain`] detect slots that are mid-write
+/// or were replaced while being read (only possible while another
 /// thread is still emitting). No allocation happens after construction.
 #[derive(Debug)]
 pub struct RingBufferSink {
@@ -176,7 +203,15 @@ impl RingBufferSink {
 
     /// Creates a sink holding the last `capacity` events (min 16).
     pub fn with_capacity(capacity: usize) -> RingBufferSink {
-        let capacity = capacity.max(16);
+        RingBufferSink::with_capacity_exact(capacity.max(16))
+    }
+
+    /// Like [`RingBufferSink::with_capacity`] but without the floor of
+    /// 16. Tiny rings make wraparound races reachable in a handful of
+    /// steps, which is what the loom model tests need; production users
+    /// should go through `with_capacity`. `capacity` must be ≥ 1.
+    pub fn with_capacity_exact(capacity: usize) -> RingBufferSink {
+        assert!(capacity >= 1, "ring capacity must be at least 1");
         let mut slots = Vec::with_capacity(capacity * WORDS_PER_SLOT);
         for _ in 0..capacity * WORDS_PER_SLOT {
             slots.push(AtomicU64::new(0));
@@ -208,14 +243,23 @@ impl RingBufferSink {
         let mut out = Vec::with_capacity(retained as usize);
         for idx in first..head {
             let base = (idx % self.capacity) as usize * WORDS_PER_SLOT;
-            let seq = self.slots[base].load(Ordering::Acquire);
-            if seq != idx + 1 {
-                continue; // torn or stale slot
+            // Seqlock read: check the sequence word on *both* sides of
+            // the payload loads and keep the record only if it never
+            // moved — a writer that replaced the record mid-read leaves
+            // either the WRITING sentinel or a different sequence in s2.
+            let s1 = self.slots[base].load(Ordering::Acquire);
+            if s1 != idx + 1 {
+                continue; // stale, mid-write, or already overwritten
             }
             let time = self.slots[base + 1].load(Ordering::Relaxed);
             let tag = self.slots[base + 2].load(Ordering::Relaxed);
             let a = self.slots[base + 3].load(Ordering::Relaxed);
             let b = self.slots[base + 4].load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let s2 = self.slots[base].load(Ordering::Relaxed);
+            if s2 != s1 {
+                continue; // replaced while being read
+            }
             if let Some(event) = decode(tag, a, b) {
                 out.push(TraceRecord {
                     time: SimTime::from_nanos(time),
@@ -238,9 +282,29 @@ impl TraceSink for RingBufferSink {
         let idx = self.head.fetch_add(1, Ordering::AcqRel);
         let base = (idx % self.capacity) as usize * WORDS_PER_SLOT;
         let (tag, a, b) = encode(event);
-        // Invalidate the slot while rewriting, then publish with the new
-        // sequence number.
-        self.slots[base].store(0, Ordering::Release);
+        // Claim the slot before touching the payload: the sentinel
+        // keeps drain() from trusting the words mid-write, and keeps a
+        // writer a full lap away from interleaving its stores with
+        // ours (two live writers land on one slot only when the ring
+        // wraps while a write is still in flight).
+        loop {
+            let prev = self.slots[base].swap(WRITING, Ordering::Acquire);
+            if prev == WRITING {
+                yield_now();
+                continue;
+            }
+            if prev > idx + 1 {
+                // The slot already carries a *newer* record: this
+                // writer was lapped between claiming `idx` and getting
+                // here. Indices sharing a slot are a multiple of
+                // `capacity` apart, so `idx` sits below the retained
+                // window and is already counted by dropped(); put the
+                // newer record back untouched.
+                self.slots[base].store(prev, Ordering::Release);
+                return;
+            }
+            break;
+        }
         self.slots[base + 1].store(time.as_nanos(), Ordering::Relaxed);
         self.slots[base + 2].store(tag, Ordering::Relaxed);
         self.slots[base + 3].store(a, Ordering::Relaxed);
@@ -468,6 +532,50 @@ mod tests {
             "oldest retained is #24"
         );
         assert_eq!(records[15].event, DeviceEvent::L2pEviction { count: 39 });
+    }
+
+    #[test]
+    fn ring_survives_concurrent_writers_with_exact_accounting() {
+        // Real-thread smoke test of the slot-claim protocol (the
+        // exhaustive version lives in tests/loom_trace.rs): hammer a
+        // small ring from several threads, then check that nothing is
+        // torn and the drop accounting balances to the record.
+        let sink = std::sync::Arc::new(RingBufferSink::with_capacity(16));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let sink = std::sync::Arc::clone(&sink);
+            handles.push(std::thread::spawn(move || {
+                for k in 0..64u64 {
+                    let i = t * 1000 + k;
+                    sink.record(
+                        SimTime::from_nanos(i),
+                        DeviceEvent::RecoveryReplay {
+                            recovered_slices: i,
+                            lost_slices: i,
+                        },
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        let records = sink.drain();
+        assert_eq!(sink.recorded(), 256);
+        assert_eq!(records.len() as u64 + sink.dropped(), sink.recorded());
+        assert_eq!(records.len(), 16, "every retained slot is readable");
+        for r in &records {
+            match r.event {
+                DeviceEvent::RecoveryReplay {
+                    recovered_slices,
+                    lost_slices,
+                } => {
+                    assert_eq!(recovered_slices, lost_slices, "torn payload: {r:?}");
+                    assert_eq!(r.time, SimTime::from_nanos(recovered_slices), "torn time");
+                }
+                ref other => panic!("foreign event decoded: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -201,13 +201,16 @@ pub struct FaultConfig {
     pub seed: u64,
     /// Probability that one program operation (unit or SLC batch) fails.
     /// The failed slices are burned; the core re-issues the data elsewhere.
+    // xtask-lint: allow(float-determinism) — fault probability knob, compared against the seeded rng
     pub program_fail_rate: f64,
     /// Probability that one block erase fails, permanently retiring the
     /// block (it drops out of its superblock's usable set).
+    // xtask-lint: allow(float-determinism) — fault probability knob, compared against the seeded rng
     pub erase_fail_rate: f64,
     /// Probability that one data page read needs read-retry: the sense is
     /// repeated with stepped reference voltages, each step costing
     /// [`FaultConfig::read_retry_step`] extra latency.
+    // xtask-lint: allow(float-determinism) — fault probability knob, compared against the seeded rng
     pub read_retry_rate: f64,
     /// Program failures on one block before it is retired as a *grown bad
     /// block*. Zero means program failures never retire a block.
@@ -237,6 +240,7 @@ impl FaultConfig {
     /// A fault config with the given per-operation rates and sensible
     /// defaults for the remaining knobs (grown-bad after 2 program
     /// failures, up to 3 read-retry steps of 25 µs each).
+    // xtask-lint: allow(float-determinism) — fault probability knobs, compared against the seeded rng
     pub fn with_rates(program_fail: f64, erase_fail: f64, read_retry: f64) -> FaultConfig {
         FaultConfig {
             program_fail_rate: program_fail,

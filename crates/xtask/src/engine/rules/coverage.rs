@@ -1,0 +1,318 @@
+//! The three coverage cross-checks: `counter-coverage`,
+//! `event-coverage` and `span-coverage`.
+//!
+//! These run once per workspace (not per file) because each compares
+//! two places that must agree: an enum or struct definition against the
+//! exporter mappings that enumerate it. They bypass the allowlist on
+//! purpose — an exporter gap is never acceptable, only fixable.
+//!
+//! Anchoring matches the previous engine exactly: a missing-variant
+//! diagnostic points at the handling `fn`'s `fn` keyword line, a
+//! missing-exporter diagnostic at the enum/struct definition line.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::engine::tokens::{flatten, FlatTok};
+use crate::Violation;
+use proc_macro2::TokenTree;
+use syn::visit::{self, Visit};
+
+/// Source-order index of the nodes the coverage rules look up.
+#[derive(Default)]
+struct Index<'ast> {
+    structs: Vec<&'ast syn::ItemStruct>,
+    enums: Vec<&'ast syn::ItemEnum>,
+    fns: Vec<&'ast syn::ItemFn>,
+    /// Macro *invocations* (`fields!(…)`), not `macro_rules!` definitions.
+    invocations: Vec<(&'ast str, &'ast [TokenTree])>,
+}
+
+impl<'ast> Visit<'ast> for Index<'ast> {
+    fn visit_item_struct(&mut self, item: &'ast syn::ItemStruct) {
+        self.structs.push(item);
+        visit::walk_item_struct(self, item);
+    }
+
+    fn visit_item_enum(&mut self, item: &'ast syn::ItemEnum) {
+        self.enums.push(item);
+        visit::walk_item_enum(self, item);
+    }
+
+    fn visit_item_fn(&mut self, item: &'ast syn::ItemFn) {
+        self.fns.push(item);
+        visit::walk_item_fn(self, item);
+    }
+
+    fn visit_item_macro(&mut self, item: &'ast syn::ItemMacro) {
+        self.invocations.push((&item.name, &item.tokens));
+        visit::walk_item_macro(self, item);
+    }
+
+    fn visit_expr_macro(&mut self, m: &'ast syn::ExprMacro) {
+        self.invocations.push((&m.name, &m.tokens));
+        visit::walk_expr_macro(self, m);
+    }
+}
+
+/// One parsed coverage-target file.
+struct Target {
+    rel: PathBuf,
+    ast: syn::File,
+    flat: Vec<FlatTok>,
+}
+
+impl Target {
+    fn load(root: &Path, rel: &str) -> Option<Target> {
+        let src = std::fs::read_to_string(root.join(rel)).ok()?;
+        let ast = syn::parse_file(&src).ok()?;
+        let flat = flatten(&ast.tokens);
+        Some(Target {
+            rel: PathBuf::from(rel),
+            ast,
+            flat,
+        })
+    }
+
+    fn index(&self) -> Index<'_> {
+        let mut ix = Index::default();
+        ix.visit_file(&self.ast);
+        ix
+    }
+
+    /// First public enum with this exact name, with its 1-based
+    /// definition line and CamelCase variant names.
+    fn public_enum(&self, ix: &Index<'_>, name: &str) -> Option<(usize, Vec<String>)> {
+        let e = ix.enums.iter().find(|e| e.public && e.name == name)?;
+        let variants = e
+            .variants
+            .iter()
+            .map(|v| v.name.clone())
+            .filter(|v| v.chars().next().is_some_and(char::is_uppercase))
+            .collect();
+        Some((e.span.line, variants))
+    }
+
+    /// First fn (in source order) whose name starts with `prefix` —
+    /// prefix rather than equality to mirror the previous engine's
+    /// substring marker search. Returns the fn's 1-based `fn` keyword
+    /// line and its token extent.
+    fn fn_with_prefix(&self, ix: &Index<'_>, prefix: &str) -> Option<(usize, usize, usize)> {
+        let f = ix.fns.iter().find(|f| f.name.starts_with(prefix))?;
+        Some((f.fn_span.line, f.fn_span.lo, f.end_byte))
+    }
+
+    /// `Enum::Variant` references between byte offsets `lo` and `hi`.
+    fn variant_refs(&self, enum_name: &str, lo: usize, hi: usize) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for i in 0..self.flat.len() {
+            let at = self.flat[i].span().lo;
+            if at < lo || at >= hi {
+                continue;
+            }
+            if self.flat[i].ident() != Some(enum_name)
+                || self.flat.get(i + 1).and_then(FlatTok::punct) != Some(':')
+                || self.flat.get(i + 2).and_then(FlatTok::punct) != Some(':')
+            {
+                continue;
+            }
+            if let Some(v) = self.flat.get(i + 3).and_then(FlatTok::ident) {
+                out.insert(v.to_string());
+            }
+        }
+        out
+    }
+}
+
+/// Comma-separated identifier list of the first `name!(…)` invocation.
+fn macro_ident_list(ix: &Index<'_>, name: &str) -> Option<Vec<String>> {
+    let (_, tokens) = ix.invocations.iter().find(|(n, _)| *n == name)?;
+    let mut out = Vec::new();
+    let mut chunk: Vec<TokenTree> = Vec::new();
+    for t in tokens.iter() {
+        if t.as_punct() == Some(',') {
+            if !chunk.is_empty() {
+                out.push(quote::render(&chunk));
+                chunk.clear();
+            }
+        } else {
+            chunk.push(t.clone());
+        }
+    }
+    if !chunk.is_empty() {
+        out.push(quote::render(&chunk));
+    }
+    Some(out)
+}
+
+/// Cross-checks `Counters` fields against the exporter field lists.
+pub(crate) fn check_counter_coverage(root: &Path, out: &mut Vec<Violation>) {
+    let Some(target) = Target::load(root, "crates/types/src/counters.rs") else {
+        return; // fixture trees without a types crate skip this rule
+    };
+    let ix = target.index();
+    let Some(counters) = ix.structs.iter().find(|s| s.public && s.name == "Counters") else {
+        return;
+    };
+    let struct_line = counters.span.line;
+    let fields: Vec<String> = counters
+        .fields
+        .iter()
+        .filter(|f| f.public && f.ty.render() == "u64")
+        .filter_map(|f| f.name.clone())
+        .collect();
+    for (macro_name, what) in [
+        ("fields", "named_fields exporter list"),
+        ("diff", "since() interval diff"),
+    ] {
+        let Some(listed) = macro_ident_list(&ix, macro_name) else {
+            out.push(Violation {
+                file: target.rel.clone(),
+                line: struct_line,
+                rule: "counter-coverage",
+                message: format!("could not locate the {macro_name}!(…) {what}"),
+            });
+            continue;
+        };
+        let listed_set: BTreeSet<&str> = listed.iter().map(String::as_str).collect();
+        for f in &fields {
+            if !listed_set.contains(f.as_str()) {
+                out.push(Violation {
+                    file: target.rel.clone(),
+                    line: struct_line,
+                    rule: "counter-coverage",
+                    message: format!(
+                        "Counters field `{f}` is missing from the {what}: \
+                         it would silently vanish from every exporter"
+                    ),
+                });
+            }
+        }
+        let field_set: BTreeSet<&str> = fields.iter().map(String::as_str).collect();
+        for l in &listed {
+            if !field_set.contains(l.as_str()) {
+                out.push(Violation {
+                    file: target.rel.clone(),
+                    line: struct_line,
+                    rule: "counter-coverage",
+                    message: format!("{what} names `{l}`, which is not a Counters field"),
+                });
+            }
+        }
+    }
+}
+
+/// Cross-checks `DeviceEvent` variants against `kind_name`, `kind_index`
+/// and the `event_args` exporter mapping.
+pub(crate) fn check_event_coverage(root: &Path, out: &mut Vec<Violation>) {
+    let Some(trace) = Target::load(root, "crates/types/src/trace.rs") else {
+        return;
+    };
+    let trace_ix = trace.index();
+    let Some((enum_line, variants)) = trace.public_enum(&trace_ix, "DeviceEvent") else {
+        return;
+    };
+
+    fn check(
+        variants: &[String],
+        covered: &BTreeSet<String>,
+        place: &str,
+        file: &Path,
+        line: usize,
+        out: &mut Vec<Violation>,
+    ) {
+        for v in variants {
+            if !covered.contains(v) {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line,
+                    rule: "event-coverage",
+                    message: format!("DeviceEvent::{v} is not handled by {place}"),
+                });
+            }
+        }
+    }
+
+    for (fn_prefix, place) in [
+        ("kind_name", "fn kind_name"),
+        ("kind_index", "fn kind_index"),
+    ] {
+        match trace.fn_with_prefix(&trace_ix, fn_prefix) {
+            Some((line, lo, hi)) => check(
+                &variants,
+                &trace.variant_refs("DeviceEvent", lo, hi),
+                place,
+                &trace.rel,
+                line,
+                out,
+            ),
+            None => out.push(Violation {
+                file: trace.rel.clone(),
+                line: enum_line,
+                rule: "event-coverage",
+                message: format!("could not locate `{place}` next to DeviceEvent"),
+            }),
+        }
+    }
+
+    if let Some(export) = Target::load(root, "crates/sim/src/export.rs") {
+        let export_ix = export.index();
+        match export.fn_with_prefix(&export_ix, "event_args") {
+            Some((line, lo, hi)) => check(
+                &variants,
+                &export.variant_refs("DeviceEvent", lo, hi),
+                "the event_args exporter mapping",
+                &export.rel,
+                line,
+                out,
+            ),
+            None => out.push(Violation {
+                file: export.rel.clone(),
+                line: 1,
+                rule: "event-coverage",
+                message: "could not locate `fn event_args` in the exporter".to_string(),
+            }),
+        }
+    }
+}
+
+/// Cross-checks `SpanKind` variants against `name`, `index` and
+/// `breakdown_category` — the three total mappings every exporter and the
+/// breakdown reconciliation rely on.
+pub(crate) fn check_span_coverage(root: &Path, out: &mut Vec<Violation>) {
+    let Some(span) = Target::load(root, "crates/types/src/span.rs") else {
+        return; // fixture trees without a span module skip this rule
+    };
+    let ix = span.index();
+    let Some((enum_line, variants)) = span.public_enum(&ix, "SpanKind") else {
+        return;
+    };
+
+    for (fn_prefix, place) in [
+        ("name", "fn name"),
+        ("index", "fn index"),
+        ("breakdown_category", "fn breakdown_category"),
+    ] {
+        match span.fn_with_prefix(&ix, fn_prefix) {
+            Some((line, lo, hi)) => {
+                let covered = span.variant_refs("SpanKind", lo, hi);
+                for v in &variants {
+                    if !covered.contains(v) {
+                        out.push(Violation {
+                            file: span.rel.clone(),
+                            line,
+                            rule: "span-coverage",
+                            message: format!("SpanKind::{v} is not handled by {place}"),
+                        });
+                    }
+                }
+            }
+            None => out.push(Violation {
+                file: span.rel.clone(),
+                line: enum_line,
+                rule: "span-coverage",
+                message: format!("could not locate `{place}` next to SpanKind"),
+            }),
+        }
+    }
+}

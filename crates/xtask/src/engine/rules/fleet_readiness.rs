@@ -1,0 +1,131 @@
+//! `fleet-readiness`: sim-visible state must be shardable across fleet
+//! worker threads, i.e. `Send`. Three shapes break that silently:
+//!
+//! * `Rc`/`RefCell`/`Cell`/`UnsafeCell` — single-thread interior
+//!   mutability; an `Rc` cycle or a `RefCell` borrow panic only shows
+//!   up once devices migrate between workers.
+//! * `thread_local!` — pins state to an OS thread, so a device resumed
+//!   on a different worker sees a fresh (diverged) copy.
+//! * `static mut` — process-global mutable state aliased by every
+//!   device instance in the process.
+
+use std::collections::BTreeSet;
+
+use crate::engine::tokens::matches_pattern;
+use crate::engine::FileCtx;
+use crate::Violation;
+use syn::visit::{self, Visit};
+
+const BANNED: [&str; 4] = ["Rc", "RefCell", "Cell", "UnsafeCell"];
+
+struct StaticMuts {
+    lines: Vec<usize>,
+}
+
+impl<'ast> Visit<'ast> for StaticMuts {
+    fn visit_item_static(&mut self, item: &'ast syn::ItemStatic) {
+        if item.mutable {
+            self.lines.push(item.span.line.saturating_sub(1));
+        }
+        visit::walk_item_static(self, item);
+    }
+}
+
+pub(crate) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let mut seen: BTreeSet<(usize, &str)> = BTreeSet::new();
+    for (i, tok) in ctx.flat.iter().enumerate() {
+        let Some(ident) = tok.ident() else {
+            continue;
+        };
+        let idx = tok.line_idx();
+        if ctx.in_test(idx) {
+            continue;
+        }
+        if let Some(name) = BANNED.iter().copied().find(|n| *n == ident) {
+            if seen.insert((idx, name)) {
+                ctx.push(
+                    out,
+                    idx,
+                    "fleet-readiness",
+                    format!(
+                        "{name} in sim-visible code is not fleet-ready: \
+                         device state must be Send so the fleet runner can \
+                         shard devices across worker threads; use owned \
+                         data, atomics, or a mutex-guarded structure"
+                    ),
+                );
+            }
+        }
+        if matches_pattern(&ctx.flat, i, &["thread_local", "!"])
+            && seen.insert((idx, "thread_local"))
+        {
+            ctx.push(
+                out,
+                idx,
+                "fleet-readiness",
+                "thread_local! pins sim state to one OS thread: a \
+                 device migrated to another fleet worker silently sees \
+                 a fresh copy and diverges; keep the state inside the \
+                 device instance"
+                    .to_string(),
+            );
+        }
+    }
+
+    let mut statics = StaticMuts { lines: Vec::new() };
+    statics.visit_file(&ctx.ast);
+    for idx in statics.lines {
+        if ctx.in_test(idx) {
+            continue;
+        }
+        ctx.push(
+            out,
+            idx,
+            "fleet-readiness",
+            "static mut is process-global mutable state: fleet mode \
+             runs many devices per process, so every instance aliases \
+             this; move it into the device instance"
+                .to_string(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{lint_file, policy_for};
+    use std::path::Path;
+
+    #[test]
+    fn interior_mutability_thread_local_and_static_mut_are_flagged() {
+        let src = "use std::cell::RefCell;\n\
+                   thread_local! { static SCRATCH: RefCell<u64> = RefCell::new(0); }\n\
+                   static mut GLOBAL: u64 = 0;\n";
+        let mut out = Vec::new();
+        lint_file(
+            Path::new("crates/sim/src/x.rs"),
+            src,
+            policy_for("sim"),
+            &mut out,
+        )
+        .expect("parses");
+        let fleet: Vec<_> = out.iter().filter(|v| v.rule == "fleet-readiness").collect();
+        // line 1: RefCell import; line 2: thread_local! + RefCell; line 3: static mut.
+        assert_eq!(fleet.len(), 4, "{out:?}");
+    }
+
+    #[test]
+    fn send_safe_state_is_clean() {
+        let src = "use std::sync::atomic::AtomicU64;\n\
+                   static SLOTS: AtomicU64 = AtomicU64::new(0);\n\
+                   struct CellMap { cells: Vec<u64> }\n";
+        let mut out = Vec::new();
+        lint_file(
+            Path::new("crates/sim/src/x.rs"),
+            src,
+            policy_for("sim"),
+            &mut out,
+        )
+        .expect("parses");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,78 @@
+//! `hash-collections`: no `HashMap`/`HashSet` in sim-visible crates.
+//!
+//! Their iteration order is randomized per process (SipHash with random
+//! keys), so any iteration that feeds simulator behaviour breaks seeded
+//! reruns. One diagnostic per line per identifier, like the previous
+//! engine: a `HashMap<K, HashMap<K2, V>>` nested type is one finding.
+
+use std::collections::BTreeSet;
+
+use crate::engine::FileCtx;
+use crate::Violation;
+
+const BANNED: [&str; 2] = ["HashMap", "HashSet"];
+
+pub(crate) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let mut seen: BTreeSet<(usize, &str)> = BTreeSet::new();
+    for tok in &ctx.flat {
+        let Some(ident) = tok.ident() else {
+            continue;
+        };
+        let Some(name) = BANNED.iter().copied().find(|n| *n == ident) else {
+            continue;
+        };
+        let idx = tok.line_idx();
+        if ctx.in_test(idx) || !seen.insert((idx, name)) {
+            continue;
+        }
+        ctx.push(
+            out,
+            idx,
+            "hash-collections",
+            format!(
+                "{name} in sim-visible state: iteration order is \
+                 randomized per process and breaks seeded reruns; \
+                 use BTreeMap/BTreeSet or an insertion-ordered \
+                 structure"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{lint_file, policy_for};
+    use std::path::Path;
+
+    #[test]
+    fn one_finding_per_line_per_identifier() {
+        let src = "fn f() { let m: HashMap<u32, HashMap<u32, HashSet<u32>>> = make(); }\n";
+        let mut out = Vec::new();
+        lint_file(
+            Path::new("crates/sim/src/x.rs"),
+            src,
+            policy_for("sim"),
+            &mut out,
+        )
+        .expect("parses");
+        let hash: Vec<_> = out
+            .iter()
+            .filter(|v| v.rule == "hash-collections")
+            .collect();
+        assert_eq!(hash.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_never_trip_the_rule() {
+        let src = "// HashMap in prose\nfn f() { let s = \"HashMap\"; }\n";
+        let mut out = Vec::new();
+        lint_file(
+            Path::new("crates/sim/src/x.rs"),
+            src,
+            policy_for("sim"),
+            &mut out,
+        )
+        .expect("parses");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,94 @@
+//! `unwrap-expect`: no `.unwrap()` / `.expect(…)` in non-test library
+//! code of the error-typed crates; return `DeviceError`/`FlashError`/
+//! `JsonError` instead. `self.expect(…)` is exempt — it is a
+//! user-defined method (the JSON parser's token matcher), not
+//! `Option`/`Result::expect`. Every occurrence is flagged, including
+//! several on one line.
+
+use proc_macro2::Delimiter;
+
+use crate::engine::tokens::FlatTok;
+use crate::engine::FileCtx;
+use crate::Violation;
+
+pub(crate) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let flat = &ctx.flat;
+    for i in 0..flat.len() {
+        if flat[i].punct() != Some('.') {
+            continue;
+        }
+        let line = flat[i].span().line;
+        let idx = line.saturating_sub(1);
+        if ctx.in_test(idx) {
+            continue;
+        }
+        let (Some(name_tok), Some(open_tok)) = (flat.get(i + 1), flat.get(i + 2)) else {
+            continue;
+        };
+        if name_tok.span().line != line || open_tok.span().line != line {
+            continue;
+        }
+        let paren = |empty_only: bool| match open_tok {
+            FlatTok::Open { delim, empty, .. } => {
+                *delim == Delimiter::Parenthesis && (!empty_only || *empty)
+            }
+            _ => false,
+        };
+        let flagged = match name_tok.ident() {
+            Some("unwrap") if paren(true) => Some(".unwrap()"),
+            Some("expect") if paren(false) => {
+                // `self.expect(…)`: receiver is the `self` ident right
+                // before the dot, on the same line.
+                let receiver_is_self =
+                    i > 0 && flat[i - 1].ident() == Some("self") && flat[i - 1].span().line == line;
+                (!receiver_is_self).then_some(".expect")
+            }
+            _ => None,
+        };
+        if let Some(pat) = flagged {
+            ctx.push(
+                out,
+                idx,
+                "unwrap-expect",
+                format!(
+                    "{pat} in non-test library code: return a typed \
+                     error (DeviceError/FlashError/JsonError) instead"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{lint_file, policy_for};
+    use std::path::Path;
+
+    #[test]
+    fn every_occurrence_is_flagged() {
+        let src = "fn f() { a.unwrap(); b.unwrap().c.unwrap(); }\n";
+        let mut out = Vec::new();
+        lint_file(
+            Path::new("crates/core/src/x.rs"),
+            src,
+            policy_for("core"),
+            &mut out,
+        )
+        .expect("parses");
+        assert_eq!(out.len(), 3, "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_with_arguments_is_a_different_method() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_default(); }\n";
+        let mut out = Vec::new();
+        lint_file(
+            Path::new("crates/core/src/x.rs"),
+            src,
+            policy_for("core"),
+            &mut out,
+        )
+        .expect("parses");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,81 @@
+//! `wall-clock`: no ambient time or randomness outside bench/test code.
+//!
+//! Simulated time comes from `SimTime`; randomness from explicitly
+//! seeded generators. One diagnostic per line per pattern, like the
+//! previous engine.
+
+use std::collections::BTreeSet;
+
+use crate::engine::tokens::matches_pattern;
+use crate::engine::FileCtx;
+use crate::Violation;
+
+/// (display text, token pattern) per banned source of nondeterminism.
+const BANNED: [(&str, &[&str]); 4] = [
+    ("Instant::now", &["Instant", ":", ":", "now"]),
+    ("SystemTime", &["SystemTime"]),
+    ("thread_rng", &["thread_rng"]),
+    ("rand::random", &["rand", ":", ":", "random"]),
+];
+
+pub(crate) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let mut seen: BTreeSet<(usize, &str)> = BTreeSet::new();
+    for i in 0..ctx.flat.len() {
+        for (pat, toks) in BANNED {
+            if !matches_pattern(&ctx.flat, i, toks) {
+                continue;
+            }
+            let idx = ctx.flat[i].line_idx();
+            if ctx.in_test(idx) || !seen.insert((idx, pat)) {
+                continue;
+            }
+            ctx.push(
+                out,
+                idx,
+                "wall-clock",
+                format!(
+                    "{pat} is ambient nondeterminism: simulated time \
+                     comes from SimTime and randomness from seeded \
+                     generators (bench and test code are exempt)"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{lint_file, policy_for};
+    use std::path::Path;
+
+    #[test]
+    fn each_pattern_is_flagged_once_per_line() {
+        let src = "fn f() { let a = Instant::now(); let b = Instant::now(); }\n\
+                   fn g() { let r = rand::random(); }\n";
+        let mut out = Vec::new();
+        lint_file(
+            Path::new("crates/host/src/x.rs"),
+            src,
+            policy_for("host"),
+            &mut out,
+        )
+        .expect("parses");
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.starts_with("Instant::now"));
+        assert!(out[1].message.starts_with("rand::random"));
+    }
+
+    #[test]
+    fn prefixed_idents_do_not_match() {
+        let src = "fn f() { let x = MyInstant::now_ish(); let y = thread_rng_seed; }\n";
+        let mut out = Vec::new();
+        lint_file(
+            Path::new("crates/host/src/x.rs"),
+            src,
+            policy_for("host"),
+            &mut out,
+        )
+        .expect("parses");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,132 @@
+//! `wildcard-match`: no `_ =>` arms on matches over the protected
+//! enums (`DeviceEvent`, `SpanKind`, `InvariantKind`, `FaultKind`).
+//!
+//! The coverage rules guarantee every variant reaches the exporters;
+//! a wildcard arm defeats them from the other side — a newly added
+//! variant is silently absorbed instead of failing the build. A match
+//! counts as protected when any non-wild arm's pattern names
+//! `Enum::Variant` for one of the protected enums.
+
+use proc_macro2::TokenTree;
+
+use crate::engine::FileCtx;
+use crate::Violation;
+use syn::visit::{self, Visit};
+
+const PROTECTED: [&str; 4] = ["DeviceEvent", "SpanKind", "InvariantKind", "FaultKind"];
+
+/// Whether a pattern's tokens reference `Enum::…` for a protected enum,
+/// recursing into nested groups (`Some(DeviceEvent::HostRead)`).
+fn names_protected(tokens: &[TokenTree]) -> Option<&'static str> {
+    for (i, t) in tokens.iter().enumerate() {
+        if let Some(g) = t.as_group() {
+            if let Some(name) = names_protected(g.stream().tokens()) {
+                return Some(name);
+            }
+            continue;
+        }
+        let Some(ident) = t.as_ident() else { continue };
+        let Some(name) = PROTECTED.iter().copied().find(|p| *p == ident) else {
+            continue;
+        };
+        let followed_by_path = tokens.get(i + 1).and_then(TokenTree::as_punct) == Some(':')
+            && tokens.get(i + 2).and_then(TokenTree::as_punct) == Some(':');
+        if followed_by_path {
+            return Some(name);
+        }
+    }
+    None
+}
+
+struct WildArms {
+    /// (0-based line of the `_` arm, protected enum name).
+    found: Vec<(usize, &'static str)>,
+}
+
+impl<'ast> Visit<'ast> for WildArms {
+    fn visit_expr_match(&mut self, m: &'ast syn::ExprMatch) {
+        let protected = m
+            .arms
+            .iter()
+            .filter(|a| !a.wild)
+            .find_map(|a| names_protected(&a.pat_tokens));
+        if let Some(name) = protected {
+            for arm in m.arms.iter().filter(|a| a.wild) {
+                self.found.push((arm.span.line.saturating_sub(1), name));
+            }
+        }
+        visit::walk_expr_match(self, m);
+    }
+}
+
+pub(crate) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let mut arms = WildArms { found: Vec::new() };
+    arms.visit_file(&ctx.ast);
+    for (idx, name) in arms.found {
+        if ctx.in_test(idx) {
+            continue;
+        }
+        ctx.push(
+            out,
+            idx,
+            "wildcard-match",
+            format!(
+                "`_` arm on a {name} match: a newly added variant would \
+                 be silently absorbed here instead of failing the build; \
+                 name every variant so the coverage rules stay honest"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{lint_file, policy_for};
+    use std::path::Path;
+
+    #[test]
+    fn wildcard_on_protected_enum_is_flagged() {
+        let src = "fn f(e: DeviceEvent) -> u32 {\n\
+                       match e {\n\
+                           DeviceEvent::HostRead { .. } => 1,\n\
+                           _ => 0,\n\
+                       }\n\
+                   }\n";
+        let mut out = Vec::new();
+        lint_file(
+            Path::new("crates/sim/src/x.rs"),
+            src,
+            policy_for("sim"),
+            &mut out,
+        )
+        .expect("parses");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].message.contains("DeviceEvent"));
+    }
+
+    #[test]
+    fn wildcards_on_unprotected_matches_are_fine() {
+        let src = "fn f(x: u32) -> u32 {\n\
+                       match x {\n\
+                           0 => 1,\n\
+                           _ => 0,\n\
+                       }\n\
+                   }\n\
+                   fn g(e: DeviceEvent) -> u32 {\n\
+                       match e {\n\
+                           DeviceEvent::HostRead { .. } => 1,\n\
+                           DeviceEvent::HostWrite { .. } => 2,\n\
+                       }\n\
+                   }\n";
+        let mut out = Vec::new();
+        lint_file(
+            Path::new("crates/sim/src/x.rs"),
+            src,
+            policy_for("sim"),
+            &mut out,
+        )
+        .expect("parses");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

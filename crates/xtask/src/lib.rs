@@ -1,8 +1,9 @@
 //! The determinism-hygiene lint pass behind `cargo xtask lint`.
 //!
-//! ConZone's value as an emulator rests on bit-identical seeded reruns, so
-//! this pass makes determinism a *statically enforced* property instead of
-//! a test-observed one. Six rules:
+//! ConZone's value as an emulator rests on bit-identical seeded reruns
+//! and (for fleet mode) on device state that can shard across worker
+//! threads, so this pass makes both *statically enforced* properties
+//! instead of test-observed ones. Ten rules:
 //!
 //! * [`hash-collections`] — no `std::collections::HashMap`/`HashSet` in
 //!   crates that hold sim-visible state. Their iteration order is
@@ -25,40 +26,64 @@
 //!   `name`, `index` and `breakdown_category`, so a newly added span kind
 //!   can never silently miss the exporters or the breakdown
 //!   reconciliation.
+//! * [`fleet-readiness`] — no `Rc`/`RefCell`/`Cell`/`UnsafeCell`,
+//!   `thread_local!` or `static mut` in sim-visible crates: device state
+//!   must be `Send` so the fleet runner can shard devices across worker
+//!   threads without silent per-thread divergence.
+//! * [`float-determinism`] — no `f32`/`f64` in sim-visible type positions
+//!   (struct/enum fields, const/static types, fn parameters); float
+//!   rounding varies with platform and optimization level. The stats/
+//!   export/json boundary files in `crates/sim` are exempt.
+//! * [`truncating-cast`] — no narrowing `as` casts (`u8`/`u16`/`u32`/
+//!   `i8`/`i16`/`i32` targets) on runtime values: sim times, counters and
+//!   addresses are `u64` and silent wraps skew results without failing.
+//! * [`wildcard-match`] — no `_ =>` arms on matches over `DeviceEvent`,
+//!   `SpanKind`, `InvariantKind` or `FaultKind`; a wildcard defeats the
+//!   coverage rules by silently absorbing newly added variants.
 //!
-//! The pass is a hand-rolled source scanner, not a `syn` parse: the build
-//! environment is fully offline (`vendor/` is the only dependency source
-//! and carries no proc-macro stack), and the rules only need lexical
-//! structure — comments and string literals stripped, `#[cfg(test)]`
-//! item extents tracked by brace matching. The scanner is conservative:
-//! it masks strings, char literals, line/block (and doc) comments before
-//! matching, so a `"HashMap"` inside a string or doc comment never trips
-//! a rule.
+//! # Engine
+//!
+//! Since engine v2 the pass parses every file with the vendored `syn`
+//! stand-in (the build is fully offline; `vendor/` is the only
+//! dependency source) and runs the rules as AST/token passes over a
+//! per-file context: parsed items, a flattened token view with exact
+//! spans, and `#[cfg(test)]` extents derived from item attributes. A
+//! `"HashMap"` inside a string or doc comment can never trip a rule —
+//! the lexer never produces a token for it.
 //!
 //! # Allowlist syntax
 //!
-//! A violation on line *N* is suppressed by a comment on line *N* or
-//! *N − 1* of the form:
+//! A violation on line *N* is suppressed by a comment on line *N*, in
+//! the contiguous comment block immediately above it, or above any
+//! enclosing item (fn, mod, impl, …), of the form:
 //!
 //! ```text
 //! // xtask-lint: allow(hash-collections) — keyed lookups only, never iterated
+//! // xtask-lint: allow(fleet-readiness, wall-clock) — profiler scratch state
 //! ```
 //!
 //! The reason after the dash is mandatory; a bare `allow(...)` does not
-//! suppress anything (the diagnostic says so).
+//! suppress anything (the diagnostic says so). The coverage rules
+//! ignore the allowlist entirely: an exporter gap is only fixable.
 
-use std::collections::BTreeSet;
+mod engine;
+
 use std::fmt;
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Rule identifiers, as used in diagnostics and allow directives.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 10] = [
     "hash-collections",
     "wall-clock",
     "unwrap-expect",
     "counter-coverage",
     "event-coverage",
     "span-coverage",
+    "fleet-readiness",
+    "float-determinism",
+    "truncating-cast",
+    "wildcard-match",
 ];
 
 /// One lint finding.
@@ -87,755 +112,65 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Per-crate rule applicability.
-#[derive(Debug, Clone, Copy)]
-struct Policy {
-    hash_collections: bool,
-    wall_clock: bool,
-    unwrap_expect: bool,
-}
-
-/// Which rules apply to a crate. `bench` is exempt from everything (it
-/// measures the wall clock on purpose); `xtask` lints itself out of scope
-/// (its rule tables mention the banned identifiers).
-fn policy_for(crate_name: &str) -> Policy {
-    match crate_name {
-        "bench" | "xtask" => Policy {
-            hash_collections: false,
-            wall_clock: false,
-            unwrap_expect: false,
-        },
-        "core" | "ftl" | "flash" | "sim" => Policy {
-            hash_collections: true,
-            wall_clock: true,
-            unwrap_expect: true,
-        },
-        // types, legacy, femu, host and the root `conzone` package hold
-        // sim-visible state but surface errors as panics at the CLI edge.
-        _ => Policy {
-            hash_collections: true,
-            wall_clock: true,
-            unwrap_expect: false,
-        },
-    }
-}
-
-/// Splits a source file into two same-length views: `code` (comments,
-/// string and char literals blanked to spaces) and `comments` (everything
-/// *except* comment text blanked). Newlines are preserved in both so line
-/// numbers stay aligned.
-fn split_source(src: &str) -> (String, String) {
-    let b = src.as_bytes();
-    let mut code = vec![b' '; b.len()];
-    let mut comments = vec![b' '; b.len()];
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        if c == b'\n' {
-            code[i] = b'\n';
-            comments[i] = b'\n';
-            i += 1;
-            continue;
-        }
-        // Line comment (covers `///` and `//!` doc comments).
-        if c == b'/' && b.get(i + 1) == Some(&b'/') {
-            while i < b.len() && b[i] != b'\n' {
-                comments[i] = b[i];
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment, possibly nested.
-        if c == b'/' && b.get(i + 1) == Some(&b'*') {
-            let mut depth = 0usize;
-            while i < b.len() {
-                if b[i] == b'\n' {
-                    code[i] = b'\n';
-                    comments[i] = b'\n';
-                    i += 1;
-                } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
-                    depth += 1;
-                    comments[i] = b[i];
-                    comments[i + 1] = b[i + 1];
-                    i += 2;
-                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
-                    depth -= 1;
-                    comments[i] = b[i];
-                    comments[i + 1] = b[i + 1];
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    comments[i] = b[i];
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw string literal `r"…"` / `r#"…"#…`.
-        if c == b'r' && matches!(b.get(i + 1), Some(b'"') | Some(b'#')) {
-            let mut j = i + 1;
-            let mut hashes = 0usize;
-            while b.get(j) == Some(&b'#') {
-                hashes += 1;
-                j += 1;
-            }
-            if b.get(j) == Some(&b'"') {
-                code[i] = b'r';
-                i = j + 1;
-                while i < b.len() {
-                    if b[i] == b'\n' {
-                        code[i] = b'\n';
-                        comments[i] = b'\n';
-                        i += 1;
-                    } else if b[i] == b'"' {
-                        let close = (1..=hashes).all(|h| b.get(i + h) == Some(&b'#'));
-                        if close {
-                            i += 1 + hashes;
-                            break;
-                        }
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
-                }
-                continue;
-            }
-            // `r` not starting a raw string: plain identifier character.
-        }
-        // String literal.
-        if c == b'"' {
-            code[i] = b'"';
-            i += 1;
-            while i < b.len() {
-                if b[i] == b'\\' {
-                    i += 2;
-                } else if b[i] == b'\n' {
-                    code[i] = b'\n';
-                    comments[i] = b'\n';
-                    i += 1;
-                } else if b[i] == b'"' {
-                    code[i] = b'"';
-                    i += 1;
-                    break;
-                } else {
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime: `'x'` / `'\n'` are literals, `'a` in
-        // `&'a str` is a lifetime and stays code.
-        if c == b'\'' {
-            let is_char = matches!(
-                (b.get(i + 1), b.get(i + 2)),
-                (Some(b'\\'), _) | (Some(_), Some(b'\''))
-            );
-            if is_char {
-                code[i] = b'\'';
-                i += 1;
-                while i < b.len() {
-                    if b[i] == b'\\' {
-                        i += 2;
-                    } else if b[i] == b'\'' {
-                        code[i] = b'\'';
-                        i += 1;
-                        break;
-                    } else if b[i] == b'\n' {
-                        break;
-                    } else {
-                        i += 1;
-                    }
-                }
-                continue;
-            }
-        }
-        code[i] = c;
-        i += 1;
-    }
-    (
-        String::from_utf8_lossy(&code).into_owned(),
-        String::from_utf8_lossy(&comments).into_owned(),
-    )
-}
-
-/// Byte ranges of `#[cfg(test)]`-gated items in masked code, found by
-/// brace matching from the attribute to the end of the following item.
-fn test_ranges(code: &str) -> Vec<(usize, usize)> {
-    const MARKER: &str = "#[cfg(test)]";
-    let bytes = code.as_bytes();
-    let mut ranges = Vec::new();
-    let mut from = 0usize;
-    while let Some(pos) = code[from..].find(MARKER) {
-        let start = from + pos;
-        let mut j = start + MARKER.len();
-        // Find the item body: the first `{` opens it; a `;` first means an
-        // out-of-line `mod tests;` (the file itself is then test-classified
-        // by its path).
-        let mut open = None;
-        while j < bytes.len() {
-            match bytes[j] {
-                b'{' => {
-                    open = Some(j);
-                    break;
-                }
-                b';' => break,
-                _ => j += 1,
-            }
-        }
-        let end = match open {
-            Some(o) => {
-                let mut depth = 0usize;
-                let mut k = o;
-                loop {
-                    if k >= bytes.len() {
-                        break k;
-                    }
-                    match bytes[k] {
-                        b'{' => depth += 1,
-                        b'}' => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break k + 1;
-                            }
-                        }
-                        _ => {}
-                    }
-                    k += 1;
-                }
-            }
-            None => j + 1,
-        };
-        ranges.push((start, end));
-        from = end.max(start + 1).min(code.len());
-    }
-    ranges
-}
-
-/// Whether an identifier occurrence at `at..at+len` is a whole word.
-fn whole_word(code: &str, at: usize, len: usize) -> bool {
-    let b = code.as_bytes();
-    let is_ident = |c: u8| c == b'_' || c.is_ascii_alphanumeric();
-    let before_ok = at == 0 || !is_ident(b[at - 1]);
-    let after_ok = at + len >= b.len() || !is_ident(b[at + len]);
-    before_ok && after_ok
-}
-
-/// State shared by the per-line rules of one file.
-struct FileCtx<'a> {
-    rel: &'a Path,
-    code_lines: Vec<&'a str>,
-    comment_lines: Vec<&'a str>,
-    /// Per line: whether it starts inside a `#[cfg(test)]` item.
-    in_test: Vec<bool>,
-}
-
-impl FileCtx<'_> {
-    /// Whether line `idx` (0-based) carries a valid allow directive for
-    /// `rule` on itself or in the contiguous comment block immediately
-    /// above it. Returns `Err` with a diagnostic when a directive exists
-    /// but its reason is missing.
-    fn allowed(&self, idx: usize, rule: &str) -> Result<bool, String> {
-        let needle = format!("xtask-lint: allow({rule})");
-        let mut candidates = vec![idx];
-        let mut l = idx;
-        while l > 0 {
-            l -= 1;
-            let comment_only =
-                self.code_lines[l].trim().is_empty() && !self.comment_lines[l].trim().is_empty();
-            if comment_only {
-                candidates.push(l);
-            } else {
-                break;
-            }
-        }
-        for l in candidates {
-            let comment = self.comment_lines[l];
-            if let Some(at) = comment.find(&needle) {
-                let rest = comment[at + needle.len()..]
-                    .trim_start_matches([' ', '\t', '—', '–', '-', ':']);
-                if rest.chars().any(|c| c.is_alphanumeric()) {
-                    return Ok(true);
-                }
-                return Err(format!(
-                    "allow({rule}) directive is missing its reason \
-                     (write `// xtask-lint: allow({rule}) — <reason>`)"
-                ));
-            }
-        }
-        Ok(false)
-    }
-
-    fn push(&self, out: &mut Vec<Violation>, idx: usize, rule: &'static str, message: String) {
-        let (line, message) = match self.allowed(idx, rule) {
-            Ok(true) => return,
-            Ok(false) => (idx + 1, message),
-            Err(why) => (idx + 1, format!("{message} ({why})")),
-        };
-        out.push(Violation {
-            file: self.rel.to_path_buf(),
-            line,
-            rule,
-            message,
-        });
-    }
-}
-
-/// Scans one library source file with the per-line rules.
-fn lint_file(rel: &Path, src: &str, policy: Policy, out: &mut Vec<Violation>) {
-    let (code, comments) = split_source(src);
-    let ranges = test_ranges(&code);
-    let mut offset = 0usize;
-    let mut in_test = Vec::new();
-    let code_lines: Vec<&str> = code.split('\n').collect();
-    for line in &code_lines {
-        in_test.push(ranges.iter().any(|&(s, e)| offset >= s && offset < e));
-        offset += line.len() + 1;
-    }
-    let ctx = FileCtx {
-        rel,
-        comment_lines: comments.split('\n').collect(),
-        in_test,
-        code_lines,
-    };
-
-    for (idx, line) in ctx.code_lines.iter().enumerate() {
-        if ctx.in_test[idx] {
-            continue;
-        }
-        if policy.hash_collections {
-            for name in ["HashMap", "HashSet"] {
-                let mut from = 0;
-                while let Some(pos) = line[from..].find(name) {
-                    let at = from + pos;
-                    if whole_word(line, at, name.len()) {
-                        ctx.push(
-                            out,
-                            idx,
-                            "hash-collections",
-                            format!(
-                                "{name} in sim-visible state: iteration order is \
-                                 randomized per process and breaks seeded reruns; \
-                                 use BTreeMap/BTreeSet or an insertion-ordered \
-                                 structure"
-                            ),
-                        );
-                        break; // one diagnostic per line per identifier
-                    }
-                    from = at + name.len();
-                }
-            }
-        }
-        if policy.wall_clock {
-            for pat in ["Instant::now", "SystemTime", "thread_rng", "rand::random"] {
-                if let Some(at) = line.find(pat) {
-                    if whole_word(line, at, pat.len()) {
-                        ctx.push(
-                            out,
-                            idx,
-                            "wall-clock",
-                            format!(
-                                "{pat} is ambient nondeterminism: simulated time \
-                                 comes from SimTime and randomness from seeded \
-                                 generators (bench and test code are exempt)"
-                            ),
-                        );
-                    }
-                }
-            }
-        }
-        if policy.unwrap_expect {
-            for pat in [".unwrap()", ".expect("] {
-                let mut from = 0;
-                while let Some(pos) = line[from..].find(pat) {
-                    let at = from + pos;
-                    // `self.expect(…)` is a user-defined method (e.g. the
-                    // JSON parser), not Option/Result::expect.
-                    let receiver_is_self = line[..at].trim_end().ends_with("self")
-                        && !line[..at].trim_end().strip_suffix("self").is_some_and(|p| {
-                            p.ends_with(|c: char| c == '_' || c.is_alphanumeric())
-                        });
-                    if !receiver_is_self {
-                        ctx.push(
-                            out,
-                            idx,
-                            "unwrap-expect",
-                            format!(
-                                "{} in non-test library code: return a typed \
-                                 error (DeviceError/FlashError/JsonError) instead",
-                                pat.trim_end_matches('(')
-                            ),
-                        );
-                    }
-                    from = at + pat.len();
-                }
-            }
-        }
-    }
-}
-
-/// Extracts the comma-separated identifiers of a `name!( … )` macro
-/// invocation body from masked code.
-fn macro_ident_list(code: &str, name: &str) -> Option<Vec<String>> {
-    let at = code.find(&format!("{name}!"))?;
-    let open = at + code[at..].find('(')?;
-    let bytes = code.as_bytes();
-    let mut depth = 0usize;
-    let mut end = open;
-    for (k, &c) in bytes.iter().enumerate().skip(open) {
-        match c {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    end = k;
-                    break;
-                }
-            }
-            _ => {}
-        }
-    }
-    Some(
-        code[open + 1..end]
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(str::to_string)
-            .collect(),
-    )
-}
-
-/// Extracts a brace-delimited body starting at the first occurrence of
-/// `marker` in masked code. Returns (body, line_of_marker).
-fn brace_body<'a>(code: &'a str, marker: &str) -> Option<(&'a str, usize)> {
-    let at = code.find(marker)?;
-    let open = at + code[at..].find('{')?;
-    let bytes = code.as_bytes();
-    let mut depth = 0usize;
-    for (k, &c) in bytes.iter().enumerate().skip(open) {
-        match c {
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth == 0 {
-                    let line = code[..at].matches('\n').count() + 1;
-                    return Some((&code[open + 1..k], line));
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Field names of the `Counters` struct: `pub <ident>: u64,` lines.
-fn counters_struct_fields(body: &str) -> Vec<String> {
-    body.lines()
-        .filter_map(|l| {
-            let l = l.trim();
-            let rest = l.strip_prefix("pub ")?;
-            let (name, ty) = rest.split_once(':')?;
-            let ty = ty.trim().trim_end_matches(',');
-            (ty == "u64").then(|| name.trim().to_string())
-        })
-        .collect()
-}
-
-/// `<prefix><Variant>` references (e.g. `DeviceEvent::HostRead`) inside a
-/// body of masked code. `prefix` includes the trailing `::`.
-fn variant_refs(body: &str, prefix: &str) -> BTreeSet<String> {
-    let mut out = BTreeSet::new();
-    let mut from = 0;
-    while let Some(pos) = body[from..].find(prefix) {
-        let at = from + pos + prefix.len();
-        let ident: String = body[at..]
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        if !ident.is_empty() {
-            out.insert(ident.clone());
-        }
-        from = at + ident.len().max(1);
-    }
-    out
-}
-
-/// Variant names of an enum body: identifiers at brace depth 0 of the body
-/// (fields of struct variants sit one level deeper).
-fn enum_variants(body: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut depth = 0usize;
-    let mut ident = String::new();
-    for c in body.chars() {
-        match c {
-            '{' | '(' => {
-                if depth == 0 && !ident.is_empty() {
-                    out.push(std::mem::take(&mut ident));
-                }
-                depth += 1;
-            }
-            '}' | ')' => depth = depth.saturating_sub(1),
-            c if depth == 0 && (c.is_alphanumeric() || c == '_') => ident.push(c),
-            ',' if depth == 0 && !ident.is_empty() => {
-                out.push(std::mem::take(&mut ident));
-            }
-            _ if depth == 0 => {
-                // `#[…]` attributes never occur un-braced inside this enum;
-                // whitespace and separators end the current identifier.
-                if !ident.is_empty() && !c.is_whitespace() {
-                    ident.clear();
-                }
-                if c.is_whitespace() && !ident.is_empty() {
-                    out.push(std::mem::take(&mut ident));
-                }
-            }
-            _ => {}
-        }
-    }
-    if !ident.is_empty() {
-        out.push(ident);
-    }
-    // Variant names are CamelCase; drop stray lowercase tokens (none are
-    // expected, but keep the parse conservative).
-    out.retain(|v| v.chars().next().is_some_and(char::is_uppercase));
-    out
-}
-
-/// Cross-checks `Counters` fields against the exporter field lists.
-fn check_counter_coverage(root: &Path, out: &mut Vec<Violation>) {
-    let path = root.join("crates/types/src/counters.rs");
-    let Ok(src) = std::fs::read_to_string(&path) else {
-        return; // fixture trees without a types crate skip this rule
-    };
-    let rel = PathBuf::from("crates/types/src/counters.rs");
-    let (code, _) = split_source(&src);
-    let Some((struct_body, struct_line)) = brace_body(&code, "pub struct Counters") else {
-        return;
-    };
-    let fields = counters_struct_fields(struct_body);
-    for (macro_name, what) in [
-        ("fields", "named_fields exporter list"),
-        ("diff", "since() interval diff"),
-    ] {
-        let Some(listed) = macro_ident_list(&code, macro_name) else {
-            out.push(Violation {
-                file: rel.clone(),
-                line: struct_line,
-                rule: "counter-coverage",
-                message: format!("could not locate the {macro_name}!(…) {what}"),
-            });
-            continue;
-        };
-        let listed_set: BTreeSet<&str> = listed.iter().map(String::as_str).collect();
-        for f in &fields {
-            if !listed_set.contains(f.as_str()) {
-                out.push(Violation {
-                    file: rel.clone(),
-                    line: struct_line,
-                    rule: "counter-coverage",
-                    message: format!(
-                        "Counters field `{f}` is missing from the {what}: \
-                         it would silently vanish from every exporter"
-                    ),
-                });
-            }
-        }
-        let field_set: BTreeSet<&str> = fields.iter().map(String::as_str).collect();
-        for l in &listed {
-            if !field_set.contains(l.as_str()) {
-                out.push(Violation {
-                    file: rel.clone(),
-                    line: struct_line,
-                    rule: "counter-coverage",
-                    message: format!("{what} names `{l}`, which is not a Counters field"),
-                });
-            }
-        }
-    }
-}
-
-/// Cross-checks `DeviceEvent` variants against `kind_name`, `kind_index`
-/// and the `event_args` exporter mapping.
-fn check_event_coverage(root: &Path, out: &mut Vec<Violation>) {
-    let trace_path = root.join("crates/types/src/trace.rs");
-    let Ok(trace_src) = std::fs::read_to_string(&trace_path) else {
-        return;
-    };
-    let trace_rel = PathBuf::from("crates/types/src/trace.rs");
-    let (trace_code, _) = split_source(&trace_src);
-    let Some((enum_body, enum_line)) = brace_body(&trace_code, "pub enum DeviceEvent") else {
-        return;
-    };
-    let variants = enum_variants(enum_body);
-
-    fn check(
-        variants: &[String],
-        covered: &BTreeSet<String>,
-        place: &str,
-        file: &Path,
-        line: usize,
-        out: &mut Vec<Violation>,
-    ) {
-        for v in variants {
-            if !covered.contains(v) {
-                out.push(Violation {
-                    file: file.to_path_buf(),
-                    line,
-                    rule: "event-coverage",
-                    message: format!("DeviceEvent::{v} is not handled by {place}"),
-                });
-            }
-        }
-    }
-
-    for fn_name in ["fn kind_name", "fn kind_index"] {
-        match brace_body(&trace_code, fn_name) {
-            Some((body, line)) => {
-                check(
-                    &variants,
-                    &variant_refs(body, "DeviceEvent::"),
-                    fn_name,
-                    &trace_rel,
-                    line,
-                    out,
-                );
-            }
-            None => out.push(Violation {
-                file: trace_rel.clone(),
-                line: enum_line,
-                rule: "event-coverage",
-                message: format!("could not locate `{fn_name}` next to DeviceEvent"),
-            }),
-        }
-    }
-
-    let export_path = root.join("crates/sim/src/export.rs");
-    if let Ok(export_src) = std::fs::read_to_string(&export_path) {
-        let export_rel = PathBuf::from("crates/sim/src/export.rs");
-        let (export_code, _) = split_source(&export_src);
-        match brace_body(&export_code, "fn event_args") {
-            Some((body, line)) => check(
-                &variants,
-                &variant_refs(body, "DeviceEvent::"),
-                "the event_args exporter mapping",
-                &export_rel,
-                line,
-                out,
-            ),
-            None => out.push(Violation {
-                file: export_rel,
-                line: 1,
-                rule: "event-coverage",
-                message: "could not locate `fn event_args` in the exporter".to_string(),
-            }),
-        }
-    }
-}
-
-/// Cross-checks `SpanKind` variants against `name`, `index` and
-/// `breakdown_category` — the three total mappings every exporter and the
-/// breakdown reconciliation rely on.
-fn check_span_coverage(root: &Path, out: &mut Vec<Violation>) {
-    let span_path = root.join("crates/types/src/span.rs");
-    let Ok(span_src) = std::fs::read_to_string(&span_path) else {
-        return; // fixture trees without a span module skip this rule
-    };
-    let span_rel = PathBuf::from("crates/types/src/span.rs");
-    let (span_code, _) = split_source(&span_src);
-    let Some((enum_body, enum_line)) = brace_body(&span_code, "pub enum SpanKind") else {
-        return;
-    };
-    let variants = enum_variants(enum_body);
-
-    for fn_name in ["fn name", "fn index", "fn breakdown_category"] {
-        match brace_body(&span_code, fn_name) {
-            Some((body, line)) => {
-                let covered = variant_refs(body, "SpanKind::");
-                for v in &variants {
-                    if !covered.contains(v) {
-                        out.push(Violation {
-                            file: span_rel.clone(),
-                            line,
-                            rule: "span-coverage",
-                            message: format!("SpanKind::{v} is not handled by {fn_name}"),
-                        });
-                    }
-                }
-            }
-            None => out.push(Violation {
-                file: span_rel.clone(),
-                line: enum_line,
-                rule: "span-coverage",
-                message: format!("could not locate `{fn_name}` next to SpanKind"),
-            }),
-        }
-    }
-}
-
-/// Collects the library `.rs` files to lint under `root`, with their crate
-/// names. Test trees (`tests/`, `benches/`, `tests.rs`, `proptests.rs`),
-/// `examples/`, `vendor/`, `target/` and hidden directories are excluded.
-fn collect_sources(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
-    let mut out = Vec::new();
-    let mut stack = vec![root.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        let mut entries: Vec<_> = std::fs::read_dir(&dir)?
-            .collect::<std::io::Result<Vec<_>>>()?
-            .into_iter()
-            .map(|e| e.path())
-            .collect();
-        entries.sort();
-        for path in entries {
-            let name = path
-                .file_name()
-                .and_then(|n| n.to_str())
-                .unwrap_or_default()
-                .to_string();
-            if path.is_dir() {
-                if name.starts_with('.')
-                    || matches!(
-                        name.as_str(),
-                        "target" | "vendor" | "tests" | "benches" | "examples"
-                    )
-                {
-                    continue;
-                }
-                stack.push(path);
-            } else if name.ends_with(".rs") && !matches!(name.as_str(), "tests.rs" | "proptests.rs")
-            {
-                let rel = path.strip_prefix(root).unwrap_or(&path);
-                let crate_name = match rel.components().nth(1) {
-                    Some(c) if rel.starts_with("crates") => {
-                        c.as_os_str().to_string_lossy().into_owned()
-                    }
-                    _ => "conzone".to_string(), // the root package's src/
-                };
-                out.push((path.clone(), crate_name));
-            }
-        }
-    }
-    Ok(out)
-}
-
 /// Runs every rule over the workspace at `root`, returning the sorted
 /// violations.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
-    let mut out = Vec::new();
-    for (path, crate_name) in collect_sources(root)? {
-        let policy = policy_for(&crate_name);
-        if !(policy.hash_collections || policy.wall_clock || policy.unwrap_expect) {
-            continue;
-        }
-        let src = std::fs::read_to_string(&path)?;
-        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-        lint_file(&rel, &src, policy, &mut out);
+    engine::lint_workspace(root)
+}
+
+/// Renders violations as a JSON report with a stable field order
+/// (`rules`, `violation_count`, then `violations`, each with `file`,
+/// `line`, `rule`, `message`), so snapshots and CI consumers can diff
+/// the output textually.
+pub fn violations_to_json(violations: &[Violation]) -> String {
+    let mut out = String::from("{\n  \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}{}", json_string(r));
     }
-    check_counter_coverage(root, &mut out);
-    check_event_coverage(root, &mut out);
-    check_span_coverage(root, &mut out);
-    out.sort();
-    Ok(out)
+    let _ = write!(
+        out,
+        "],\n  \"violation_count\": {},\n  \"violations\": [",
+        violations.len()
+    );
+    for (i, v) in violations.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&v.file.display().to_string()),
+            v.line,
+            json_string(v.rule),
+            json_string(&v.message)
+        );
+    }
+    if violations.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -843,76 +178,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn masking_strips_strings_and_comments() {
-        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1; /* HashMap */\n";
-        let (code, comments) = split_source(src);
-        assert!(!code.contains("HashMap"));
-        assert_eq!(comments.matches("HashMap").count(), 2);
-        assert_eq!(code.matches('\n').count(), src.matches('\n').count());
+    fn json_report_has_stable_field_order() {
+        let v = vec![Violation {
+            file: PathBuf::from("crates/sim/src/x.rs"),
+            line: 3,
+            rule: "hash-collections",
+            message: "a \"quoted\" message".to_string(),
+        }];
+        let json = violations_to_json(&v);
+        let file_at = json.find("\"file\"").expect("file key");
+        let line_at = json.find("\"line\"").expect("line key");
+        let rule_at = json.find("\"rule\"").expect("rule key");
+        let msg_at = json.find("\"message\"").expect("message key");
+        assert!(file_at < line_at && line_at < rule_at && rule_at < msg_at);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"violation_count\": 1"));
     }
 
     #[test]
-    fn masking_handles_raw_strings_and_chars() {
-        let src = "let r = r#\"HashMap \"quoted\" \"#; let c = '\\''; let l: &'static str = s;\n";
-        let (code, _) = split_source(src);
-        assert!(!code.contains("HashMap"));
-        assert!(code.contains("'static"));
-    }
-
-    #[test]
-    fn test_ranges_cover_cfg_test_items() {
-        let src =
-            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn x() { a.unwrap(); }\n}\nfn tail() {}\n";
-        let (code, _) = split_source(src);
-        let ranges = test_ranges(&code);
-        assert_eq!(ranges.len(), 1);
-        let (s, e) = ranges[0];
-        assert!(code[s..e].contains("unwrap"));
-        assert!(!code[e..].contains("unwrap"));
-    }
-
-    #[test]
-    fn enum_variant_extraction() {
-        let body = "\n  Alpha {\n x: u64,\n },\n Beta,\n Gamma { y: Inner },\n";
-        assert_eq!(enum_variants(body), ["Alpha", "Beta", "Gamma"]);
-    }
-
-    #[test]
-    fn self_expect_is_not_flagged() {
-        let mut out = Vec::new();
-        let src = "fn f(&mut self) { self.expect(b'x'); data.expect(\"boom\"); }\n";
-        lint_file(
-            Path::new("crates/sim/src/json.rs"),
-            src,
-            policy_for("sim"),
-            &mut out,
-        );
-        assert_eq!(out.len(), 1, "{out:?}");
-        assert!(out[0].message.contains(".expect"));
-    }
-
-    #[test]
-    fn allow_directive_requires_reason() {
-        let with_reason =
-            "// xtask-lint: allow(hash-collections) — keyed only\nuse std::collections::HashMap;\n";
-        let mut out = Vec::new();
-        lint_file(
-            Path::new("crates/core/src/x.rs"),
-            with_reason,
-            policy_for("core"),
-            &mut out,
-        );
-        assert!(out.is_empty(), "{out:?}");
-
-        let bare = "// xtask-lint: allow(hash-collections)\nuse std::collections::HashMap;\n";
-        out.clear();
-        lint_file(
-            Path::new("crates/core/src/x.rs"),
-            bare,
-            policy_for("core"),
-            &mut out,
-        );
-        assert_eq!(out.len(), 1);
-        assert!(out[0].message.contains("missing its reason"), "{out:?}");
+    fn empty_report_is_well_formed() {
+        let json = violations_to_json(&[]);
+        assert!(json.contains("\"violation_count\": 0"));
+        assert!(json.trim_end().ends_with('}'));
     }
 }

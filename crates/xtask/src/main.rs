@@ -22,7 +22,7 @@ fn workspace_root() -> PathBuf {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint  [--root <path>]");
+    eprintln!("usage: cargo xtask lint  [--root <path>] [--json]");
     eprintln!("       cargo xtask bench [--root <path>] [--smoke] [--out <path>]");
     eprintln!();
     eprintln!("lint — runs the determinism-hygiene pass over the workspace:");
@@ -38,8 +38,16 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn cmd_lint(root: &Path) -> ExitCode {
+fn cmd_lint(root: &Path, json: bool) -> ExitCode {
     match xtask::lint_workspace(root) {
+        Ok(violations) if json => {
+            print!("{}", xtask::violations_to_json(&violations));
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         Ok(violations) if violations.is_empty() => {
             println!("xtask lint: clean ({} rules)", xtask::RULES.len());
             ExitCode::SUCCESS
@@ -203,6 +211,7 @@ fn main() -> ExitCode {
     let mut root = workspace_root();
     let mut cmd = None;
     let mut smoke = false;
+    let mut json = false;
     let mut out = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -212,6 +221,7 @@ fn main() -> ExitCode {
                 Some(p) => root = PathBuf::from(p),
                 None => return usage(),
             },
+            "--json" if cmd == Some("lint") => json = true,
             "--smoke" if cmd == Some("bench") => smoke = true,
             "--out" if cmd == Some("bench") => match it.next() {
                 Some(p) => out = Some(PathBuf::from(p)),
@@ -221,7 +231,7 @@ fn main() -> ExitCode {
         }
     }
     match cmd {
-        Some("lint") => cmd_lint(&root),
+        Some("lint") => cmd_lint(&root, json),
         Some("bench") => cmd_bench(&root, smoke, out),
         _ => usage(),
     }

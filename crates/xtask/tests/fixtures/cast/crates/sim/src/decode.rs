@@ -1,0 +1,5 @@
+//! Violating fixture: a narrowing cast on a 64-bit sim quantity.
+
+pub fn steps(raw: u64) -> u32 {
+    raw as u32
+}

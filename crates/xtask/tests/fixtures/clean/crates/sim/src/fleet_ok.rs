@@ -1,0 +1,27 @@
+//! Passing fixture for the semantic rules: Send-safe state, widening
+//! and literal casts, floats only as conversion locals, and exhaustive
+//! matches over protected enums.
+
+use std::sync::atomic::AtomicU64;
+
+pub struct Slots {
+    pub total: AtomicU64,
+    pub cells: Vec<u64>,
+}
+
+pub fn widen(x: u32) -> u64 {
+    let tag = 0x1f as u8;
+    u64::from(x) + x as u64 + u64::from(tag)
+}
+
+pub fn ratio(n: u64, d: u64) -> f64 {
+    n as f64 / d.max(1) as f64
+}
+
+pub fn label(e: &DeviceEvent) -> &'static str {
+    match e {
+        DeviceEvent::HostRead { .. } => "host_read",
+        DeviceEvent::HostWrite { .. } => "host_write",
+        DeviceEvent::PowerCut => "power_cut",
+    }
+}

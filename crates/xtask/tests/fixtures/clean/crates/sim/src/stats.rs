@@ -1,0 +1,6 @@
+//! Passing fixture: the stats boundary file is exempt from
+//! float-determinism (floats are fine once results leave the core).
+
+pub struct Summary {
+    pub mean: f64,
+}

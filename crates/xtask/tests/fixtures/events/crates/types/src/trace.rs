@@ -10,7 +10,7 @@ impl DeviceEvent {
     pub fn kind_name(&self) -> &'static str {
         match self {
             DeviceEvent::HostRead { .. } => "host_read",
-            _ => "other",
+            _ => "other", // xtask-lint: allow(wildcard-match) — fixture exercises coverage, not exhaustiveness
         }
     }
 

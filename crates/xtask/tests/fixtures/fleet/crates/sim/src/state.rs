@@ -1,0 +1,9 @@
+//! Violating fixture: non-Send interior mutability, thread-local state
+//! and a process-global in a sim-visible crate.
+use std::cell::RefCell;
+
+thread_local! {
+    static SCRATCH: RefCell<u64> = RefCell::new(0);
+}
+
+static mut TOTAL: u64 = 0;

@@ -1,0 +1,5 @@
+//! Violating fixture: a float field in sim-visible state.
+
+pub struct WearModel {
+    pub factor: f64,
+}

@@ -1,0 +1,8 @@
+//! Violating fixture: a wildcard arm absorbing DeviceEvent variants.
+
+pub fn kind(e: &DeviceEvent) -> u32 {
+    match e {
+        DeviceEvent::HostRead { .. } => 0,
+        _ => 99,
+    }
+}

@@ -131,23 +131,137 @@ fn span_coverage_fires_with_exact_diagnostic() {
     );
 }
 
-fn run_binary(root: &Path) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_xtask"))
-        .args(["lint", "--root"])
-        .arg(root)
-        .output()
-        .expect("xtask binary runs")
+#[test]
+fn fleet_readiness_fires_with_exact_diagnostics() {
+    let v = lint("fleet");
+    assert_eq!(v.len(), 4, "{v:#?}");
+    for violation in &v {
+        assert_eq!(violation.file, Path::new("crates/sim/src/state.rs"));
+        assert_eq!(violation.rule, "fleet-readiness");
+    }
+    assert_eq!(v[0].line, 3, "the RefCell import");
+    assert_eq!(v[1].line, 5, "the thread_local! block");
+    assert!(v[1].message.starts_with("thread_local! pins sim state"));
+    assert_eq!(v[2].line, 6, "the RefCell inside the thread_local");
+    assert_eq!(v[3].line, 9, "the static mut");
+    assert!(v[3].message.starts_with("static mut is process-global"));
+}
+
+#[test]
+fn float_determinism_fires_with_exact_diagnostic() {
+    let v = lint("float");
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].file, Path::new("crates/flash/src/model.rs"));
+    assert_eq!(v[0].line, 4);
+    assert_eq!(v[0].rule, "float-determinism");
+    assert_eq!(
+        v[0].message,
+        "f64 field feeds sim-visible state: float rounding varies with \
+         platform and optimization level and breaks bit-identical seeded \
+         reruns; store fixed-point integers (ppm, nanoseconds) and \
+         convert at the export boundary"
+    );
+}
+
+#[test]
+fn truncating_cast_fires_with_exact_diagnostic() {
+    let v = lint("cast");
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].file, Path::new("crates/sim/src/decode.rs"));
+    assert_eq!(v[0].line, 4);
+    assert_eq!(v[0].rule, "truncating-cast");
+    assert_eq!(
+        v[0].message,
+        "`as u32` narrows a runtime value: sim times, counters and \
+         addresses are u64, and a silent wrap skews results without \
+         failing; use try_from with a typed error or an explicit \
+         documented mask"
+    );
+}
+
+#[test]
+fn wildcard_match_fires_with_exact_diagnostic() {
+    let v = lint("wildcard");
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].file, Path::new("crates/sim/src/map.rs"));
+    assert_eq!(v[0].line, 6, "anchored at the `_` arm");
+    assert_eq!(v[0].rule, "wildcard-match");
+    assert_eq!(
+        v[0].message,
+        "`_` arm on a DeviceEvent match: a newly added variant would be \
+         silently absorbed here instead of failing the build; name every \
+         variant so the coverage rules stay honest"
+    );
+}
+
+/// The walker must never descend into `target/`, `vendor/`, hidden
+/// directories, or through symlinks — a stale build artifact or a link
+/// pointing outside the tree must not produce phantom violations.
+#[test]
+fn walker_skips_target_vendor_hidden_and_symlinks() {
+    let tmp = std::env::temp_dir().join(format!("xtask-walker-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let decoys = [
+        // The classic decoy: a crate-shaped tree inside target/.
+        "target/src",
+        "crates/sim/target/debug",
+        "vendor/evil/src",
+        ".hidden/src",
+    ];
+    for d in decoys {
+        std::fs::create_dir_all(tmp.join(d)).expect("mkdir");
+    }
+    std::fs::create_dir_all(tmp.join("crates/sim/src")).expect("mkdir");
+    let bad = "use std::collections::HashMap;\n";
+    std::fs::write(tmp.join("target/src/bad.rs"), bad).expect("write");
+    std::fs::write(tmp.join("crates/sim/target/debug/bad.rs"), bad).expect("write");
+    std::fs::write(tmp.join("vendor/evil/src/bad.rs"), bad).expect("write");
+    std::fs::write(tmp.join(".hidden/src/bad.rs"), bad).expect("write");
+    std::fs::write(tmp.join("crates/sim/src/ok.rs"), "pub fn ok() {}\n").expect("write");
+    #[cfg(unix)]
+    {
+        // A symlinked file and a symlinked directory cycle.
+        std::os::unix::fs::symlink(
+            tmp.join("vendor/evil/src/bad.rs"),
+            tmp.join("crates/sim/src/linked.rs"),
+        )
+        .expect("symlink file");
+        std::os::unix::fs::symlink(&tmp, tmp.join("crates/sim/src/loop")).expect("symlink dir");
+    }
+    let v = lint_workspace(&tmp).expect("decoy tree scans");
+    std::fs::remove_dir_all(&tmp).expect("cleanup");
+    assert!(v.is_empty(), "decoys leaked into the scan: {v:#?}");
+}
+
+fn run_binary(root: &Path, json: bool) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_xtask"));
+    cmd.args(["lint", "--root"]).arg(root);
+    if json {
+        cmd.arg("--json");
+    }
+    cmd.output().expect("xtask binary runs")
 }
 
 #[test]
 fn binary_exit_status_reflects_findings() {
-    let clean = run_binary(&fixture("clean"));
+    let clean = run_binary(&fixture("clean"), false);
     let stdout = String::from_utf8_lossy(&clean.stdout);
     assert!(clean.status.success(), "clean fixture: {stdout}");
     assert!(stdout.contains("xtask lint: clean"), "{stdout}");
 
-    for tree in ["hash", "wallclock", "unwrap", "counters", "events", "spans"] {
-        let out = run_binary(&fixture(tree));
+    for tree in [
+        "hash",
+        "wallclock",
+        "unwrap",
+        "counters",
+        "events",
+        "spans",
+        "fleet",
+        "float",
+        "cast",
+        "wildcard",
+    ] {
+        let out = run_binary(&fixture(tree), false);
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(
             !out.status.success(),
@@ -155,6 +269,36 @@ fn binary_exit_status_reflects_findings() {
         );
         assert!(stdout.contains("violation(s)"), "`{tree}`: {stdout}");
     }
+}
+
+/// `--json` output is a stable snapshot: fixed key order, one violation
+/// object per line, trailing newline. CI consumers diff this textually.
+#[test]
+fn json_output_matches_snapshot() {
+    let out = run_binary(&fixture("hash"), true);
+    assert!(!out.status.success(), "violations still exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let expected = concat!(
+        "{\n",
+        "  \"rules\": [\"hash-collections\", \"wall-clock\", \"unwrap-expect\", ",
+        "\"counter-coverage\", \"event-coverage\", \"span-coverage\", ",
+        "\"fleet-readiness\", \"float-determinism\", \"truncating-cast\", ",
+        "\"wildcard-match\"],\n",
+        "  \"violation_count\": 1,\n",
+        "  \"violations\": [\n",
+        "    {\"file\": \"crates/sim/src/state.rs\", \"line\": 3, ",
+        "\"rule\": \"hash-collections\", \"message\": \"HashMap in sim-visible state: ",
+        "iteration order is randomized per process and breaks seeded reruns; ",
+        "use BTreeMap/BTreeSet or an insertion-ordered structure\"}\n",
+        "  ]\n",
+        "}\n",
+    );
+    assert_eq!(stdout, expected);
+
+    let clean = run_binary(&fixture("clean"), true);
+    assert!(clean.status.success());
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert!(stdout.contains("\"violation_count\": 0"), "{stdout}");
 }
 
 #[test]

@@ -1,0 +1,449 @@
+//! The exploration runtime: a token-passing scheduler over real OS
+//! threads plus a depth-first search over scheduling decisions.
+//!
+//! One [`Rt`] exists per *execution* (one complete run of the model
+//! closure under one schedule). Controlled threads serialize on a
+//! token: at every scheduling point the running thread asks the
+//! scheduler who runs next, hands the token over if the answer is not
+//! itself, and sleeps on a condvar until the token comes back. Each
+//! point where more than one thread could legally run is a recorded
+//! [`Decision`]; [`model`] replays the committed prefix, extends it by
+//! always preferring the incumbent thread, and backtracks through the
+//! recorded alternatives until no unexplored branch remains.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Panic payload used to tear down controlled threads after another
+/// thread already failed; recognized by the wrappers, never surfaced.
+pub(crate) const ABORT: &str = "loom-standin-abort";
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Schedulable.
+    Ready,
+    /// Called `yield_now`; schedulable only when nothing else is.
+    Yielded,
+    /// Waiting in `join` for the given thread to finish.
+    Blocked(usize),
+    /// Closure returned (or the thread was torn down).
+    Done,
+}
+
+/// One branch point: the thread that got the token, plus every other
+/// legal choice not yet explored.
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    chosen: usize,
+    alternatives: Vec<usize>,
+}
+
+struct State {
+    /// Which thread currently holds the token.
+    current: usize,
+    status: Vec<Status>,
+    /// Committed decision prefix being replayed this execution.
+    replay: Vec<Decision>,
+    cursor: usize,
+    /// Full decision log of this execution (prefix included).
+    trace: Vec<Decision>,
+    preemptions: usize,
+    max_preemptions: usize,
+    abort: bool,
+    failure: Option<String>,
+}
+
+impl State {
+    /// Threads that may legally receive the token right now. Yielded
+    /// threads are eligible only when no Ready thread exists (their
+    /// flags persist until they are actually rescheduled).
+    fn candidates(&self) -> Vec<usize> {
+        let ready: Vec<usize> = (0..self.status.len())
+            .filter(|&t| self.status[t] == Status::Ready)
+            .collect();
+        if !ready.is_empty() {
+            return ready;
+        }
+        (0..self.status.len())
+            .filter(|&t| self.status[t] == Status::Yielded)
+            .collect()
+    }
+
+    /// Picks the next thread at a scheduling point reached by `me`,
+    /// recording the decision (and its unexplored alternatives) in the
+    /// trace. Sets `abort` on deadlock.
+    fn decide(&mut self, me: usize) -> usize {
+        if self.cursor < self.replay.len() {
+            let d = self.replay[self.cursor].clone();
+            self.cursor += 1;
+            if d.chosen != me && self.status.get(me) == Some(&Status::Ready) {
+                self.preemptions += 1;
+            }
+            self.trace.push(d.clone());
+            return d.chosen;
+        }
+        let cands = self.candidates();
+        if cands.is_empty() {
+            self.abort = true;
+            if self.failure.is_none() {
+                self.failure = Some("deadlock: every live thread is blocked".to_string());
+            }
+            return me;
+        }
+        let me_ready = self.status.get(me) == Some(&Status::Ready) && cands.contains(&me);
+        let chosen = if me_ready { me } else { cands[0] };
+        let mut alternatives: Vec<usize> = cands.into_iter().filter(|&t| t != chosen).collect();
+        // Taking an alternative instead of the still-runnable incumbent
+        // would be a preemption; cut those branches once the budget is
+        // spent. Forced switches (incumbent not runnable) stay free.
+        if me_ready && self.preemptions >= self.max_preemptions {
+            alternatives.clear();
+        }
+        self.trace.push(Decision {
+            chosen,
+            alternatives,
+        });
+        chosen
+    }
+
+    fn all_done(&self) -> bool {
+        self.status.iter().all(|s| *s == Status::Done)
+    }
+}
+
+pub(crate) struct Rt {
+    st: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Rt {
+    fn new(replay: Vec<Decision>, max_preemptions: usize) -> Rt {
+        Rt {
+            st: Mutex::new(State {
+                current: 0,
+                status: vec![Status::Ready],
+                replay,
+                cursor: 0,
+                trace: Vec::new(),
+                preemptions: 0,
+                max_preemptions,
+                abort: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Registers a newly spawned controlled thread; returns its id.
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.st.lock().unwrap();
+        st.status.push(Status::Ready);
+        st.status.len() - 1
+    }
+
+    /// A scheduling point: possibly hand the token to another thread
+    /// and sleep until it returns. `yielding` marks `me` as descheduled
+    /// until no other thread is runnable.
+    pub(crate) fn switch(&self, me: usize, yielding: bool) {
+        let mut st = self.st.lock().unwrap();
+        if st.abort {
+            drop(st);
+            panic!("{ABORT}");
+        }
+        if yielding {
+            st.status[me] = Status::Yielded;
+        }
+        let next = st.decide(me);
+        if st.abort {
+            self.cv.notify_all();
+            drop(st);
+            panic!("{ABORT}");
+        }
+        if next != me {
+            st.current = next;
+            self.cv.notify_all();
+            loop {
+                if st.abort {
+                    drop(st);
+                    panic!("{ABORT}");
+                }
+                if st.current == me {
+                    break;
+                }
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+        st.status[me] = Status::Ready;
+    }
+
+    /// First wait of a freshly spawned thread: sleep until the
+    /// scheduler hands it the token for the first time.
+    pub(crate) fn wait_for_token(&self, me: usize) {
+        let mut st = self.st.lock().unwrap();
+        loop {
+            if st.abort {
+                drop(st);
+                panic!("{ABORT}");
+            }
+            if st.current == me {
+                break;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Blocks `me` until `target` finishes, scheduling others meanwhile.
+    pub(crate) fn join_point(&self, me: usize, target: usize) {
+        let mut st = self.st.lock().unwrap();
+        if st.abort {
+            drop(st);
+            panic!("{ABORT}");
+        }
+        if st.status.get(target) != Some(&Status::Done) {
+            st.status[me] = Status::Blocked(target);
+        }
+        let next = st.decide(me);
+        if st.abort {
+            self.cv.notify_all();
+            drop(st);
+            panic!("{ABORT}");
+        }
+        if next != me {
+            st.current = next;
+            self.cv.notify_all();
+            loop {
+                if st.abort {
+                    drop(st);
+                    panic!("{ABORT}");
+                }
+                if st.current == me {
+                    break;
+                }
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+        st.status[me] = Status::Ready;
+    }
+
+    /// Normal completion of a spawned thread's closure: mark done,
+    /// release joiners, pass the token on.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.st.lock().unwrap();
+        st.status[me] = Status::Done;
+        for s in st.status.iter_mut() {
+            if *s == Status::Blocked(me) {
+                *s = Status::Ready;
+            }
+        }
+        if st.abort || st.all_done() {
+            self.cv.notify_all();
+            return;
+        }
+        let next = st.decide(me);
+        if !st.abort {
+            st.current = next;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Tears a thread down without scheduling (abort path).
+    pub(crate) fn mark_done_quiet(&self, me: usize) {
+        let mut st = self.st.lock().unwrap();
+        st.status[me] = Status::Done;
+        self.cv.notify_all();
+    }
+
+    /// Records a controlled thread's panic and wakes everyone so the
+    /// execution can unwind. The ABORT sentinel means the thread was
+    /// already being torn down and carries no new failure.
+    pub(crate) fn child_panic(&self, me: usize, message: String) {
+        let mut st = self.st.lock().unwrap();
+        st.status[me] = Status::Done;
+        if message != ABORT {
+            st.abort = true;
+            if st.failure.is_none() {
+                st.failure = Some(message);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Called on the model thread after the closure returns (or
+    /// panics): mark main done, keep scheduling the remaining threads,
+    /// and wait until every controlled thread has finished or the
+    /// execution aborted.
+    fn main_finish_and_drain(&self, main_panicked: bool) {
+        let mut st = self.st.lock().unwrap();
+        if main_panicked {
+            st.abort = true;
+            if st.failure.is_none() {
+                st.failure = Some("the model closure panicked".to_string());
+            }
+        }
+        st.status[0] = Status::Done;
+        for s in st.status.iter_mut() {
+            if *s == Status::Blocked(0) {
+                *s = Status::Ready;
+            }
+        }
+        if !st.abort && !st.all_done() {
+            let next = st.decide(0);
+            if !st.abort {
+                st.current = next;
+            }
+        }
+        self.cv.notify_all();
+        while !st.all_done() {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn take_outcome(&self) -> (Vec<Decision>, Option<String>) {
+        let mut st = self.st.lock().unwrap();
+        (std::mem::take(&mut st.trace), st.failure.take())
+    }
+}
+
+pub(crate) mod tls {
+    use super::Rt;
+    use std::cell::RefCell;
+    use std::sync::Arc;
+
+    thread_local! {
+        static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+    }
+
+    pub(crate) fn enter(rt: Arc<Rt>, tid: usize) {
+        CURRENT.with(|c| *c.borrow_mut() = Some((rt, tid)));
+    }
+
+    pub(crate) fn exit() {
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+
+    pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+}
+
+/// A scheduling point for the calling thread; no-op outside a model.
+pub(crate) fn point() {
+    if let Some((rt, me)) = tls::current() {
+        rt.switch(me, false);
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn render_schedule(trace: &[Decision]) -> String {
+    trace
+        .iter()
+        .map(|d| d.chosen.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_schedule(s: &str) -> Vec<Decision> {
+    s.split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| Decision {
+            chosen: p
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("LOOM_REPLAY: bad thread id {p:?}")),
+            alternatives: Vec::new(),
+        })
+        .collect()
+}
+
+/// Moves the search to the next unexplored branch: drop trailing
+/// decisions with no alternatives, then take the first alternative of
+/// the deepest branch point. `None` when the space is exhausted.
+fn backtrack(mut trace: Vec<Decision>) -> Option<Vec<Decision>> {
+    while let Some(d) = trace.last_mut() {
+        if d.alternatives.is_empty() {
+            trace.pop();
+            continue;
+        }
+        d.chosen = d.alternatives.remove(0);
+        return Some(trace);
+    }
+    None
+}
+
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Checks every schedule of `f` (up to the preemption bound): runs it
+/// repeatedly, exploring a new interleaving of its threads' scheduling
+/// points each time, and panics with the failing schedule if any
+/// execution panics or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 250_000);
+    let pinned = std::env::var("LOOM_REPLAY").ok();
+    let mut replay: Vec<Decision> = match &pinned {
+        Some(s) => parse_schedule(s),
+        None => Vec::new(),
+    };
+    let mut iterations: usize = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom stand-in: exceeded {max_iterations} executions; \
+             shrink the model or raise LOOM_MAX_ITERATIONS"
+        );
+        let rt = Arc::new(Rt::new(std::mem::take(&mut replay), max_preemptions));
+        tls::enter(Arc::clone(&rt), 0);
+        let result = catch_unwind(AssertUnwindSafe(&f));
+        rt.main_finish_and_drain(result.is_err());
+        tls::exit();
+        let (trace, failure) = rt.take_outcome();
+        let failed = result.is_err() || failure.is_some();
+        if failed {
+            eprintln!("loom stand-in: failing execution after {iterations} schedule(s)");
+            eprintln!(
+                "loom stand-in: replay with LOOM_REPLAY={}",
+                render_schedule(&trace)
+            );
+            match result {
+                Err(p) => {
+                    if panic_message(p.as_ref()) == ABORT {
+                        panic!(
+                            "loom stand-in: {}",
+                            failure.unwrap_or_else(|| "a model thread failed".to_string())
+                        );
+                    }
+                    resume_unwind(p);
+                }
+                Ok(()) => panic!(
+                    "loom stand-in: {}",
+                    failure.unwrap_or_else(|| "a model thread failed".to_string())
+                ),
+            }
+        }
+        if pinned.is_some() {
+            return;
+        }
+        match backtrack(trace) {
+            Some(next) => replay = next,
+            None => return,
+        }
+    }
+}

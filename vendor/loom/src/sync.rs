@@ -1,0 +1,77 @@
+//! Model-aware sync primitives: drop-in spellings of the `std::sync`
+//! items the workspace swaps in under its `loom` feature.
+//!
+//! Inside a model every operation is a scheduling point; the values
+//! themselves are held in real `SeqCst` atomics, which is exactly the
+//! memory model the serialized scheduler explores. Outside a model the
+//! scheduling hook is a no-op and these behave like `std` atomics.
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    /// Model-checked `u64` atomic. The caller's `Ordering` argument is
+    /// accepted for API parity but the shim always executes `SeqCst`
+    /// (see the crate docs: interleavings, not weak memory).
+    #[derive(Debug, Default)]
+    pub struct AtomicU64 {
+        inner: std::sync::atomic::AtomicU64,
+    }
+
+    impl AtomicU64 {
+        /// Creates a new atomic.
+        pub fn new(v: u64) -> AtomicU64 {
+            AtomicU64 {
+                inner: std::sync::atomic::AtomicU64::new(v),
+            }
+        }
+
+        /// Loads the value (scheduling point).
+        pub fn load(&self, _order: Ordering) -> u64 {
+            rt::point();
+            self.inner.load(Ordering::SeqCst)
+        }
+
+        /// Stores a value (scheduling point).
+        pub fn store(&self, val: u64, _order: Ordering) {
+            rt::point();
+            self.inner.store(val, Ordering::SeqCst);
+        }
+
+        /// Swaps in a value, returning the previous one (scheduling
+        /// point).
+        pub fn swap(&self, val: u64, _order: Ordering) -> u64 {
+            rt::point();
+            self.inner.swap(val, Ordering::SeqCst)
+        }
+
+        /// Adds to the value, returning the previous one (scheduling
+        /// point).
+        pub fn fetch_add(&self, val: u64, _order: Ordering) -> u64 {
+            rt::point();
+            self.inner.fetch_add(val, Ordering::SeqCst)
+        }
+
+        /// Compare-and-exchange (scheduling point).
+        pub fn compare_exchange(
+            &self,
+            current: u64,
+            new: u64,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<u64, u64> {
+            rt::point();
+            self.inner
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        }
+    }
+
+    /// Memory fence: a pure scheduling point under the shim (the
+    /// serialized scheduler is already sequentially consistent).
+    pub fn fence(_order: Ordering) {
+        rt::point();
+    }
+}

@@ -1,0 +1,86 @@
+//! Controlled threads: real OS threads whose execution is serialized
+//! by the model scheduler. Outside a model everything falls through to
+//! `std::thread`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rt;
+
+/// Handle to a spawned (possibly model-controlled) thread.
+pub struct JoinHandle<T> {
+    /// Controlled thread id, or `usize::MAX` outside a model.
+    tid: usize,
+    inner: std::thread::JoinHandle<Option<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside a
+    /// model this is a scheduling point that blocks the calling thread
+    /// until the target's closure has completed.
+    pub fn join(self) -> std::thread::Result<T> {
+        if self.tid != usize::MAX {
+            if let Some((rt, me)) = rt::tls::current() {
+                rt.join_point(me, self.tid);
+            }
+        }
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new(
+                "loom stand-in: thread torn down after a model failure".to_string(),
+            )),
+            Err(p) => Err(p),
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model the thread is registered with the
+/// scheduler and does not run a single step until it is handed the
+/// token; outside a model it is a plain `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::tls::current() {
+        None => JoinHandle {
+            tid: usize::MAX,
+            inner: std::thread::spawn(move || Some(f())),
+        },
+        Some((rt, me)) => {
+            let tid = rt.register();
+            let rt2 = std::sync::Arc::clone(&rt);
+            let inner = std::thread::spawn(move || -> Option<T> {
+                rt::tls::enter(std::sync::Arc::clone(&rt2), tid);
+                if catch_unwind(AssertUnwindSafe(|| rt2.wait_for_token(tid))).is_err() {
+                    // Aborted before ever running.
+                    rt2.mark_done_quiet(tid);
+                    return None;
+                }
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => {
+                        rt2.finish(tid);
+                        Some(v)
+                    }
+                    Err(p) => {
+                        rt2.child_panic(tid, crate::rt::panic_message(p.as_ref()));
+                        None
+                    }
+                }
+            });
+            // Spawning is itself a scheduling point: the new thread may
+            // legally run before the spawner's next step.
+            rt.switch(me, false);
+            JoinHandle { tid, inner }
+        }
+    }
+}
+
+/// Deschedules the calling thread until no other thread is runnable —
+/// mandatory inside model-checked spin loops, where it is what lets
+/// the thread being spun on make progress. No-op outside a model.
+pub fn yield_now() {
+    match rt::tls::current() {
+        Some((rt, me)) => rt.switch(me, true),
+        None => std::thread::yield_now(),
+    }
+}

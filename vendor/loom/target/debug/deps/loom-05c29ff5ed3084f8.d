@@ -1,0 +1,10 @@
+/root/repo/vendor/loom/target/debug/deps/loom-05c29ff5ed3084f8.d: src/lib.rs src/rt.rs src/sync.rs src/thread.rs
+
+/root/repo/vendor/loom/target/debug/deps/libloom-05c29ff5ed3084f8.rlib: src/lib.rs src/rt.rs src/sync.rs src/thread.rs
+
+/root/repo/vendor/loom/target/debug/deps/libloom-05c29ff5ed3084f8.rmeta: src/lib.rs src/rt.rs src/sync.rs src/thread.rs
+
+src/lib.rs:
+src/rt.rs:
+src/sync.rs:
+src/thread.rs:

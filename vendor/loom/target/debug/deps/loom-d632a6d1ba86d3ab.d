@@ -1,0 +1,8 @@
+/root/repo/vendor/loom/target/debug/deps/loom-d632a6d1ba86d3ab.d: src/lib.rs src/rt.rs src/sync.rs src/thread.rs
+
+/root/repo/vendor/loom/target/debug/deps/loom-d632a6d1ba86d3ab: src/lib.rs src/rt.rs src/sync.rs src/thread.rs
+
+src/lib.rs:
+src/rt.rs:
+src/sync.rs:
+src/thread.rs:

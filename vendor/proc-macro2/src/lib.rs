@@ -1,0 +1,895 @@
+//! Offline stand-in for the `proc-macro2` crate.
+//!
+//! The build environment has no crates.io mirror, so — like the other
+//! stand-ins under `vendor/` — this crate implements exactly the API
+//! surface the workspace uses: lexing Rust source text into a tree of
+//! spanned tokens (`TokenStream` / `TokenTree`), the foundation the
+//! `syn` stand-in parses its AST from. There is no compiler bridge
+//! (`proc_macro` interop) and no `quote!`-style construction beyond
+//! `FromStr`/`Display`.
+//!
+//! Divergences from the real crate, chosen for the lint engine's needs:
+//!
+//! * [`Span`] always carries line/column information (the real crate
+//!   gates this behind the `span-locations` feature) plus byte offsets.
+//! * Comments — including doc comments — are skipped entirely rather
+//!   than being converted into `#[doc]` attributes. The lint engine
+//!   reads comment text separately for its allowlist directives, and
+//!   dropping doc text from the token stream is precisely what makes
+//!   identifier rules immune to mentions inside documentation.
+//! * Lifetimes lex as a joint `'` punct followed by an ident, matching
+//!   the real crate's behaviour.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A region of source text: byte offsets plus 1-based line / 0-based
+/// column of the start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Starting byte offset into the lexed source.
+    pub lo: usize,
+    /// Ending byte offset (exclusive).
+    pub hi: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 0-based UTF-8 column of the first byte.
+    pub column: usize,
+}
+
+impl Span {
+    /// A zero-width placeholder span (used by synthesized tokens).
+    pub fn call_site() -> Span {
+        Span {
+            lo: 0,
+            hi: 0,
+            line: 1,
+            column: 0,
+        }
+    }
+
+    /// Line/column of the span start, mirroring the real crate's
+    /// `span-locations` accessor.
+    pub fn start(&self) -> LineColumn {
+        LineColumn {
+            line: self.line,
+            column: self.column,
+        }
+    }
+}
+
+/// A line/column pair as returned by [`Span::start`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LineColumn {
+    /// 1-based line number.
+    pub line: usize,
+    /// 0-based column.
+    pub column: usize,
+}
+
+/// Delimiter of a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( … )`
+    Parenthesis,
+    /// `{ … }`
+    Brace,
+    /// `[ … ]`
+    Bracket,
+    /// Invisible delimiters (never produced by the lexer; kept for API
+    /// parity).
+    None,
+}
+
+/// Whether a punct is immediately followed by another punct character
+/// (`Joint`) or not (`Alone`) — what lets a parser reassemble `::`,
+/// `=>`, `->` from single-character puncts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    /// Followed by whitespace or a non-punct token.
+    Alone,
+    /// Immediately followed by another punct character.
+    Joint,
+}
+
+/// An identifier or keyword (including `_` and raw `r#ident` forms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    text: String,
+    span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier with the given span.
+    pub fn new(text: &str, span: Span) -> Ident {
+        Ident {
+            text: text.to_string(),
+            span,
+        }
+    }
+
+    /// The identifier text, without any `r#` prefix.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The identifier's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A single punctuation character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Punct {
+    ch: char,
+    spacing: Spacing,
+    span: Span,
+}
+
+impl Punct {
+    /// Creates a punct token.
+    pub fn new(ch: char, spacing: Spacing, span: Span) -> Punct {
+        Punct { ch, spacing, span }
+    }
+
+    /// The punctuation character.
+    pub fn as_char(&self) -> char {
+        self.ch
+    }
+
+    /// Whether the next source character is also a punct character.
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
+    /// The punct's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A literal: numbers, strings, chars, byte strings — kept as raw text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Literal {
+    text: String,
+    span: Span,
+}
+
+impl Literal {
+    /// Creates a literal from its raw source text.
+    pub fn new(text: &str, span: Span) -> Literal {
+        Literal {
+            text: text.to_string(),
+            span,
+        }
+    }
+
+    /// The raw source text of the literal (quotes, suffixes and all).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The literal's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A delimited group of tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    delimiter: Delimiter,
+    stream: TokenStream,
+    span: Span,
+}
+
+impl Group {
+    /// Creates a group.
+    pub fn new(delimiter: Delimiter, stream: TokenStream, span: Span) -> Group {
+        Group {
+            delimiter,
+            stream,
+            span,
+        }
+    }
+
+    /// The group's delimiter.
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+
+    /// The tokens between the delimiters.
+    pub fn stream(&self) -> &TokenStream {
+        &self.stream
+    }
+
+    /// The span from opening to closing delimiter.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// One token tree: a group, identifier, punct or literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenTree {
+    /// A delimited group.
+    Group(Group),
+    /// An identifier or keyword.
+    Ident(Ident),
+    /// A punctuation character.
+    Punct(Punct),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The token's span (a group's span covers its delimiters).
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span(),
+            TokenTree::Ident(i) => i.span(),
+            TokenTree::Punct(p) => p.span(),
+            TokenTree::Literal(l) => l.span(),
+        }
+    }
+
+    /// The identifier text if this is an ident token.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenTree::Ident(i) => Some(i.text()),
+            _ => None,
+        }
+    }
+
+    /// The punct character if this is a punct token.
+    pub fn as_punct(&self) -> Option<char> {
+        match self {
+            TokenTree::Punct(p) => Some(p.as_char()),
+            _ => None,
+        }
+    }
+
+    /// The literal if this is a literal token.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            TokenTree::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The group if this is a group token.
+    pub fn as_group(&self) -> Option<&Group> {
+        match self {
+            TokenTree::Group(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenTree::Group(g) => {
+                let (open, close) = match g.delimiter() {
+                    Delimiter::Parenthesis => ("(", ")"),
+                    Delimiter::Brace => ("{ ", " }"),
+                    Delimiter::Bracket => ("[", "]"),
+                    Delimiter::None => ("", ""),
+                };
+                write!(f, "{open}{}{close}", g.stream())
+            }
+            TokenTree::Ident(i) => f.write_str(i.text()),
+            TokenTree::Punct(p) => f.write_str(&p.as_char().to_string()),
+            TokenTree::Literal(l) => f.write_str(l.text()),
+        }
+    }
+}
+
+/// A flat sequence of token trees.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TokenStream {
+    tokens: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    /// An empty stream.
+    pub fn new() -> TokenStream {
+        TokenStream::default()
+    }
+
+    /// The tokens in order.
+    pub fn tokens(&self) -> &[TokenTree] {
+        &self.tokens
+    }
+
+    /// Whether the stream has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Number of top-level token trees.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Appends one token.
+    pub fn push(&mut self, tt: TokenTree) {
+        self.tokens.push(tt);
+    }
+}
+
+impl From<Vec<TokenTree>> for TokenStream {
+    fn from(tokens: Vec<TokenTree>) -> TokenStream {
+        TokenStream { tokens }
+    }
+}
+
+impl IntoIterator for TokenStream {
+    type Item = TokenTree;
+    type IntoIter = std::vec::IntoIter<TokenTree>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tokens.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TokenStream {
+    type Item = &'a TokenTree;
+    type IntoIter = std::slice::Iter<'a, TokenTree>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tokens.iter()
+    }
+}
+
+impl fmt::Display for TokenStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for t in &self.tokens {
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A lexing failure, with the position it happened at.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// 0-based column of the failure.
+    pub column: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+impl FromStr for TokenStream {
+    type Err = LexError;
+
+    fn from_str(src: &str) -> Result<TokenStream, LexError> {
+        Lexer::new(src).lex_all()
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    /// Byte offset of the current line start (column = pos − line_start
+    /// counted in chars; the workspace is ASCII outside comments/strings,
+    /// and those never produce tokens, so byte columns suffice).
+    line_start: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    fn span_from(&self, lo: usize, lo_line: usize, lo_col: usize) -> Span {
+        Span {
+            lo,
+            hi: self.pos,
+            line: lo_line,
+            column: lo_col,
+        }
+    }
+
+    fn err(&self, message: &str) -> LexError {
+        LexError {
+            message: message.to_string(),
+            line: self.line,
+            column: self.pos - self.line_start,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advances one byte, tracking line starts.
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances to the next char boundary (multi-byte aware).
+    fn bump_char(&mut self) {
+        let c = self.src[self.pos..]
+            .chars()
+            .next()
+            .map_or(1, char::len_utf8);
+        for _ in 0..c {
+            self.bump();
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if (c as char).is_ascii_whitespace() => self.bump(),
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while self.peek().is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let mut depth = 0usize;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some(b'/'), Some(b'*')) => {
+                                depth += 1;
+                                self.bump();
+                                self.bump();
+                            }
+                            (Some(b'*'), Some(b'/')) => {
+                                depth -= 1;
+                                self.bump();
+                                self.bump();
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => self.bump(),
+                            (None, _) => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_all(&mut self) -> Result<TokenStream, LexError> {
+        // Shebang line (`#!...` not followed by `[`) — skip.
+        if self.src.starts_with("#!") && !self.src.starts_with("#![") {
+            while self.peek().is_some_and(|c| c != b'\n') {
+                self.bump();
+            }
+        }
+        let tokens = self.lex_until(None)?;
+        Ok(TokenStream::from(tokens))
+    }
+
+    /// Lexes until the closing delimiter `until` (or end of input).
+    fn lex_until(&mut self, until: Option<u8>) -> Result<Vec<TokenTree>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let Some(c) = self.peek() else {
+                if until.is_some() {
+                    return Err(self.err("unexpected end of input inside a group"));
+                }
+                return Ok(out);
+            };
+            if Some(c) == until {
+                return Ok(out);
+            }
+            let lo = self.pos;
+            let lo_line = self.line;
+            let lo_col = self.pos - self.line_start;
+            match c {
+                b'(' | b'[' | b'{' => {
+                    let (delim, close) = match c {
+                        b'(' => (Delimiter::Parenthesis, b')'),
+                        b'[' => (Delimiter::Bracket, b']'),
+                        _ => (Delimiter::Brace, b'}'),
+                    };
+                    self.bump();
+                    let inner = self.lex_until(Some(close))?;
+                    if self.peek() != Some(close) {
+                        return Err(self.err("unbalanced delimiter"));
+                    }
+                    self.bump();
+                    let span = self.span_from(lo, lo_line, lo_col);
+                    out.push(TokenTree::Group(Group::new(
+                        delim,
+                        TokenStream::from(inner),
+                        span,
+                    )));
+                }
+                b')' | b']' | b'}' => return Err(self.err("unbalanced closing delimiter")),
+                b'"' => {
+                    self.lex_string()?;
+                    let span = self.span_from(lo, lo_line, lo_col);
+                    out.push(TokenTree::Literal(Literal::new(
+                        &self.src[lo..self.pos],
+                        span,
+                    )));
+                }
+                b'\'' => {
+                    // Lifetime vs char literal: `'a` followed by a non-quote
+                    // is a lifetime; everything else (including multi-byte
+                    // chars like `'—'`) is a char literal.
+                    let mut rest = self.src[self.pos + 1..].chars();
+                    let is_lifetime = match (rest.next(), rest.next()) {
+                        (Some(n), after) if is_ident_start(n) => after != Some('\''),
+                        _ => false,
+                    };
+                    if is_lifetime {
+                        self.bump();
+                        let span = self.span_from(lo, lo_line, lo_col);
+                        out.push(TokenTree::Punct(Punct::new('\'', Spacing::Joint, span)));
+                        let ident_lo = self.pos;
+                        while self.src[self.pos..]
+                            .chars()
+                            .next()
+                            .is_some_and(is_ident_continue)
+                        {
+                            self.bump_char();
+                        }
+                        let span = self.span_from(ident_lo, lo_line, lo_col + 1);
+                        out.push(TokenTree::Ident(Ident::new(
+                            &self.src[ident_lo..self.pos],
+                            span,
+                        )));
+                    } else {
+                        self.lex_char()?;
+                        let span = self.span_from(lo, lo_line, lo_col);
+                        out.push(TokenTree::Literal(Literal::new(
+                            &self.src[lo..self.pos],
+                            span,
+                        )));
+                    }
+                }
+                b'0'..=b'9' => {
+                    self.lex_number();
+                    let span = self.span_from(lo, lo_line, lo_col);
+                    out.push(TokenTree::Literal(Literal::new(
+                        &self.src[lo..self.pos],
+                        span,
+                    )));
+                }
+                _ if is_ident_start(self.src[self.pos..].chars().next().unwrap_or('\0')) => {
+                    // `r"…"` / `r#"…"#` raw strings, `b"…"` / `br"…"` byte
+                    // strings and `b'…'` byte chars start with ident chars.
+                    if self.lex_prefixed_literal()? {
+                        let span = self.span_from(lo, lo_line, lo_col);
+                        out.push(TokenTree::Literal(Literal::new(
+                            &self.src[lo..self.pos],
+                            span,
+                        )));
+                        continue;
+                    }
+                    // Raw identifier `r#ident`.
+                    if self.src[self.pos..].starts_with("r#")
+                        && self.src[self.pos + 2..]
+                            .chars()
+                            .next()
+                            .is_some_and(is_ident_start)
+                    {
+                        self.bump();
+                        self.bump();
+                    }
+                    let text_lo = self.pos;
+                    while self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .is_some_and(is_ident_continue)
+                    {
+                        self.bump_char();
+                    }
+                    let span = self.span_from(lo, lo_line, lo_col);
+                    out.push(TokenTree::Ident(Ident::new(
+                        &self.src[text_lo..self.pos],
+                        span,
+                    )));
+                }
+                _ => {
+                    // A punctuation character (possibly multi-byte, e.g. a
+                    // stray unicode char would land here — treat as punct).
+                    let ch = self.src[self.pos..].chars().next().unwrap_or('?');
+                    self.bump_char();
+                    let next_is_punct = self.peek().is_some_and(|n| {
+                        !(n as char).is_ascii_whitespace()
+                            && !is_ident_start(n as char)
+                            && !n.is_ascii_digit()
+                            && !matches!(n, b'(' | b')' | b'[' | b']' | b'{' | b'}' | b'"' | b'\'')
+                    });
+                    let spacing = if next_is_punct {
+                        Spacing::Joint
+                    } else {
+                        Spacing::Alone
+                    };
+                    let span = self.span_from(lo, lo_line, lo_col);
+                    out.push(TokenTree::Punct(Punct::new(ch, spacing, span)));
+                }
+            }
+        }
+    }
+
+    /// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` forms if present.
+    /// Returns whether a literal was consumed.
+    fn lex_prefixed_literal(&mut self) -> Result<bool, LexError> {
+        let rest = &self.src[self.pos..];
+        let (prefix_len, raw, quote) = if rest.starts_with("br") {
+            (2, true, b'"')
+        } else if rest.starts_with("b\"") {
+            (1, false, b'"')
+        } else if rest.starts_with("b'") {
+            (1, false, b'\'')
+        } else if rest.starts_with('r') {
+            (1, true, b'"')
+        } else {
+            return Ok(false);
+        };
+        if raw {
+            // Count hashes after the prefix; require a quote next,
+            // otherwise this is an identifier like `raw` or `r#ident`.
+            let mut j = prefix_len;
+            let bytes = rest.as_bytes();
+            let mut hashes = 0usize;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if bytes.get(j) != Some(&b'"') {
+                return Ok(false);
+            }
+            for _ in 0..j + 1 {
+                self.bump();
+            }
+            loop {
+                match self.peek() {
+                    Some(b'"') => {
+                        // (1..=0) is empty, so unhashed raw strings close
+                        // on the first quote.
+                        let closes = (1..=hashes).all(|h| self.peek_at(h) == Some(b'#'));
+                        self.bump();
+                        if closes {
+                            for _ in 0..hashes {
+                                self.bump();
+                            }
+                            return Ok(true);
+                        }
+                    }
+                    Some(_) => self.bump(),
+                    None => return Err(self.err("unterminated raw string")),
+                }
+            }
+        }
+        if rest.as_bytes().get(prefix_len) != Some(&quote) {
+            return Ok(false);
+        }
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        if quote == b'"' {
+            self.lex_string()?;
+        } else {
+            self.lex_char()?;
+        }
+        Ok(true)
+    }
+
+    /// Consumes a `"…"` string starting at the opening quote.
+    fn lex_string(&mut self) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        loop {
+            match self.peek() {
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => self.bump_char(),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+    }
+
+    /// Consumes a `'…'` char literal starting at the opening quote.
+    fn lex_char(&mut self) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        loop {
+            match self.peek() {
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(b'\'') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => self.bump_char(),
+                None => return Err(self.err("unterminated char literal")),
+            }
+        }
+    }
+
+    /// Consumes a numeric literal (ints, floats, radix prefixes, suffixes,
+    /// underscores). A `.` is only part of the number when followed by a
+    /// digit, so ranges (`0..n`) and method calls (`1.max(x)`) lex apart.
+    fn lex_number(&mut self) {
+        if self.peek() == Some(b'0')
+            && matches!(
+                self.peek_at(1),
+                Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B')
+            )
+        {
+            self.bump();
+            self.bump();
+        }
+        let digitish = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+        while self.peek().is_some_and(digitish) {
+            self.bump();
+        }
+        // Fractional part.
+        if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek().is_some_and(digitish) {
+                self.bump();
+            }
+        }
+        // Exponent with sign (`1e-9`): the digit run above already ate
+        // `e`; a following `+`/`-` digit run belongs to the number.
+        if matches!(self.bytes.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            && matches!(self.peek(), Some(b'+' | b'-'))
+            && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump();
+            while self.peek().is_some_and(digitish) {
+                self.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> TokenStream {
+        src.parse().expect("lexes")
+    }
+
+    #[test]
+    fn idents_puncts_and_groups() {
+        let ts = lex("fn foo(a: u64) -> bool { a > 1 }");
+        let t = ts.tokens();
+        assert_eq!(t[0].as_ident(), Some("fn"));
+        assert_eq!(t[1].as_ident(), Some("foo"));
+        let params = t[2].as_group().expect("param group");
+        assert_eq!(params.delimiter(), Delimiter::Parenthesis);
+        assert_eq!(params.stream().len(), 3);
+        assert_eq!(t[3].as_punct(), Some('-'));
+        assert_eq!(t[4].as_punct(), Some('>'));
+        assert_eq!(t[5].as_ident(), Some("bool"));
+        let body = t[6].as_group().expect("body group");
+        assert_eq!(body.delimiter(), Delimiter::Brace);
+    }
+
+    #[test]
+    fn spans_carry_lines_and_columns() {
+        let ts = lex("a\n  bcd");
+        let t = ts.tokens();
+        assert_eq!(t[0].span().line, 1);
+        assert_eq!(t[0].span().column, 0);
+        assert_eq!(t[1].span().line, 2);
+        assert_eq!(t[1].span().column, 2);
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let ts = lex("// HashMap\n/* HashMap */ let x = \"HashMap\"; /// doc HashMap\nlet y = 1;");
+        let text: Vec<String> = ts
+            .tokens()
+            .iter()
+            .filter_map(|t| t.as_ident().map(str::to_string))
+            .collect();
+        assert_eq!(text, ["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn lifetimes_are_joint_quote_plus_ident() {
+        let ts = lex("&'a str");
+        let t = ts.tokens();
+        assert_eq!(t[0].as_punct(), Some('&'));
+        assert_eq!(t[1].as_punct(), Some('\''));
+        assert_eq!(t[2].as_ident(), Some("a"));
+        assert_eq!(t[3].as_ident(), Some("str"));
+    }
+
+    #[test]
+    fn char_literals_are_single_tokens() {
+        let ts = lex(r"let c = '\''; let n = 'x';");
+        let lits: Vec<&str> = ts
+            .tokens()
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Literal(l) => Some(l.text()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, [r"'\''", "'x'"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let ts = lex("0..64 , 1.5e-9 , 25_000.0 , 0xff_u64");
+        let kinds: Vec<String> = ts.tokens().iter().map(|t| t.to_string()).collect();
+        assert_eq!(
+            kinds,
+            ["0", ".", ".", "64", ",", "1.5e-9", ",", "25_000.0", ",", "0xff_u64"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_byte_literals() {
+        let ts = lex(r##"let a = r#"Hash"Map"#; let b = b"bytes"; let c = b'x';"##);
+        let lits = ts
+            .tokens()
+            .iter()
+            .filter(|t| matches!(t, TokenTree::Literal(_)))
+            .count();
+        assert_eq!(lits, 3);
+    }
+
+    #[test]
+    fn unbalanced_input_is_an_error() {
+        assert!("fn f( {".parse::<TokenStream>().is_err());
+        assert!("}".parse::<TokenStream>().is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for the `quote` crate.
+//!
+//! Like the other stand-ins under `vendor/`, this implements only the
+//! surface the workspace uses: the [`ToTokens`] trait plus
+//! [`render`], which turns anything token-like back into compact source
+//! text (the `syn` stand-in uses it to print type annotations inside
+//! lint diagnostics). The `quote!` macro itself is not provided — the
+//! lint engine only consumes token streams, it never constructs them.
+
+use proc_macro2::{TokenStream, TokenTree};
+
+/// Types that can append themselves to a [`TokenStream`].
+pub trait ToTokens {
+    /// Appends `self` to `tokens`.
+    fn to_tokens(&self, tokens: &mut TokenStream);
+
+    /// Collects `self` into a fresh stream.
+    fn to_token_stream(&self) -> TokenStream {
+        let mut out = TokenStream::new();
+        self.to_tokens(&mut out);
+        out
+    }
+}
+
+impl ToTokens for TokenTree {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        tokens.push(self.clone());
+    }
+}
+
+impl ToTokens for TokenStream {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        for t in self {
+            tokens.push(t.clone());
+        }
+    }
+}
+
+impl<T: ToTokens> ToTokens for [T] {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        for t in self {
+            t.to_tokens(tokens);
+        }
+    }
+}
+
+impl<T: ToTokens> ToTokens for Vec<T> {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        self.as_slice().to_tokens(tokens);
+    }
+}
+
+impl<T: ToTokens + ?Sized> ToTokens for &T {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        (*self).to_tokens(tokens);
+    }
+}
+
+/// Renders tokens as compact source-like text: single spaces between
+/// tokens, except around path separators and inside generic brackets
+/// where Rust convention omits them (`BTreeMap<u64, u64>` rather than
+/// `BTreeMap < u64 , u64 >`).
+pub fn render<T: ToTokens>(value: &T) -> String {
+    fn walk(out: &mut String, tokens: &TokenStream) {
+        let toks: Vec<&TokenTree> = tokens.into_iter().collect();
+        for (i, t) in toks.iter().enumerate() {
+            match t {
+                TokenTree::Group(g) => {
+                    let (open, close) = match g.delimiter() {
+                        proc_macro2::Delimiter::Parenthesis => ('(', ')'),
+                        proc_macro2::Delimiter::Brace => ('{', '}'),
+                        proc_macro2::Delimiter::Bracket => ('[', ']'),
+                        proc_macro2::Delimiter::None => (' ', ' '),
+                    };
+                    out.push(open);
+                    walk(out, g.stream());
+                    out.push(close);
+                }
+                TokenTree::Ident(id) => {
+                    if needs_space(out) {
+                        out.push(' ');
+                    }
+                    out.push_str(id.text());
+                }
+                TokenTree::Literal(l) => {
+                    if needs_space(out) {
+                        out.push(' ');
+                    }
+                    out.push_str(l.text());
+                }
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' {
+                        out.push(c);
+                        out.push(' ');
+                    } else {
+                        out.push(c);
+                    }
+                    let _ = i;
+                }
+            }
+        }
+    }
+
+    fn needs_space(out: &str) -> bool {
+        out.chars()
+            .last()
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+    }
+
+    let mut out = String::new();
+    walk(&mut out, &value.to_token_stream());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_compacts_paths_and_generics() {
+        let ts: TokenStream = "BTreeMap < u64 , Vec < u8 > >".parse().unwrap();
+        assert_eq!(render(&ts), "BTreeMap<u64, Vec<u8>>");
+        let ts: TokenStream = "std :: rc :: Rc < T >".parse().unwrap();
+        assert_eq!(render(&ts), "std::rc::Rc<T>");
+    }
+
+    #[test]
+    fn render_keeps_references_tight() {
+        let ts: TokenStream = "& 'a mut f64".parse().unwrap();
+        assert_eq!(render(&ts), "&'a mut f64");
+    }
+}

@@ -1,0 +1,713 @@
+//! Offline stand-in for the `syn` crate.
+//!
+//! Like every crate under `vendor/`, this implements exactly the API
+//! surface the workspace uses: [`parse_file`] turns Rust source text into
+//! a [`File`] of spanned items, and [`visit::Visit`] walks it. The AST is
+//! deliberately *reduced* compared to real `syn`:
+//!
+//! * Items (`fn`, `struct`, `enum`, `impl`, `trait`, `mod`, `static`,
+//!   `const`, macro invocations and `macro_rules!` definitions) are fully
+//!   structured, with attributes, visibility, names, fields/variants and
+//!   signature token runs.
+//! * Function bodies are parsed into the constructs the lint engine
+//!   reasons about structurally — `match` expressions (scrutinee, arms,
+//!   wildcard detection), macro invocations, nested items and delimited
+//!   groups — while everything else is preserved as ordered leaf-token
+//!   runs. Nothing is dropped: every token of the source is reachable
+//!   through the visitor, either as a structured node or as a raw token,
+//!   which is what lets token-pattern lint rules stay exact.
+//! * Types are token runs ([`TypeTokens`]) with helpers, not a `Type`
+//!   tree.
+//!
+//! The parser is *total*: any token sequence produced by the lexer parses
+//! into something (worst case an [`ItemVerbatim`]), so a novel syntactic
+//! form can never abort a lint run. Comments and string contents never
+//! appear as identifiers because the `proc-macro2` stand-in's lexer drops
+//! them — the masking the old lexer-based lint engine did by hand.
+
+pub use proc_macro2::{
+    Delimiter, Group, Ident, LineColumn, Literal, Punct, Span, TokenStream, TokenTree,
+};
+
+mod parse;
+pub mod visit;
+
+use std::fmt;
+
+/// A parse failure (in practice: a lexing failure; the item parser is
+/// total).
+#[derive(Debug, Clone)]
+pub struct Error {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 0-based column.
+    pub column: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses a whole source file.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let stream: TokenStream = src.parse().map_err(|e: proc_macro2::LexError| Error {
+        message: e.message,
+        line: e.line,
+        column: e.column,
+    })?;
+    Ok(parse::parse_items_from_stream(stream))
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Inner attributes (`#![…]`) at the top of the file.
+    pub attrs: Vec<Attribute>,
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+    /// The full token stream the file parsed from.
+    pub tokens: TokenStream,
+}
+
+/// An outer (`#[…]`) or inner (`#![…]`) attribute.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// Whether this is an inner (`#![…]`) attribute.
+    pub inner: bool,
+    /// The attribute path (`cfg`, `derive`, `allow`, …).
+    pub path: String,
+    /// Tokens inside the attribute brackets after the path.
+    pub tokens: Vec<TokenTree>,
+    /// Span of the `#` token.
+    pub span: Span,
+}
+
+impl Attribute {
+    /// Whether this is exactly `#[cfg(test)]`.
+    pub fn is_cfg_test(&self) -> bool {
+        if self.path != "cfg" {
+            return false;
+        }
+        let [TokenTree::Group(g)] = self.tokens.as_slice() else {
+            return false;
+        };
+        g.delimiter() == Delimiter::Parenthesis
+            && g.stream().len() == 1
+            && g.stream().tokens()[0].as_ident() == Some("test")
+    }
+
+    /// Whether this is `#[test]`.
+    pub fn is_test(&self) -> bool {
+        self.path == "test" && self.tokens.is_empty()
+    }
+}
+
+/// One item. Every variant carries its attributes, an anchor span (the
+/// first token after the attributes — where a human would point at the
+/// item) and the byte offset one past its last token.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// A free or associated function.
+    Fn(ItemFn),
+    /// An inline or out-of-line module.
+    Mod(ItemMod),
+    /// A struct (named, tuple or unit).
+    Struct(ItemStruct),
+    /// An enum.
+    Enum(ItemEnum),
+    /// An `impl` block.
+    Impl(ItemImpl),
+    /// A trait definition.
+    Trait(ItemTrait),
+    /// A `static` item.
+    Static(ItemStatic),
+    /// A `const` item.
+    Const(ItemConst),
+    /// A macro invocation in item position (`thread_local! { … }`).
+    Macro(ItemMacro),
+    /// A `macro_rules!` definition.
+    MacroRules(ItemMacroRules),
+    /// Anything else (`use`, `type`, `extern crate`, …) kept as tokens.
+    Verbatim(ItemVerbatim),
+}
+
+impl Item {
+    /// The item's attributes.
+    pub fn attrs(&self) -> &[Attribute] {
+        match self {
+            Item::Fn(i) => &i.attrs,
+            Item::Mod(i) => &i.attrs,
+            Item::Struct(i) => &i.attrs,
+            Item::Enum(i) => &i.attrs,
+            Item::Impl(i) => &i.attrs,
+            Item::Trait(i) => &i.attrs,
+            Item::Static(i) => &i.attrs,
+            Item::Const(i) => &i.attrs,
+            Item::Macro(i) => &i.attrs,
+            Item::MacroRules(i) => &i.attrs,
+            Item::Verbatim(i) => &i.attrs,
+        }
+    }
+
+    /// The anchor span (first token after the attributes).
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Fn(i) => i.span,
+            Item::Mod(i) => i.span,
+            Item::Struct(i) => i.span,
+            Item::Enum(i) => i.span,
+            Item::Impl(i) => i.span,
+            Item::Trait(i) => i.span,
+            Item::Static(i) => i.span,
+            Item::Const(i) => i.span,
+            Item::Macro(i) => i.span,
+            Item::MacroRules(i) => i.span,
+            Item::Verbatim(i) => i.span,
+        }
+    }
+
+    /// Byte offset one past the item's last token.
+    pub fn end_byte(&self) -> usize {
+        match self {
+            Item::Fn(i) => i.end_byte,
+            Item::Mod(i) => i.end_byte,
+            Item::Struct(i) => i.end_byte,
+            Item::Enum(i) => i.end_byte,
+            Item::Impl(i) => i.end_byte,
+            Item::Trait(i) => i.end_byte,
+            Item::Static(i) => i.end_byte,
+            Item::Const(i) => i.end_byte,
+            Item::Macro(i) => i.end_byte,
+            Item::MacroRules(i) => i.end_byte,
+            Item::Verbatim(i) => i.end_byte,
+        }
+    }
+
+    /// Whether any attribute is `#[cfg(test)]`.
+    pub fn is_cfg_test(&self) -> bool {
+        self.attrs().iter().any(Attribute::is_cfg_test)
+    }
+}
+
+/// A run of type tokens (this stand-in does not build a `Type` tree).
+#[derive(Debug, Clone, Default)]
+pub struct TypeTokens {
+    /// The tokens of the type, in order.
+    pub tokens: Vec<TokenTree>,
+}
+
+impl TypeTokens {
+    /// Span of the first token, if any.
+    pub fn span(&self) -> Option<Span> {
+        self.tokens.first().map(TokenTree::span)
+    }
+
+    /// Whether the type run is empty (no declared type).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Compact source-like rendering (`BTreeMap<u64, u64>`).
+    pub fn render(&self) -> String {
+        quote::render(&self.tokens)
+    }
+
+    /// Every identifier in the run, including inside nested groups,
+    /// paired with its span.
+    pub fn idents(&self) -> Vec<(String, Span)> {
+        let mut out = Vec::new();
+        fn walk(tokens: &[TokenTree], out: &mut Vec<(String, Span)>) {
+            for t in tokens {
+                match t {
+                    TokenTree::Ident(i) => out.push((i.text().to_string(), i.span())),
+                    TokenTree::Group(g) => walk(g.stream().tokens(), out),
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.tokens, &mut out);
+        out
+    }
+
+    /// Whether `ident` occurs anywhere in the run.
+    pub fn mentions(&self, ident: &str) -> bool {
+        self.idents().iter().any(|(i, _)| i == ident)
+    }
+}
+
+/// A function item (free or associated).
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    /// Attributes.
+    pub attrs: Vec<Attribute>,
+    /// Anchor span (first token after attributes, e.g. `pub`).
+    pub span: Span,
+    /// Span of the `fn` keyword itself.
+    pub fn_span: Span,
+    /// One past the last token.
+    pub end_byte: usize,
+    /// Whether the item has a `pub` visibility.
+    pub public: bool,
+    /// The function name.
+    pub name: String,
+    /// Span of the name.
+    pub name_span: Span,
+    /// Generic parameter tokens (between `<` and `>`), if any.
+    pub generics: Vec<TokenTree>,
+    /// Raw tokens inside the parameter parentheses.
+    pub params: Vec<TokenTree>,
+    /// The declared type of each non-`self` parameter.
+    pub param_types: Vec<TypeTokens>,
+    /// Return type tokens after `->` (empty when elided).
+    pub ret: TypeTokens,
+    /// Where-clause tokens, if any.
+    pub where_clause: Vec<TokenTree>,
+    /// The body, absent for declarations (`fn f();` in traits).
+    pub body: Option<Block>,
+}
+
+/// A brace-delimited body, parsed into [`Expr`] nodes.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Span of the brace group.
+    pub span: Span,
+    /// The parsed contents.
+    pub exprs: Vec<Expr>,
+}
+
+/// A module item.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    pub attrs: Vec<Attribute>,
+    pub span: Span,
+    pub end_byte: usize,
+    pub public: bool,
+    /// Module name.
+    pub name: String,
+    /// Items for inline modules; `None` for `mod name;`.
+    pub content: Option<Vec<Item>>,
+}
+
+/// A struct item.
+#[derive(Debug, Clone)]
+pub struct ItemStruct {
+    pub attrs: Vec<Attribute>,
+    pub span: Span,
+    pub end_byte: usize,
+    pub public: bool,
+    pub name: String,
+    pub name_span: Span,
+    /// Named or tuple fields (empty for unit structs).
+    pub fields: Vec<Field>,
+}
+
+/// One struct, tuple or enum-variant field.
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub attrs: Vec<Attribute>,
+    /// Span of the field name (or of the type for tuple fields).
+    pub span: Span,
+    pub public: bool,
+    /// Field name; `None` for tuple fields.
+    pub name: Option<String>,
+    /// Declared type.
+    pub ty: TypeTokens,
+}
+
+/// An enum item.
+#[derive(Debug, Clone)]
+pub struct ItemEnum {
+    pub attrs: Vec<Attribute>,
+    pub span: Span,
+    pub end_byte: usize,
+    pub public: bool,
+    pub name: String,
+    pub name_span: Span,
+    pub variants: Vec<Variant>,
+}
+
+/// One enum variant.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    pub attrs: Vec<Attribute>,
+    pub span: Span,
+    pub name: String,
+    /// Fields of struct or tuple variants.
+    pub fields: Vec<Field>,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    pub attrs: Vec<Attribute>,
+    pub span: Span,
+    pub end_byte: usize,
+    /// Everything between `impl` and the body braces (generics, trait,
+    /// self type, where clause) as raw tokens.
+    pub header: Vec<TokenTree>,
+    /// Associated items.
+    pub items: Vec<Item>,
+}
+
+/// A trait definition.
+#[derive(Debug, Clone)]
+pub struct ItemTrait {
+    pub attrs: Vec<Attribute>,
+    pub span: Span,
+    pub end_byte: usize,
+    pub public: bool,
+    pub name: String,
+    /// Header tokens after the name (supertraits, where clause).
+    pub header: Vec<TokenTree>,
+    /// Associated items.
+    pub items: Vec<Item>,
+}
+
+/// A `static` item.
+#[derive(Debug, Clone)]
+pub struct ItemStatic {
+    pub attrs: Vec<Attribute>,
+    pub span: Span,
+    pub end_byte: usize,
+    pub public: bool,
+    /// Whether declared `static mut`.
+    pub mutable: bool,
+    pub name: String,
+    pub ty: TypeTokens,
+    /// The initializer, parsed like a body.
+    pub init: Vec<Expr>,
+}
+
+/// A `const` item.
+#[derive(Debug, Clone)]
+pub struct ItemConst {
+    pub attrs: Vec<Attribute>,
+    pub span: Span,
+    pub end_byte: usize,
+    pub public: bool,
+    pub name: String,
+    pub ty: TypeTokens,
+    pub init: Vec<Expr>,
+}
+
+/// A macro invocation in item or statement position.
+#[derive(Debug, Clone)]
+pub struct ItemMacro {
+    pub attrs: Vec<Attribute>,
+    pub span: Span,
+    pub end_byte: usize,
+    /// Last path segment (`thread_local` for `std::thread_local!`).
+    pub name: String,
+    /// Span of the macro name segment.
+    pub name_span: Span,
+    /// The delimiter of the invocation body.
+    pub delimiter: Delimiter,
+    /// Raw tokens of the invocation body.
+    pub tokens: Vec<TokenTree>,
+    /// The body parsed like an expression run (macro bodies are usually
+    /// expression- or item-shaped; rules scan both views).
+    pub body: Vec<Expr>,
+}
+
+/// A `macro_rules!` definition.
+#[derive(Debug, Clone)]
+pub struct ItemMacroRules {
+    pub attrs: Vec<Attribute>,
+    pub span: Span,
+    pub end_byte: usize,
+    pub name: String,
+    /// The raw rules tokens.
+    pub tokens: Vec<TokenTree>,
+}
+
+/// An item kept as raw tokens (`use`, `type`, `extern crate`, or any
+/// form the reduced parser does not model).
+#[derive(Debug, Clone)]
+pub struct ItemVerbatim {
+    pub attrs: Vec<Attribute>,
+    pub span: Span,
+    pub end_byte: usize,
+    /// The leading keyword (`use`, `type`, `extern`) or `"unknown"`.
+    pub kind: &'static str,
+    pub tokens: Vec<TokenTree>,
+}
+
+/// A node of a parsed body: the constructs the engine reasons about
+/// structurally, with everything else preserved as token runs.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A `match` expression.
+    Match(ExprMatch),
+    /// A macro invocation.
+    Macro(ExprMacro),
+    /// An item nested inside a body (`fn`, `struct`, `use`, …).
+    Item(Box<Item>),
+    /// A delimited group, recursively parsed.
+    Group(ExprGroup),
+    /// A run of leaf tokens (no groups inside).
+    Tokens(TokenRun),
+}
+
+/// A `match` expression.
+#[derive(Debug, Clone)]
+pub struct ExprMatch {
+    /// Span of the `match` keyword.
+    pub span: Span,
+    /// The scrutinee, recursively parsed.
+    pub scrutinee: Vec<Expr>,
+    /// The arms in order.
+    pub arms: Vec<Arm>,
+}
+
+/// One match arm.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Span of the first pattern token.
+    pub span: Span,
+    /// Pattern tokens, including any `if` guard.
+    pub pat_tokens: Vec<TokenTree>,
+    /// Whether the pattern is a bare `_` (possibly guarded).
+    pub wild: bool,
+    /// The arm body, recursively parsed.
+    pub body: Vec<Expr>,
+}
+
+/// A macro invocation in expression position.
+#[derive(Debug, Clone)]
+pub struct ExprMacro {
+    /// Last path segment of the macro name.
+    pub name: String,
+    /// Span of the name segment.
+    pub span: Span,
+    /// Delimiter of the invocation body.
+    pub delimiter: Delimiter,
+    /// Raw body tokens.
+    pub tokens: Vec<TokenTree>,
+    /// The body parsed like an expression run.
+    pub body: Vec<Expr>,
+}
+
+/// A delimited group inside a body.
+#[derive(Debug, Clone)]
+pub struct ExprGroup {
+    pub delimiter: Delimiter,
+    pub span: Span,
+    pub exprs: Vec<Expr>,
+}
+
+/// A run of leaf tokens.
+#[derive(Debug, Clone)]
+pub struct TokenRun {
+    pub tokens: Vec<TokenTree>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> File {
+        parse_file(src).expect("parses")
+    }
+
+    fn names(f: &File) -> Vec<String> {
+        f.items
+            .iter()
+            .map(|i| match i {
+                Item::Fn(x) => format!("fn {}", x.name),
+                Item::Struct(x) => format!("struct {}", x.name),
+                Item::Enum(x) => format!("enum {}", x.name),
+                Item::Mod(x) => format!("mod {}", x.name),
+                Item::Impl(_) => "impl".to_string(),
+                Item::Trait(x) => format!("trait {}", x.name),
+                Item::Static(x) => format!("static {}", x.name),
+                Item::Const(x) => format!("const {}", x.name),
+                Item::Macro(x) => format!("macro {}", x.name),
+                Item::MacroRules(x) => format!("macro_rules {}", x.name),
+                Item::Verbatim(x) => format!("verbatim {}", x.kind),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn items_of_each_kind_parse() {
+        let f = file(
+            "use std::fmt;\n\
+             pub struct S<T: Clone> { pub a: u64, b: Vec<T> }\n\
+             struct Tup(u64, bool);\n\
+             pub enum E { A, B { x: u64 }, C(bool) }\n\
+             impl<T> S<T> where T: Clone { pub fn get(&self) -> u64 { self.a } }\n\
+             trait Tr { fn req(&self); }\n\
+             mod inner { pub fn f() {} }\n\
+             static N: u64 = 4;\n\
+             pub const M: &str = \"x\";\n\
+             macro_rules! mk { () => {} }\n\
+             thread_local! { static T: u64 = 0; }\n\
+             type Alias = u64;\n\
+             pub fn free(a: u64, b: &mut [u8]) -> bool { a > b.len() as u64 }\n",
+        );
+        assert_eq!(
+            names(&f),
+            [
+                "verbatim use",
+                "struct S",
+                "struct Tup",
+                "enum E",
+                "impl",
+                "trait Tr",
+                "mod inner",
+                "static N",
+                "const M",
+                "macro_rules mk",
+                "macro thread_local",
+                "verbatim type",
+                "fn free"
+            ]
+        );
+    }
+
+    #[test]
+    fn struct_fields_and_enum_variants() {
+        let f = file("pub struct C { pub a: u64, skew: f64 }\nenum K { X, Y(u8), Z { t: f32 } }");
+        let Item::Struct(s) = &f.items[0] else {
+            panic!()
+        };
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name.as_deref(), Some("a"));
+        assert!(s.fields[0].public);
+        assert_eq!(s.fields[0].ty.render(), "u64");
+        assert_eq!(s.fields[1].ty.render(), "f64");
+        assert!(!s.fields[1].public);
+        let Item::Enum(e) = &f.items[1] else { panic!() };
+        let v: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(v, ["X", "Y", "Z"]);
+        assert_eq!(e.variants[1].fields[0].ty.render(), "u8");
+        assert_eq!(e.variants[2].fields[0].name.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn generic_field_types_keep_commas() {
+        let f = file("struct S { m: BTreeMap<u64, Vec<u8>>, n: u64 }");
+        let Item::Struct(s) = &f.items[0] else {
+            panic!()
+        };
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].ty.render(), "BTreeMap<u64, Vec<u8>>");
+    }
+
+    #[test]
+    fn fn_signature_is_structured() {
+        let f = file("pub fn f<T: Into<u64>>(a: T, s: &str, p: f64) -> Result<u64, String> where T: Copy { todo!() }");
+        let Item::Fn(func) = &f.items[0] else {
+            panic!()
+        };
+        assert!(func.public);
+        assert_eq!(func.name, "f");
+        assert_eq!(func.param_types.len(), 3);
+        assert_eq!(func.param_types[2].render(), "f64");
+        assert_eq!(func.ret.render(), "Result<u64, String>");
+        assert!(!func.where_clause.is_empty());
+        assert!(func.body.is_some());
+    }
+
+    #[test]
+    fn match_arms_and_wildcards() {
+        let f =
+            file("fn k(e: E) -> u64 { match e { E::A => 0, E::B { .. } if x > 1 => 1, _ => 2 } }");
+        let Item::Fn(func) = &f.items[0] else {
+            panic!()
+        };
+        let body = func.body.as_ref().unwrap();
+        let m = body
+            .exprs
+            .iter()
+            .find_map(|e| match e {
+                Expr::Match(m) => Some(m),
+                _ => None,
+            })
+            .expect("match found");
+        assert_eq!(m.arms.len(), 3);
+        assert!(!m.arms[0].wild);
+        assert!(!m.arms[1].wild);
+        assert!(m.arms[2].wild);
+    }
+
+    #[test]
+    fn guarded_wildcard_is_wild() {
+        let f = file("fn k(x: u64) -> u64 { match x { 0 => 0, _ if x > 3 => 1, _ => 2 } }");
+        let Item::Fn(func) = &f.items[0] else {
+            panic!()
+        };
+        let Expr::Match(m) = &func.body.as_ref().unwrap().exprs[0] else {
+            panic!("{:?}", func.body);
+        };
+        assert!(m.arms[1].wild);
+        assert!(m.arms[2].wild);
+    }
+
+    #[test]
+    fn cfg_test_items_know_their_extent() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn x() { a.unwrap(); }\n}\nfn tail() {}\n";
+        let f = file(src);
+        assert!(!f.items[0].is_cfg_test());
+        assert!(f.items[1].is_cfg_test());
+        assert!(!f.items[2].is_cfg_test());
+        let end = f.items[1].end_byte();
+        assert!(src[..end].contains("unwrap"));
+        assert!(!src[end..].contains("unwrap"));
+    }
+
+    #[test]
+    fn nested_items_inside_bodies() {
+        let f = file("fn outer() { fn inner() {} let x = 1; macro_rules! m { () => {} } m!(); }");
+        let Item::Fn(func) = &f.items[0] else {
+            panic!()
+        };
+        let body = func.body.as_ref().unwrap();
+        let kinds: Vec<&str> = body
+            .exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Item(i) => match **i {
+                    Item::Fn(_) => "fn",
+                    Item::MacroRules(_) => "macro_rules",
+                    _ => "item",
+                },
+                Expr::Macro(_) => "macro",
+                Expr::Tokens(_) => "tokens",
+                Expr::Group(_) => "group",
+                Expr::Match(_) => "match",
+            })
+            .collect();
+        assert_eq!(kinds, ["fn", "tokens", "macro_rules", "macro", "tokens"]);
+    }
+
+    #[test]
+    fn match_scrutinee_with_method_call() {
+        let f = file("fn f() { match self.kind() { K::A => {} K::B => {} } }");
+        let Item::Fn(func) = &f.items[0] else {
+            panic!()
+        };
+        let Expr::Match(m) = &func.body.as_ref().unwrap().exprs[0] else {
+            panic!()
+        };
+        assert_eq!(m.arms.len(), 2);
+    }
+
+    #[test]
+    fn impl_items_are_parsed() {
+        let f = file("impl Foo { const C: u64 = 1; pub fn m(&self) {} }");
+        let Item::Impl(imp) = &f.items[0] else {
+            panic!()
+        };
+        assert_eq!(imp.items.len(), 2);
+        assert!(matches!(imp.items[0], Item::Const(_)));
+        assert!(matches!(imp.items[1], Item::Fn(_)));
+    }
+}

@@ -1,0 +1,1003 @@
+//! The reduced recursive-descent parser behind [`crate::parse_file`].
+//!
+//! The parser is total: every token sequence the lexer produces parses
+//! into *some* item (worst case an [`ItemVerbatim`]), and every branch
+//! consumes at least one token, so it always terminates. Angle-bracket
+//! awareness (needed to split `BTreeMap<u64, Vec<u8>>` field lists at
+//! the right commas) treats a `>` as closing unless it completes a
+//! `->` / `=>` arrow, which the lexer marks via `Joint` spacing on the
+//! preceding punct.
+
+use crate::{
+    Arm, Attribute, Block, Expr, ExprGroup, ExprMacro, ExprMatch, Field, File, Item, ItemConst,
+    ItemEnum, ItemFn, ItemImpl, ItemMacro, ItemMacroRules, ItemMod, ItemStatic, ItemStruct,
+    ItemTrait, ItemVerbatim, TokenRun, TypeTokens, Variant,
+};
+use proc_macro2::{Delimiter, Group, Spacing, Span, TokenStream, TokenTree};
+
+/// Entry point: parses a lexed stream into a [`File`].
+pub(crate) fn parse_items_from_stream(stream: TokenStream) -> File {
+    let (attrs, items) = {
+        let mut cur = Cursor::new(stream.tokens());
+        let mut attrs = Vec::new();
+        while let Some(a) = cur.try_inner_attr() {
+            attrs.push(a);
+        }
+        let items = parse_items(&mut cur);
+        (attrs, items)
+    };
+    File {
+        attrs,
+        items,
+        tokens: stream,
+    }
+}
+
+struct Cursor<'a> {
+    toks: &'a [TokenTree],
+    pos: usize,
+}
+
+fn brace(t: &TokenTree) -> Option<&Group> {
+    t.as_group().filter(|g| g.delimiter() == Delimiter::Brace)
+}
+
+fn paren(t: &TokenTree) -> Option<&Group> {
+    t.as_group()
+        .filter(|g| g.delimiter() == Delimiter::Parenthesis)
+}
+
+fn joint_punct(t: &TokenTree, ch: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == ch && p.spacing() == Spacing::Joint)
+}
+
+/// Whether `tokens[i]` is a `>` completing a `->` or `=>` arrow.
+fn closes_arrow(tokens: &[TokenTree], i: usize) -> bool {
+    i > 0 && (joint_punct(&tokens[i - 1], '-') || joint_punct(&tokens[i - 1], '='))
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [TokenTree]) -> Cursor<'a> {
+        Cursor { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&'a TokenTree> {
+        self.toks.get(self.pos + n)
+    }
+
+    fn bump(&mut self) -> Option<&'a TokenTree> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Byte offset one past the last consumed token.
+    fn last_end(&self) -> usize {
+        self.pos
+            .checked_sub(1)
+            .and_then(|i| self.toks.get(i))
+            .map_or(0, |t| t.span().hi)
+    }
+
+    fn at_ident(&self, text: &str) -> bool {
+        self.peek().and_then(TokenTree::as_ident) == Some(text)
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        self.peek().and_then(TokenTree::as_punct) == Some(ch)
+    }
+
+    /// Consumes an identifier, returning its text and span; a synthetic
+    /// empty name keeps the parser total on malformed input.
+    fn take_name(&mut self) -> (String, Span) {
+        match self.peek() {
+            Some(TokenTree::Ident(i)) => {
+                let out = (i.text().to_string(), i.span());
+                self.bump();
+                out
+            }
+            t => (String::new(), t.map_or_else(Span::call_site, |t| t.span())),
+        }
+    }
+
+    /// Consumes `#![…]` if present.
+    fn try_inner_attr(&mut self) -> Option<Attribute> {
+        if self.at_punct('#')
+            && self.peek_at(1).and_then(TokenTree::as_punct) == Some('!')
+            && self
+                .peek_at(2)
+                .and_then(TokenTree::as_group)
+                .is_some_and(|g| g.delimiter() == Delimiter::Bracket)
+        {
+            let hash = self.bump().map_or_else(Span::call_site, |t| t.span());
+            self.bump();
+            let g = self.bump().and_then(TokenTree::as_group).cloned();
+            return g.map(|g| attr_from_group(true, hash, &g));
+        }
+        None
+    }
+
+    /// Consumes `#[…]*` outer attributes.
+    fn parse_outer_attrs(&mut self) -> Vec<Attribute> {
+        let mut out = Vec::new();
+        while self.at_punct('#')
+            && self
+                .peek_at(1)
+                .and_then(TokenTree::as_group)
+                .is_some_and(|g| g.delimiter() == Delimiter::Bracket)
+        {
+            let hash = self.bump().map_or_else(Span::call_site, |t| t.span());
+            if let Some(TokenTree::Group(g)) = self.bump() {
+                out.push(attr_from_group(false, hash, g));
+            }
+        }
+        out
+    }
+
+    /// Whether the cursor sits on `->` (needed before return types).
+    fn at_fat_or_thin_arrow(&self, head: char) -> bool {
+        self.peek().is_some_and(|t| joint_punct(t, head))
+            && self.peek_at(1).and_then(TokenTree::as_punct) == Some('>')
+    }
+
+    /// Consumes `<…>` starting at `<`, returning the tokens between the
+    /// brackets (exclusive).
+    fn consume_angles(&mut self) -> Vec<TokenTree> {
+        let mut out = Vec::new();
+        self.bump(); // `<`
+        let mut depth = 1usize;
+        while let Some(t) = self.peek() {
+            match t.as_punct() {
+                Some('<') => depth += 1,
+                Some('>') if !closes_arrow(self.toks, self.pos) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return out;
+                    }
+                }
+                _ => {}
+            }
+            out.push(t.clone());
+            self.bump();
+        }
+        out
+    }
+
+    /// Remaining tokens, cloned.
+    fn rest(&self) -> Vec<TokenTree> {
+        self.toks[self.pos.min(self.toks.len())..].to_vec()
+    }
+}
+
+fn attr_from_group(inner: bool, span: Span, g: &Group) -> Attribute {
+    let toks = g.stream().tokens();
+    let mut path = String::new();
+    let mut i = 0;
+    while let Some(id) = toks.get(i).and_then(TokenTree::as_ident) {
+        path.push_str(id);
+        i += 1;
+        if toks.get(i).is_some_and(|t| joint_punct(t, ':'))
+            && toks.get(i + 1).and_then(TokenTree::as_punct) == Some(':')
+        {
+            path.push_str("::");
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    Attribute {
+        inner,
+        path,
+        tokens: toks[i..].to_vec(),
+        span,
+    }
+}
+
+/// Splits at top-level commas, treating `<…>` generic brackets as
+/// nesting (delimited groups nest automatically as single tokens).
+fn split_commas_angle_aware(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut chunk = Vec::new();
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.as_punct() {
+            Some('<') => depth += 1,
+            Some('>') if depth > 0 && !closes_arrow(tokens, i) => depth -= 1,
+            Some(',') if depth == 0 => {
+                out.push(std::mem::take(&mut chunk));
+                continue;
+            }
+            _ => {}
+        }
+        chunk.push(t.clone());
+    }
+    if !chunk.is_empty() {
+        out.push(chunk);
+    }
+    out
+}
+
+/// Splits at top-level commas with no angle tracking (for enum variant
+/// lists, where a `<` can be a comparison inside a discriminant).
+fn split_commas_plain(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut chunk = Vec::new();
+    for t in tokens {
+        if t.as_punct() == Some(',') {
+            out.push(std::mem::take(&mut chunk));
+        } else {
+            chunk.push(t.clone());
+        }
+    }
+    if !chunk.is_empty() {
+        out.push(chunk);
+    }
+    out
+}
+
+fn parse_items(cur: &mut Cursor<'_>) -> Vec<Item> {
+    let mut out = Vec::new();
+    loop {
+        if cur.at_punct(';') {
+            cur.bump();
+            continue;
+        }
+        if cur.try_inner_attr().is_some() {
+            continue;
+        }
+        if cur.at_end() {
+            return out;
+        }
+        out.push(parse_item(cur));
+    }
+}
+
+fn parse_item(cur: &mut Cursor<'_>) -> Item {
+    let attrs = cur.parse_outer_attrs();
+    let start = cur.pos;
+    let anchor = cur.peek().map_or_else(Span::call_site, |t| t.span());
+    let mut public = false;
+    loop {
+        match cur.peek().and_then(TokenTree::as_ident) {
+            Some("pub") => {
+                public = true;
+                cur.bump();
+                if cur.peek().is_some_and(|t| paren(t).is_some()) {
+                    cur.bump();
+                }
+            }
+            Some("default" | "unsafe" | "async") => {
+                cur.bump();
+            }
+            Some("extern") if cur.peek_at(1).and_then(TokenTree::as_ident) != Some("crate") => {
+                cur.bump();
+                if matches!(cur.peek(), Some(TokenTree::Literal(_))) {
+                    cur.bump();
+                }
+            }
+            Some("const")
+                if matches!(
+                    cur.peek_at(1).and_then(TokenTree::as_ident),
+                    Some("fn" | "unsafe" | "extern" | "async")
+                ) =>
+            {
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+    match cur.peek().and_then(TokenTree::as_ident) {
+        Some("fn") => Item::Fn(parse_fn(cur, attrs, anchor, public)),
+        Some("mod") => Item::Mod(parse_mod(cur, attrs, anchor, public)),
+        Some("struct") => Item::Struct(parse_struct(cur, attrs, anchor, public)),
+        Some("enum") => Item::Enum(parse_enum(cur, attrs, anchor, public)),
+        Some("impl") => Item::Impl(parse_impl(cur, attrs, anchor)),
+        Some("trait") => Item::Trait(parse_trait(cur, attrs, anchor, public)),
+        Some("static") => Item::Static(parse_static(cur, attrs, anchor, public)),
+        Some("const") => Item::Const(parse_const(cur, attrs, anchor, public)),
+        Some("macro_rules") if cur.peek_at(1).and_then(TokenTree::as_punct) == Some('!') => {
+            Item::MacroRules(parse_macro_rules(cur, attrs, anchor))
+        }
+        Some("use") => parse_verbatim(cur, attrs, anchor, start, "use"),
+        Some("type") => parse_verbatim(cur, attrs, anchor, start, "type"),
+        Some("extern") => parse_verbatim(cur, attrs, anchor, start, "extern"),
+        Some(_) if macro_invocation_ahead(cur) => Item::Macro(parse_item_macro(cur, attrs, anchor)),
+        _ => parse_verbatim(cur, attrs, anchor, start, "unknown"),
+    }
+}
+
+/// Consumes an unmodelled item: everything through the next top-level
+/// `;`, or through a brace group that isn't followed by `;` (covers
+/// `use a::{b, c};`, `union U { … }` and `extern "C" { … }` alike).
+fn parse_verbatim(
+    cur: &mut Cursor<'_>,
+    attrs: Vec<Attribute>,
+    span: Span,
+    start: usize,
+    kind: &'static str,
+) -> Item {
+    loop {
+        match cur.bump() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break,
+            Some(t) if brace(t).is_some() => {
+                if !cur.at_punct(';') {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    Item::Verbatim(ItemVerbatim {
+        attrs,
+        span,
+        end_byte: cur.last_end(),
+        kind,
+        tokens: cur.toks[start..cur.pos].to_vec(),
+    })
+}
+
+fn parse_fn(cur: &mut Cursor<'_>, attrs: Vec<Attribute>, anchor: Span, public: bool) -> ItemFn {
+    let fn_span = cur.bump().map_or(anchor, |t| t.span());
+    let (name, name_span) = cur.take_name();
+    let mut generics = Vec::new();
+    if cur.at_punct('<') {
+        generics = cur.consume_angles();
+    }
+    let mut params = Vec::new();
+    if let Some(g) = cur.peek().and_then(paren) {
+        params = g.stream().tokens().to_vec();
+        cur.bump();
+    }
+    let param_types = extract_param_types(&params);
+    let mut ret = TypeTokens::default();
+    if cur.at_fat_or_thin_arrow('-') {
+        cur.bump();
+        cur.bump();
+        while let Some(t) = cur.peek() {
+            if t.as_ident() == Some("where") || t.as_punct() == Some(';') || brace(t).is_some() {
+                break;
+            }
+            ret.tokens.push(t.clone());
+            cur.bump();
+        }
+    }
+    let mut where_clause = Vec::new();
+    if cur.at_ident("where") {
+        cur.bump();
+        while let Some(t) = cur.peek() {
+            if t.as_punct() == Some(';') || brace(t).is_some() {
+                break;
+            }
+            where_clause.push(t.clone());
+            cur.bump();
+        }
+    }
+    let mut body = None;
+    if let Some(g) = cur.peek().and_then(brace) {
+        body = Some(Block {
+            span: g.span(),
+            exprs: parse_exprs(g.stream().tokens()),
+        });
+        cur.bump();
+    } else if cur.at_punct(';') {
+        cur.bump();
+    }
+    ItemFn {
+        attrs,
+        span: anchor,
+        fn_span,
+        end_byte: cur.last_end(),
+        public,
+        name,
+        name_span,
+        generics,
+        params,
+        param_types,
+        ret,
+        where_clause,
+        body,
+    }
+}
+
+/// The declared type of each non-`self` parameter: the tokens after the
+/// first top-level `:` of each comma-separated chunk (receivers and
+/// untyped params have no such colon and are skipped).
+fn extract_param_types(params: &[TokenTree]) -> Vec<TypeTokens> {
+    split_commas_angle_aware(params)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut i = 0;
+            while i < chunk.len() {
+                if chunk[i].as_punct() == Some(':') {
+                    if joint_punct(&chunk[i], ':')
+                        && chunk.get(i + 1).and_then(TokenTree::as_punct) == Some(':')
+                    {
+                        i += 2;
+                        continue;
+                    }
+                    return Some(TypeTokens {
+                        tokens: chunk[i + 1..].to_vec(),
+                    });
+                }
+                i += 1;
+            }
+            None
+        })
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+fn parse_mod(cur: &mut Cursor<'_>, attrs: Vec<Attribute>, anchor: Span, public: bool) -> ItemMod {
+    cur.bump(); // `mod`
+    let (name, _) = cur.take_name();
+    let mut content = None;
+    if let Some(g) = cur.peek().and_then(brace) {
+        let mut inner = Cursor::new(g.stream().tokens());
+        content = Some(parse_items(&mut inner));
+        cur.bump();
+    } else if cur.at_punct(';') {
+        cur.bump();
+    }
+    ItemMod {
+        attrs,
+        span: anchor,
+        end_byte: cur.last_end(),
+        public,
+        name,
+        content,
+    }
+}
+
+fn parse_struct(
+    cur: &mut Cursor<'_>,
+    attrs: Vec<Attribute>,
+    anchor: Span,
+    public: bool,
+) -> ItemStruct {
+    cur.bump(); // `struct`
+    let (name, name_span) = cur.take_name();
+    if cur.at_punct('<') {
+        cur.consume_angles();
+    }
+    let mut fields = Vec::new();
+    while let Some(t) = cur.peek() {
+        if let Some(g) = paren(t) {
+            fields = parse_tuple_fields(g.stream().tokens());
+            cur.bump();
+            // Optional where clause between tuple fields and `;`.
+            while !cur.at_end() && !cur.at_punct(';') {
+                cur.bump();
+            }
+            cur.bump();
+            break;
+        }
+        if let Some(g) = brace(t) {
+            fields = parse_named_fields(g.stream().tokens());
+            cur.bump();
+            break;
+        }
+        if t.as_punct() == Some(';') {
+            cur.bump();
+            break;
+        }
+        cur.bump(); // where-clause tokens
+    }
+    ItemStruct {
+        attrs,
+        span: anchor,
+        end_byte: cur.last_end(),
+        public,
+        name,
+        name_span,
+        fields,
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    split_commas_angle_aware(tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let mut cur = Cursor::new(chunk);
+            let attrs = cur.parse_outer_attrs();
+            let mut public = false;
+            if cur.at_ident("pub") {
+                public = true;
+                cur.bump();
+                if cur.peek().is_some_and(|t| paren(t).is_some()) {
+                    cur.bump();
+                }
+            }
+            let TokenTree::Ident(id) = cur.peek()? else {
+                return None;
+            };
+            let (name, span) = (id.text().to_string(), id.span());
+            cur.bump();
+            if cur.at_punct(':') {
+                cur.bump();
+            }
+            Some(Field {
+                attrs,
+                span,
+                public,
+                name: Some(name),
+                ty: TypeTokens { tokens: cur.rest() },
+            })
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    split_commas_angle_aware(tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let mut cur = Cursor::new(chunk);
+            let attrs = cur.parse_outer_attrs();
+            let mut public = false;
+            if cur.at_ident("pub") {
+                public = true;
+                cur.bump();
+                if cur.peek().is_some_and(|t| paren(t).is_some()) {
+                    cur.bump();
+                }
+            }
+            let span = cur.peek()?.span();
+            Some(Field {
+                attrs,
+                span,
+                public,
+                name: None,
+                ty: TypeTokens { tokens: cur.rest() },
+            })
+        })
+        .collect()
+}
+
+fn parse_enum(cur: &mut Cursor<'_>, attrs: Vec<Attribute>, anchor: Span, public: bool) -> ItemEnum {
+    cur.bump(); // `enum`
+    let (name, name_span) = cur.take_name();
+    if cur.at_punct('<') {
+        cur.consume_angles();
+    }
+    let mut variants = Vec::new();
+    while let Some(t) = cur.peek() {
+        if let Some(g) = brace(t) {
+            variants = parse_variants(g.stream().tokens());
+            cur.bump();
+            break;
+        }
+        if t.as_punct() == Some(';') {
+            cur.bump();
+            break;
+        }
+        cur.bump(); // where-clause tokens
+    }
+    ItemEnum {
+        attrs,
+        span: anchor,
+        end_byte: cur.last_end(),
+        public,
+        name,
+        name_span,
+        variants,
+    }
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    split_commas_plain(tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let mut cur = Cursor::new(chunk);
+            let attrs = cur.parse_outer_attrs();
+            let TokenTree::Ident(id) = cur.peek()? else {
+                return None;
+            };
+            let (name, span) = (id.text().to_string(), id.span());
+            cur.bump();
+            let fields = match cur.peek() {
+                Some(t) if paren(t).is_some() => {
+                    parse_tuple_fields(paren(t).map_or(&[], |g| g.stream().tokens()))
+                }
+                Some(t) if brace(t).is_some() => {
+                    parse_named_fields(brace(t).map_or(&[], |g| g.stream().tokens()))
+                }
+                _ => Vec::new(), // unit variant or `= discriminant`
+            };
+            Some(Variant {
+                attrs,
+                span,
+                name,
+                fields,
+            })
+        })
+        .collect()
+}
+
+fn parse_impl(cur: &mut Cursor<'_>, attrs: Vec<Attribute>, anchor: Span) -> ItemImpl {
+    cur.bump(); // `impl`
+    let mut header = Vec::new();
+    let mut items = Vec::new();
+    while let Some(t) = cur.peek() {
+        if let Some(g) = brace(t) {
+            let mut inner = Cursor::new(g.stream().tokens());
+            items = parse_items(&mut inner);
+            cur.bump();
+            break;
+        }
+        header.push(t.clone());
+        cur.bump();
+    }
+    ItemImpl {
+        attrs,
+        span: anchor,
+        end_byte: cur.last_end(),
+        header,
+        items,
+    }
+}
+
+fn parse_trait(
+    cur: &mut Cursor<'_>,
+    attrs: Vec<Attribute>,
+    anchor: Span,
+    public: bool,
+) -> ItemTrait {
+    cur.bump(); // `trait`
+    let (name, _) = cur.take_name();
+    let mut header = Vec::new();
+    let mut items = Vec::new();
+    while let Some(t) = cur.peek() {
+        if let Some(g) = brace(t) {
+            let mut inner = Cursor::new(g.stream().tokens());
+            items = parse_items(&mut inner);
+            cur.bump();
+            break;
+        }
+        header.push(t.clone());
+        cur.bump();
+    }
+    ItemTrait {
+        attrs,
+        span: anchor,
+        end_byte: cur.last_end(),
+        public,
+        name,
+        header,
+        items,
+    }
+}
+
+/// Shared tail of `static` / `const`: `name : ty = init ;`.
+fn parse_typed_value(cur: &mut Cursor<'_>) -> (String, TypeTokens, Vec<Expr>) {
+    let (name, _) = cur.take_name();
+    if cur.at_punct(':') {
+        cur.bump();
+    }
+    let mut ty = TypeTokens::default();
+    let mut depth = 0usize;
+    while let Some(t) = cur.peek() {
+        match t.as_punct() {
+            Some(';') => break,
+            Some('<') => depth += 1,
+            Some('>') if depth > 0 && !closes_arrow(cur.toks, cur.pos) => depth -= 1,
+            Some('=') if depth == 0 => break,
+            _ => {}
+        }
+        ty.tokens.push(t.clone());
+        cur.bump();
+    }
+    if cur.at_punct('=') {
+        cur.bump();
+    }
+    let mut init_toks = Vec::new();
+    while let Some(t) = cur.peek() {
+        if t.as_punct() == Some(';') {
+            break;
+        }
+        init_toks.push(t.clone());
+        cur.bump();
+    }
+    if cur.at_punct(';') {
+        cur.bump();
+    }
+    (name, ty, parse_exprs(&init_toks))
+}
+
+fn parse_static(
+    cur: &mut Cursor<'_>,
+    attrs: Vec<Attribute>,
+    anchor: Span,
+    public: bool,
+) -> ItemStatic {
+    cur.bump(); // `static`
+    let mut mutable = false;
+    if cur.at_ident("mut") {
+        mutable = true;
+        cur.bump();
+    }
+    let (name, ty, init) = parse_typed_value(cur);
+    ItemStatic {
+        attrs,
+        span: anchor,
+        end_byte: cur.last_end(),
+        public,
+        mutable,
+        name,
+        ty,
+        init,
+    }
+}
+
+fn parse_const(
+    cur: &mut Cursor<'_>,
+    attrs: Vec<Attribute>,
+    anchor: Span,
+    public: bool,
+) -> ItemConst {
+    cur.bump(); // `const`
+    let (name, ty, init) = parse_typed_value(cur);
+    ItemConst {
+        attrs,
+        span: anchor,
+        end_byte: cur.last_end(),
+        public,
+        name,
+        ty,
+        init,
+    }
+}
+
+fn parse_macro_rules(cur: &mut Cursor<'_>, attrs: Vec<Attribute>, anchor: Span) -> ItemMacroRules {
+    cur.bump(); // `macro_rules`
+    cur.bump(); // `!`
+    let (name, _) = cur.take_name();
+    let mut tokens = Vec::new();
+    let mut needs_semi = false;
+    if let Some(g) = cur.peek().and_then(TokenTree::as_group) {
+        tokens = g.stream().tokens().to_vec();
+        needs_semi = g.delimiter() != Delimiter::Brace;
+        cur.bump();
+    }
+    if needs_semi && cur.at_punct(';') {
+        cur.bump();
+    }
+    ItemMacroRules {
+        attrs,
+        span: anchor,
+        end_byte: cur.last_end(),
+        name,
+        tokens,
+    }
+}
+
+/// Whether the cursor sits on `path::segments! ( … )`.
+fn macro_invocation_ahead(cur: &Cursor<'_>) -> bool {
+    let mut j = 0;
+    loop {
+        if cur.peek_at(j).and_then(TokenTree::as_ident).is_none() {
+            return false;
+        }
+        if cur.peek_at(j + 1).is_some_and(|t| joint_punct(t, ':'))
+            && cur.peek_at(j + 2).and_then(TokenTree::as_punct) == Some(':')
+        {
+            j += 3;
+            continue;
+        }
+        return cur.peek_at(j + 1).and_then(TokenTree::as_punct) == Some('!')
+            && cur.peek_at(j + 2).and_then(TokenTree::as_group).is_some();
+    }
+}
+
+/// Consumes `path::name ! ( … )`, returning the last path segment, its
+/// span and the invocation group.
+fn consume_macro_path(cur: &mut Cursor<'_>) -> (String, Span, Option<Group>) {
+    let (mut name, mut name_span) = cur.take_name();
+    while cur.peek().is_some_and(|t| joint_punct(t, ':'))
+        && cur.peek_at(1).and_then(TokenTree::as_punct) == Some(':')
+    {
+        cur.bump();
+        cur.bump();
+        let (n, s) = cur.take_name();
+        name = n;
+        name_span = s;
+    }
+    cur.bump(); // `!`
+    let group = cur.peek().and_then(TokenTree::as_group).cloned();
+    if group.is_some() {
+        cur.bump();
+    }
+    (name, name_span, group)
+}
+
+fn parse_item_macro(cur: &mut Cursor<'_>, attrs: Vec<Attribute>, anchor: Span) -> ItemMacro {
+    let (name, name_span, group) = consume_macro_path(cur);
+    let (delimiter, tokens) = group.map_or((Delimiter::None, Vec::new()), |g| {
+        (g.delimiter(), g.stream().tokens().to_vec())
+    });
+    if delimiter != Delimiter::Brace && cur.at_punct(';') {
+        cur.bump();
+    }
+    let body = parse_exprs(&tokens);
+    ItemMacro {
+        attrs,
+        span: anchor,
+        end_byte: cur.last_end(),
+        name,
+        name_span,
+        delimiter,
+        tokens,
+        body,
+    }
+}
+
+/// Whether the tokens at the cursor (past any outer attributes) start a
+/// nested item rather than expression content. `unsafe` only counts
+/// when introducing an item (`unsafe { … }` blocks are expressions),
+/// and `const`/`static` only when shaped like `const NAME: …`.
+fn starts_body_item(cur: &Cursor<'_>) -> bool {
+    let mut j = 0;
+    while cur.peek_at(j).and_then(TokenTree::as_punct) == Some('#')
+        && cur
+            .peek_at(j + 1)
+            .and_then(TokenTree::as_group)
+            .is_some_and(|g| g.delimiter() == Delimiter::Bracket)
+    {
+        j += 2;
+    }
+    let ident_at = |k: usize| cur.peek_at(k).and_then(TokenTree::as_ident);
+    match ident_at(j) {
+        Some("fn" | "struct" | "enum" | "impl" | "trait" | "mod" | "use" | "type" | "pub") => true,
+        Some("macro_rules") => cur.peek_at(j + 1).and_then(TokenTree::as_punct) == Some('!'),
+        Some("unsafe") => matches!(ident_at(j + 1), Some("fn" | "impl" | "trait")),
+        Some("static") => ident_at(j + 1).is_some(),
+        Some("const") => {
+            ident_at(j + 1).is_some()
+                && (ident_at(j + 1) == Some("mut")
+                    || cur.peek_at(j + 2).and_then(TokenTree::as_punct) == Some(':'))
+        }
+        _ => false,
+    }
+}
+
+pub(crate) fn parse_exprs(tokens: &[TokenTree]) -> Vec<Expr> {
+    let mut cur = Cursor::new(tokens);
+    let mut out = Vec::new();
+    let mut run: Vec<TokenTree> = Vec::new();
+    fn flush(run: &mut Vec<TokenTree>, out: &mut Vec<Expr>) {
+        if !run.is_empty() {
+            out.push(Expr::Tokens(TokenRun {
+                tokens: std::mem::take(run),
+            }));
+        }
+    }
+    while let Some(t) = cur.peek() {
+        if starts_body_item(&cur) {
+            flush(&mut run, &mut out);
+            out.push(Expr::Item(Box::new(parse_item(&mut cur))));
+            continue;
+        }
+        if t.as_ident() == Some("match") {
+            flush(&mut run, &mut out);
+            out.push(parse_match(&mut cur));
+            continue;
+        }
+        if macro_invocation_ahead(&cur) {
+            flush(&mut run, &mut out);
+            let (name, span, group) = consume_macro_path(&mut cur);
+            let (delimiter, toks) = group.map_or((Delimiter::None, Vec::new()), |g| {
+                (g.delimiter(), g.stream().tokens().to_vec())
+            });
+            let body = parse_exprs(&toks);
+            out.push(Expr::Macro(ExprMacro {
+                name,
+                span,
+                delimiter,
+                tokens: toks,
+                body,
+            }));
+            continue;
+        }
+        if let Some(g) = t.as_group() {
+            flush(&mut run, &mut out);
+            out.push(Expr::Group(ExprGroup {
+                delimiter: g.delimiter(),
+                span: g.span(),
+                exprs: parse_exprs(g.stream().tokens()),
+            }));
+            cur.bump();
+            continue;
+        }
+        run.push(t.clone());
+        cur.bump();
+    }
+    flush(&mut run, &mut out);
+    out
+}
+
+fn parse_match(cur: &mut Cursor<'_>) -> Expr {
+    let kw = cur.bump().cloned(); // `match`
+    let match_span = kw.as_ref().map_or_else(Span::call_site, TokenTree::span);
+    let mut scrut = Vec::new();
+    while let Some(t) = cur.peek() {
+        if let Some(g) = brace(t) {
+            let arms = parse_arms(g.stream().tokens());
+            cur.bump();
+            return Expr::Match(ExprMatch {
+                span: match_span,
+                scrutinee: parse_exprs(&scrut),
+                arms,
+            });
+        }
+        scrut.push(t.clone());
+        cur.bump();
+    }
+    // No body found (e.g. a macro fragment): degrade to a token run.
+    let mut tokens: Vec<TokenTree> = kw.into_iter().collect();
+    tokens.extend(scrut);
+    Expr::Tokens(TokenRun { tokens })
+}
+
+fn parse_arms(tokens: &[TokenTree]) -> Vec<Arm> {
+    let mut cur = Cursor::new(tokens);
+    let mut arms = Vec::new();
+    while !cur.at_end() {
+        cur.parse_outer_attrs();
+        let Some(first) = cur.peek() else { break };
+        let arm_span = first.span();
+        let mut pat = Vec::new();
+        let mut found_arrow = false;
+        while let Some(t) = cur.peek() {
+            if joint_punct(t, '=') && cur.peek_at(1).and_then(TokenTree::as_punct) == Some('>') {
+                cur.bump();
+                cur.bump();
+                found_arrow = true;
+                break;
+            }
+            pat.push(t.clone());
+            cur.bump();
+        }
+        if !found_arrow {
+            break;
+        }
+        let guard = pat.iter().position(|t| t.as_ident() == Some("if"));
+        let core = &pat[..guard.unwrap_or(pat.len())];
+        let wild = core.len() == 1 && core[0].as_ident() == Some("_");
+        let body = if let Some(g) = cur.peek().and_then(brace) {
+            let b = parse_exprs(g.stream().tokens());
+            cur.bump();
+            if cur.at_punct(',') {
+                cur.bump();
+            }
+            b
+        } else {
+            let mut body_toks = Vec::new();
+            while let Some(t) = cur.peek() {
+                if t.as_punct() == Some(',') {
+                    cur.bump();
+                    break;
+                }
+                body_toks.push(t.clone());
+                cur.bump();
+            }
+            parse_exprs(&body_toks)
+        };
+        arms.push(Arm {
+            span: arm_span,
+            pat_tokens: pat,
+            wild,
+            body,
+        });
+    }
+    arms
+}

@@ -1,0 +1,285 @@
+//! Generic traversal over the reduced AST, mirroring real `syn`'s
+//! `visit` module: override the `visit_*` hooks you care about and call
+//! the matching `walk_*` function to keep descending.
+
+use crate::{
+    Arm, Attribute, Block, Expr, ExprGroup, ExprMacro, ExprMatch, Field, File, Item, ItemConst,
+    ItemEnum, ItemFn, ItemImpl, ItemMacro, ItemMacroRules, ItemMod, ItemStatic, ItemStruct,
+    ItemTrait, ItemVerbatim, TokenRun, Variant,
+};
+
+/// Read-only visitor over a parsed [`File`].
+///
+/// Every method defaults to walking into the node's children, so an
+/// implementation only overrides the hooks it needs. An override that
+/// still wants to descend calls the corresponding `walk_*` function.
+pub trait Visit<'ast> {
+    fn visit_file(&mut self, node: &'ast File) {
+        walk_file(self, node);
+    }
+    fn visit_attribute(&mut self, node: &'ast Attribute) {
+        let _ = node;
+    }
+    fn visit_item(&mut self, node: &'ast Item) {
+        walk_item(self, node);
+    }
+    fn visit_item_fn(&mut self, node: &'ast ItemFn) {
+        walk_item_fn(self, node);
+    }
+    fn visit_item_mod(&mut self, node: &'ast ItemMod) {
+        walk_item_mod(self, node);
+    }
+    fn visit_item_struct(&mut self, node: &'ast ItemStruct) {
+        walk_item_struct(self, node);
+    }
+    fn visit_item_enum(&mut self, node: &'ast ItemEnum) {
+        walk_item_enum(self, node);
+    }
+    fn visit_item_impl(&mut self, node: &'ast ItemImpl) {
+        walk_item_impl(self, node);
+    }
+    fn visit_item_trait(&mut self, node: &'ast ItemTrait) {
+        walk_item_trait(self, node);
+    }
+    fn visit_item_static(&mut self, node: &'ast ItemStatic) {
+        walk_item_static(self, node);
+    }
+    fn visit_item_const(&mut self, node: &'ast ItemConst) {
+        walk_item_const(self, node);
+    }
+    fn visit_item_macro(&mut self, node: &'ast ItemMacro) {
+        walk_item_macro(self, node);
+    }
+    fn visit_item_macro_rules(&mut self, node: &'ast ItemMacroRules) {
+        let _ = node;
+    }
+    fn visit_item_verbatim(&mut self, node: &'ast ItemVerbatim) {
+        let _ = node;
+    }
+    fn visit_field(&mut self, node: &'ast Field) {
+        walk_field(self, node);
+    }
+    fn visit_variant(&mut self, node: &'ast Variant) {
+        walk_variant(self, node);
+    }
+    fn visit_block(&mut self, node: &'ast Block) {
+        walk_block(self, node);
+    }
+    fn visit_expr(&mut self, node: &'ast Expr) {
+        walk_expr(self, node);
+    }
+    fn visit_expr_match(&mut self, node: &'ast ExprMatch) {
+        walk_expr_match(self, node);
+    }
+    fn visit_arm(&mut self, node: &'ast Arm) {
+        walk_arm(self, node);
+    }
+    fn visit_expr_macro(&mut self, node: &'ast ExprMacro) {
+        walk_expr_macro(self, node);
+    }
+    fn visit_expr_group(&mut self, node: &'ast ExprGroup) {
+        walk_expr_group(self, node);
+    }
+    fn visit_token_run(&mut self, node: &'ast TokenRun) {
+        let _ = node;
+    }
+}
+
+pub fn walk_file<'ast, V>(v: &mut V, node: &'ast File)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for attr in &node.attrs {
+        v.visit_attribute(attr);
+    }
+    for item in &node.items {
+        v.visit_item(item);
+    }
+}
+
+pub fn walk_item<'ast, V>(v: &mut V, node: &'ast Item)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for attr in node.attrs() {
+        v.visit_attribute(attr);
+    }
+    match node {
+        Item::Fn(i) => v.visit_item_fn(i),
+        Item::Mod(i) => v.visit_item_mod(i),
+        Item::Struct(i) => v.visit_item_struct(i),
+        Item::Enum(i) => v.visit_item_enum(i),
+        Item::Impl(i) => v.visit_item_impl(i),
+        Item::Trait(i) => v.visit_item_trait(i),
+        Item::Static(i) => v.visit_item_static(i),
+        Item::Const(i) => v.visit_item_const(i),
+        Item::Macro(i) => v.visit_item_macro(i),
+        Item::MacroRules(i) => v.visit_item_macro_rules(i),
+        Item::Verbatim(i) => v.visit_item_verbatim(i),
+    }
+}
+
+pub fn walk_item_fn<'ast, V>(v: &mut V, node: &'ast ItemFn)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    if let Some(body) = &node.body {
+        v.visit_block(body);
+    }
+}
+
+pub fn walk_item_mod<'ast, V>(v: &mut V, node: &'ast ItemMod)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    if let Some(items) = &node.content {
+        for item in items {
+            v.visit_item(item);
+        }
+    }
+}
+
+pub fn walk_item_struct<'ast, V>(v: &mut V, node: &'ast ItemStruct)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for field in &node.fields {
+        v.visit_field(field);
+    }
+}
+
+pub fn walk_item_enum<'ast, V>(v: &mut V, node: &'ast ItemEnum)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for variant in &node.variants {
+        v.visit_variant(variant);
+    }
+}
+
+pub fn walk_item_impl<'ast, V>(v: &mut V, node: &'ast ItemImpl)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for item in &node.items {
+        v.visit_item(item);
+    }
+}
+
+pub fn walk_item_trait<'ast, V>(v: &mut V, node: &'ast ItemTrait)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for item in &node.items {
+        v.visit_item(item);
+    }
+}
+
+pub fn walk_item_static<'ast, V>(v: &mut V, node: &'ast ItemStatic)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for expr in &node.init {
+        v.visit_expr(expr);
+    }
+}
+
+pub fn walk_item_const<'ast, V>(v: &mut V, node: &'ast ItemConst)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for expr in &node.init {
+        v.visit_expr(expr);
+    }
+}
+
+pub fn walk_item_macro<'ast, V>(v: &mut V, node: &'ast ItemMacro)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for expr in &node.body {
+        v.visit_expr(expr);
+    }
+}
+
+pub fn walk_field<'ast, V>(v: &mut V, node: &'ast Field)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for attr in &node.attrs {
+        v.visit_attribute(attr);
+    }
+}
+
+pub fn walk_variant<'ast, V>(v: &mut V, node: &'ast Variant)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for attr in &node.attrs {
+        v.visit_attribute(attr);
+    }
+    for field in &node.fields {
+        v.visit_field(field);
+    }
+}
+
+pub fn walk_block<'ast, V>(v: &mut V, node: &'ast Block)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for expr in &node.exprs {
+        v.visit_expr(expr);
+    }
+}
+
+pub fn walk_expr<'ast, V>(v: &mut V, node: &'ast Expr)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    match node {
+        Expr::Match(m) => v.visit_expr_match(m),
+        Expr::Macro(m) => v.visit_expr_macro(m),
+        Expr::Item(i) => v.visit_item(i),
+        Expr::Group(g) => v.visit_expr_group(g),
+        Expr::Tokens(t) => v.visit_token_run(t),
+    }
+}
+
+pub fn walk_expr_match<'ast, V>(v: &mut V, node: &'ast ExprMatch)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for expr in &node.scrutinee {
+        v.visit_expr(expr);
+    }
+    for arm in &node.arms {
+        v.visit_arm(arm);
+    }
+}
+
+pub fn walk_arm<'ast, V>(v: &mut V, node: &'ast Arm)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for expr in &node.body {
+        v.visit_expr(expr);
+    }
+}
+
+pub fn walk_expr_macro<'ast, V>(v: &mut V, node: &'ast ExprMacro)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for expr in &node.body {
+        v.visit_expr(expr);
+    }
+}
+
+pub fn walk_expr_group<'ast, V>(v: &mut V, node: &'ast ExprGroup)
+where
+    V: Visit<'ast> + ?Sized,
+{
+    for expr in &node.exprs {
+        v.visit_expr(expr);
+    }
+}

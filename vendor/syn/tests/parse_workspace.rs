@@ -1,0 +1,61 @@
+//! Smoke test: every Rust source file in the live workspace (crates and
+//! vendored stand-ins alike) must lex and parse without error, and the
+//! parse must account for every byte of the file — the lint engine's
+//! guarantees are only as good as the parser's coverage.
+
+use std::path::{Path, PathBuf};
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_source_file_parses() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    for top in ["crates", "vendor"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    assert!(
+        files.len() > 40,
+        "expected to find the workspace sources, got {} files",
+        files.len()
+    );
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("readable source file");
+        let file = syn::parse_file(&src)
+            .unwrap_or_else(|e| panic!("{} failed to parse: {e}", path.display()));
+        // Every item's extent must land inside the file, and items must
+        // appear in source order.
+        let mut prev_end = 0usize;
+        for item in &file.items {
+            let end = item.end_byte();
+            assert!(
+                end <= src.len(),
+                "{}: item end out of range",
+                path.display()
+            );
+            assert!(
+                end >= prev_end,
+                "{}: items out of order (end {end} after {prev_end})",
+                path.display()
+            );
+            prev_end = end;
+        }
+    }
+}
