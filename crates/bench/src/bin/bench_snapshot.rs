@@ -24,8 +24,8 @@ use conzone_bench::conzone_device;
 use conzone_core::ConZone;
 use conzone_host::{run_job, AccessPattern, FioJob, JobReport};
 use conzone_sim::json::Json;
-use conzone_sim::{profile, RingBufferSink, SpanBuffer};
-use conzone_types::{MapGranularity, Probe, SearchStrategy, StorageDevice};
+use conzone_sim::{alloc_guard, profile, RingBufferSink, SpanBuffer};
+use conzone_types::{IoRequest, MapGranularity, Probe, SearchStrategy, SimTime, StorageDevice};
 
 /// Schema tag of the emitted JSON; bump on any incompatible shape change.
 const SCHEMA: &str = "conzone-bench/1";
@@ -41,6 +41,10 @@ struct Scale {
     read_range: u64,
     read_ops: u64,
     reps: u32,
+    guard_seq_warmup_ops: u64,
+    guard_seq_ops: u64,
+    guard_read_warmup_ops: u64,
+    guard_read_ops: u64,
 }
 
 const FULL: Scale = Scale {
@@ -49,6 +53,10 @@ const FULL: Scale = Scale {
     read_range: 128 << 20,
     read_ops: 100_000,
     reps: 5,
+    guard_seq_warmup_ops: 1900,
+    guard_seq_ops: 1000,
+    guard_read_warmup_ops: 20_000,
+    guard_read_ops: 50_000,
 };
 
 const SMOKE: Scale = Scale {
@@ -57,6 +65,10 @@ const SMOKE: Scale = Scale {
     read_range: 8 << 20,
     read_ops: 2_000,
     reps: 1,
+    guard_seq_warmup_ops: 32,
+    guard_seq_ops: 32,
+    guard_read_warmup_ops: 1_000,
+    guard_read_ops: 1_000,
 };
 
 fn device() -> ConZone {
@@ -130,6 +142,116 @@ fn run_randread(scale: &Scale) -> Measured {
     Measured {
         report: last.expect("reps >= 1"),
         wall_seconds: total_wall / f64::from(scale.reps),
+    }
+}
+
+/// One steady-state allocation guard result: `warmup_ops` operations fault
+/// in scratch capacity and cache slabs, then `measured_ops` operations must
+/// not touch the global allocator at all. Only meaningful when the
+/// `counting-alloc` feature is compiled in (`cargo xtask bench` passes it);
+/// without it the loops still run but count nothing.
+struct AllocGuard {
+    name: &'static str,
+    warmup_ops: u64,
+    measured_ops: u64,
+    allocations: u64,
+    /// SLC garbage-collection passes inside the measured window — proves
+    /// GC itself (reachable from the write hot path) ran allocation-free,
+    /// rather than merely not running.
+    gc_runs: u64,
+}
+
+impl AllocGuard {
+    fn json(&self) -> Json {
+        let per_op = if self.measured_ops > 0 {
+            self.allocations as f64 / self.measured_ops as f64
+        } else {
+            0.0
+        };
+        Json::obj([
+            ("name", Json::from(self.name)),
+            ("warmup_ops", Json::U64(self.warmup_ops)),
+            ("measured_ops", Json::U64(self.measured_ops)),
+            ("allocations", Json::U64(self.allocations)),
+            ("allocations_per_op", Json::F64(per_op)),
+            ("gc_runs", Json::U64(self.gc_runs)),
+        ])
+    }
+}
+
+/// Sequential-write guard: direct 512 KiB `submit` calls (no `run_job`
+/// harness, whose per-run setup allocates) over a fresh device, each
+/// followed by a flush — the paper's synchronous-write pattern the SLC
+/// secondary buffer exists for (§II-A). Every flush premature-flushes the
+/// sub-unit remainder into SLC, so at full scale the region fills and GC
+/// runs inside the measured window; GC is part of the steady-state write
+/// path and must be allocation-free too. Warmup deliberately extends past
+/// the *first* GC pass: one-time capacity growth (and, under `selfprof`,
+/// first-visit profiler nodes) belongs to warmup, recurring GC to the
+/// measured window.
+fn guard_seqwrite(scale: &Scale) -> AllocGuard {
+    let mut dev = device();
+    let block = 512 * 1024u64;
+    let mut offset = 0u64;
+    let mut now = SimTime::ZERO;
+    for _ in 0..scale.guard_seq_warmup_ops {
+        let c = dev.submit(now, &IoRequest::write(offset, block));
+        now = c.expect("guard seqwrite warmup").finished;
+        now = dev.flush(now).expect("guard flush warmup").finished;
+        offset += block;
+    }
+    let gc_before = dev.counters().gc_runs;
+    let before = alloc_guard::allocation_count();
+    for _ in 0..scale.guard_seq_ops {
+        let c = dev.submit(now, &IoRequest::write(offset, block));
+        now = c.expect("guard seqwrite").finished;
+        now = dev.flush(now).expect("guard flush").finished;
+        offset += block;
+    }
+    let allocations = alloc_guard::allocation_count() - before;
+    AllocGuard {
+        name: "seqwrite-512k",
+        warmup_ops: scale.guard_seq_warmup_ops,
+        measured_ops: scale.guard_seq_ops,
+        allocations,
+        gc_runs: dev.counters().gc_runs - gc_before,
+    }
+}
+
+/// Random-read guard: fill the read range, then direct seeded 4 KiB reads.
+/// The fill phase may allocate freely; the measured reads — L2P lookups,
+/// mapping fetches, flash data reads — must not. The xorshift sequence
+/// here only spreads offsets; it need not match `run_job`'s generator.
+fn guard_randread(scale: &Scale) -> AllocGuard {
+    let mut dev = device();
+    let zone_bytes = dev.config().zone_size_bytes();
+    let fill = run_job(&mut dev, &seq_job(scale.read_fill_bytes, zone_bytes)).expect("guard fill");
+    let mut now = fill.finished;
+    let slots = scale.read_range / 4096;
+    let mut state = 7u64 ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..scale.guard_read_warmup_ops {
+        let off = (next() % slots) * 4096;
+        let c = dev.submit(now, &IoRequest::read(off, 4096));
+        now = c.expect("guard randread warmup").finished;
+    }
+    let before = alloc_guard::allocation_count();
+    for _ in 0..scale.guard_read_ops {
+        let off = (next() % slots) * 4096;
+        let c = dev.submit(now, &IoRequest::read(off, 4096));
+        now = c.expect("guard randread").finished;
+    }
+    AllocGuard {
+        name: "randread-4k",
+        warmup_ops: scale.guard_read_warmup_ops,
+        measured_ops: scale.guard_read_ops,
+        allocations: alloc_guard::allocation_count() - before,
+        gc_runs: 0,
     }
 }
 
@@ -239,6 +361,14 @@ fn main() {
     let shares = profile_shares(&folded);
     let share_total: u64 = shares.iter().map(|(_, ns)| ns).sum::<u64>().max(1);
 
+    // Steady-state allocation guard: the runtime cross-check of the static
+    // hot-path effect analysis (`cargo xtask lint`). After warmup the
+    // reference workloads must complete every op without touching the
+    // global allocator.
+    let guards = [guard_seqwrite(scale), guard_randread(scale)];
+    let guard_enabled = alloc_guard::counting_enabled();
+    let steady_state_zero = guard_enabled && guards.iter().all(|g| g.allocations == 0);
+
     let json = Json::obj([
         ("schema", Json::from(SCHEMA)),
         ("smoke", Json::Bool(smoke)),
@@ -292,6 +422,17 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "alloc_guard",
+            Json::obj([
+                ("enabled", Json::Bool(guard_enabled)),
+                (
+                    "workloads",
+                    Json::Arr(guards.iter().map(AllocGuard::json).collect()),
+                ),
+                ("steady_state_zero", Json::Bool(steady_state_zero)),
+            ]),
+        ),
         ("peak_rss_bytes", Json::U64(peak_rss_bytes())),
     ]);
 
@@ -307,6 +448,19 @@ fn main() {
         eprintln!(
             "bench_snapshot: FAILED — observability attachment or rerun \
              changed simulated results (must be bit-identical)"
+        );
+        std::process::exit(1);
+    }
+    if guard_enabled && !steady_state_zero {
+        for g in &guards {
+            eprintln!(
+                "alloc guard: {} — {} allocations over {} measured ops",
+                g.name, g.allocations, g.measured_ops
+            );
+        }
+        eprintln!(
+            "bench_snapshot: FAILED — steady-state hot paths touched the \
+             global allocator (must be zero allocations per op)"
         );
         std::process::exit(1);
     }

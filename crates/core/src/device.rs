@@ -13,6 +13,7 @@ use conzone_types::{
 
 use crate::breakdown::TimeBreakdown;
 use crate::buffer::WriteBuffer;
+use crate::scratch::IoScratch;
 use crate::slc::SlcRegion;
 use crate::zone::Zone;
 
@@ -65,6 +66,8 @@ pub struct ConZone {
     /// `Some` between `power_cut()` and `remount()`: what was lost at the
     /// cut, awaiting the recovery report.
     pub(crate) cut_state: Option<crate::power::CutState>,
+    /// Reusable hot-path buffers (see [`IoScratch`]).
+    pub(crate) scratch: IoScratch,
 }
 
 impl ConZone {
@@ -80,12 +83,16 @@ impl ConZone {
         let buffers = (0..cfg.write_buffers)
             .map(|_| WriteBuffer::new(cfg.geometry.slices_per_superpage(), cfg.data_backing))
             .collect();
+        let staged_cap =
+            cfg.geometry.slices_per_unit() + cfg.geometry.slices_per_superpage() as usize;
         ConZone {
             flash: FlashArray::new(&cfg),
             table: MappingTable::new(capacity, chunk, zone),
             cache: L2pCache::new(cfg.l2p_cache_entries(), chunk, zone),
             bitmap,
-            zones: (0..cfg.zone_count()).map(|_| Zone::new()).collect(),
+            zones: (0..cfg.zone_count())
+                .map(|_| Zone::new(staged_cap))
+                .collect(),
             buffers,
             slc: SlcRegion::new(&cfg.geometry),
             counters: Counters::new(),
@@ -95,6 +102,7 @@ impl ConZone {
             probe: Probe::disabled(),
             spans: SpanRecorder::disabled(),
             cut_state: None,
+            scratch: IoScratch::for_config(&cfg),
             cfg,
         }
     }
@@ -265,6 +273,7 @@ impl StorageDevice for ConZone {
         &self.cfg
     }
 
+    // xtask-effect: hot_path
     fn submit(&mut self, now: SimTime, request: &IoRequest) -> Result<Completion, DeviceError> {
         self.ensure_powered()?;
         request.validate()?;
@@ -276,6 +285,7 @@ impl StorageDevice for ConZone {
             });
         }
         let range = LpnRange::covering_bytes(request.offset, request.len).ok_or_else(|| {
+            // xtask-lint: allow(hot-path-effects) — error construction inside ok_or_else; never runs on the success path
             DeviceError::Internal("validated request covers no logical pages".to_string())
         })?;
         // The root span covers submit to completion; error paths roll the

@@ -40,24 +40,36 @@ impl ConZone {
             })
             .ok_or_else(|| DeviceError::NoFreeSpace {
                 at: now,
+                // xtask-lint: allow(hot-path-effects) — device-full error path, not steady state
                 what: "no SLC superblock eligible for garbage collection".to_string(),
             })?;
         self.counters.gc_runs += 1;
 
-        let ppas = self.flash.superblock_valid_ppas(victim);
-        self.probe.emit(
-            now,
-            DeviceEvent::GcBegin {
-                valid_slices: ppas.len() as u64,
-            },
-        );
+        // GC runs inside the steady-state write path (live tail-patch
+        // slices keep migrating), so it reuses scratch like the hot IO
+        // paths instead of allocating per pass.
+        let mut ppas = std::mem::take(&mut self.scratch.gc_ppas);
+        ppas.clear();
+        self.flash.superblock_valid_ppas_into(victim, &mut ppas);
+        let live = ppas.len() as u64;
+        self.probe
+            .emit(now, DeviceEvent::GcBegin { valid_slices: live });
         let mut t = now;
+        let mut outcome: Result<(), DeviceError> = Ok(());
         if !ppas.is_empty() {
-            let out = self.flash.read_slices(t, &ppas).map_err(internal)?;
-            t = out.finish;
-            t = self.migrate_slc_slices(t, &ppas, out.data.as_deref())?;
-            self.counters.gc_migrated_slices += ppas.len() as u64;
+            match self.flash.read_slices(t, &ppas).map_err(internal) {
+                Ok(out) => match self.migrate_slc_slices(out.finish, &ppas, out.data.as_deref()) {
+                    Ok(end) => {
+                        t = end;
+                        self.counters.gc_migrated_slices += live;
+                    }
+                    Err(e) => outcome = Err(e),
+                },
+                Err(e) => outcome = Err(e),
+            }
         }
+        self.scratch.gc_ppas = ppas;
+        outcome?;
         let t_erase = self.flash.erase_superblock(t, victim);
         self.slc.reclaim(victim);
         self.breakdown.gc += t_erase.saturating_since(now);
@@ -70,7 +82,7 @@ impl ConZone {
         self.probe.emit(
             t_erase,
             DeviceEvent::GcEnd {
-                migrated_slices: ppas.len() as u64,
+                migrated_slices: live,
             },
         );
         self.debug_assert_invariants_during_io("after SLC garbage collection");
@@ -86,12 +98,19 @@ impl ConZone {
         old_ppas: &[Ppa],
         data: Option<&[u8]>,
     ) -> Result<SimTime, DeviceError> {
-        let mut lpns: Vec<Lpn> = Vec::with_capacity(old_ppas.len());
+        let mut lpns = std::mem::take(&mut self.scratch.gc_lpns);
+        lpns.clear();
         for ppa in old_ppas {
-            let lpn = *self.slc.owner.get(ppa).ok_or_else(|| {
-                DeviceError::Internal(format!("live SLC slice {ppa} has no owner"))
-            })?;
-            lpns.push(lpn);
+            match self.slc.owner.get(ppa) {
+                Some(&lpn) => lpns.push(lpn),
+                None => {
+                    self.scratch.gc_lpns = lpns;
+                    // xtask-lint: allow(hot-path-effects) — error construction on the ownerless-slice path; never runs on the success path
+                    return Err(DeviceError::Internal(format!(
+                        "live SLC slice {ppa} has no owner"
+                    )));
+                }
+            }
         }
 
         // Program into the SLC stream without recursive GC: the free-list
@@ -102,18 +121,25 @@ impl ConZone {
         let mut t = now;
         let mut finish = t;
         let mut idx = 0usize;
+        let mut order = std::mem::take(&mut self.scratch.gc_chip_order);
         while idx < lpns.len() {
             let sb = match self.slc.active {
                 Some(sb) => sb,
-                None => self
-                    .slc
-                    .activate_next()
-                    .ok_or_else(|| DeviceError::NoFreeSpace {
-                        at: t,
-                        what: "no free SLC superblock for GC destination".to_string(),
-                    })?,
+                None => match self.slc.activate_next() {
+                    Some(sb) => sb,
+                    None => {
+                        self.scratch.gc_lpns = lpns;
+                        self.scratch.gc_chip_order = order;
+                        return Err(DeviceError::NoFreeSpace {
+                            at: t,
+                            // xtask-lint: allow(hot-path-effects) — device-full error path, not steady state
+                            what: "no free SLC superblock for GC destination".to_string(),
+                        });
+                    }
+                },
             };
-            let mut order: Vec<usize> = (0..nchips).collect();
+            order.clear();
+            order.extend(0..nchips);
             order.sort_by_key(|&c| self.flash.chip_free_at(ChipId(c as u64)));
             let mut any = false;
             for &c in &order {
@@ -157,6 +183,8 @@ impl ConZone {
                 self.slc.retire_active();
             }
         }
+        self.scratch.gc_lpns = lpns;
+        self.scratch.gc_chip_order = order;
         t = finish;
         Ok(t)
     }
@@ -200,7 +228,7 @@ impl ConZone {
             .owner
             .iter()
             .filter(|(_, lpn)| lpn.raw() / zs == zone_id.raw())
-            .map(|(ppa, _)| *ppa)
+            .map(|(ppa, _)| ppa)
             .collect();
         for ppa in doomed {
             self.flash.invalidate(ppa).map_err(internal)?;

@@ -110,6 +110,8 @@ fn violation(out: &mut Vec<InvariantViolation>, kind: InvariantKind, detail: Str
     out.push(InvariantViolation { kind, detail });
 }
 
+// xtask-effect: cold — debug-build invariant checker: compiles out of release
+// (cfg(debug_assertions)), and a violated device invariant must abort loudly
 #[cfg(debug_assertions)]
 #[track_caller]
 fn panic_on_violations(violations: Vec<InvariantViolation>, context: &str) {
@@ -169,6 +171,9 @@ impl ConZone {
 
     /// Mid-IO variant of [`ConZone::debug_assert_invariants`] for hooks
     /// that fire nested inside a host request (the GC step).
+    // xtask-effect: cold — debug-build invariant checker: compiles out of
+    // release (cfg(debug_assertions)), so its walker allocations never run in
+    // the steady state the hot-path contract covers
     #[cfg(debug_assertions)]
     #[track_caller]
     pub(crate) fn debug_assert_invariants_during_io(&self, context: &str) {
@@ -329,7 +334,7 @@ impl ConZone {
     /// erased slice of a retired block.
     fn check_slc_owner(&self, out: &mut Vec<InvariantViolation>) {
         let geometry = self.flash.geometry();
-        for (&ppa, &lpn) in &self.slc.owner {
+        for (ppa, lpn) in self.slc.owner.iter() {
             if !geometry.is_slc(ppa) {
                 violation(
                     out,
@@ -529,7 +534,7 @@ mod tests {
     #[test]
     fn valid_slice_without_owner_is_detected() {
         let mut dev = seeded();
-        let (&ppa, _) = dev.slc.owner.iter().next().expect("slc-resident slice");
+        let (ppa, _) = dev.slc.owner.iter().next().expect("slc-resident slice");
         dev.slc.owner.remove(&ppa);
         let v = dev.check_invariants();
         assert!(
@@ -613,7 +618,7 @@ mod tests {
     #[should_panic(expected = "device invariants violated")]
     fn debug_hook_panics_on_corruption() {
         let mut dev = seeded();
-        let (&ppa, _) = dev.slc.owner.iter().next().expect("slc-resident slice");
+        let (ppa, _) = dev.slc.owner.iter().next().expect("slc-resident slice");
         dev.slc.owner.remove(&ppa);
         dev.debug_assert_invariants("in a corruption test");
     }

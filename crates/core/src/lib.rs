@@ -46,6 +46,7 @@ mod invariants;
 mod lifecycle;
 mod power;
 mod read;
+mod scratch;
 mod slc;
 mod write;
 mod zone;

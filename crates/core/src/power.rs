@@ -52,6 +52,7 @@ impl ConZone {
     pub(crate) fn ensure_powered(&self) -> Result<(), DeviceError> {
         if self.cut_state.is_some() {
             return Err(DeviceError::Unsupported(
+                // xtask-lint: allow(hot-path-effects) — rejected-command error path, not steady state
                 "power is cut; remount the device first".to_string(),
             ));
         }
@@ -136,7 +137,7 @@ impl PowerCycle for ConZone {
         finish = finish.max(r.end);
         self.counters.flash_mapping_reads += 1;
 
-        let recovered_lpns: Vec<Lpn> = self.slc.owner.values().copied().collect();
+        let recovered_lpns: Vec<Lpn> = self.slc.owner.iter().map(|(_, lpn)| lpn).collect();
         let recovered_slices = recovered_lpns.len() as u64;
         self.counters.recovered_slices += recovered_slices;
 

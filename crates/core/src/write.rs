@@ -17,14 +17,15 @@
 
 use conzone_flash::FlashError;
 use conzone_types::{
-    ChipId, DeviceError, DeviceEvent, FlushKind, Lpn, LpnRange, MapGranularity, Ppa, SimTime,
-    SpanKind, SuperblockId, ZoneId, ZoneState, SLICE_BYTES,
+    ChipId, DeviceError, DeviceEvent, FlushKind, Lpn, LpnRange, MapGranularity, SimTime, SpanKind,
+    SuperblockId, ZoneId, ZoneState, SLICE_BYTES,
 };
 
 use crate::device::ConZone;
 use crate::zone::StagedSlice;
 
 /// Wraps a flash-layer failure (an FTL logic violation) into a device error.
+// xtask-effect: cold — error conversion: only reached when a flash op already failed
 pub(crate) fn internal(e: FlashError) -> DeviceError {
     DeviceError::Unsupported(format!("internal flash error: {e}"))
 }
@@ -32,6 +33,7 @@ pub(crate) fn internal(e: FlashError) -> DeviceError {
 impl ConZone {
     /// Services one host write. Returns the completion time (before host
     /// overhead is added by the caller's caller — overhead is added here).
+    // xtask-effect: hot_path
     pub(crate) fn write_range(
         &mut self,
         now: SimTime,
@@ -148,8 +150,12 @@ impl ConZone {
                 self.cache.invalidate_page(lpn);
             }
         }
-        let lpns: Vec<Lpn> = range.iter().collect();
-        let mut t = self.program_slc_batch(now, &lpns, payload, false, None)?;
+        let mut lpns = std::mem::take(&mut self.scratch.lpns);
+        lpns.clear();
+        lpns.extend(range.iter());
+        let programmed = self.program_slc_batch(now, &lpns, payload, false, None);
+        self.scratch.lpns = lpns;
+        let mut t = programmed?;
         self.counters.conventional_updates += range.count;
         self.note_l2p_updates(range.count);
         t = self.maybe_flush_l2p_log(t);
@@ -165,6 +171,7 @@ impl ConZone {
     /// the zone's current write pointer and returns `(finish, assigned
     /// byte offset)`. Conventional zones reject appends (they have no
     /// write pointer).
+    // xtask-effect: hot_path
     pub(crate) fn append_range(
         &mut self,
         now: SimTime,
@@ -174,6 +181,7 @@ impl ConZone {
         let (zone_id, _) = self.zone_and_offset(range)?;
         if self.is_conventional(zone_id) {
             return Err(DeviceError::Unsupported(
+                // xtask-lint: allow(hot-path-effects) — rejected-command error path, not steady state
                 "zone append targets a conventional zone".to_string(),
             ));
         }
@@ -204,6 +212,7 @@ impl ConZone {
             return Ok(now);
         }
         let zone_id = self.buffers[buf_idx].owner.ok_or_else(|| {
+            // xtask-lint: allow(hot-path-effects) — error construction inside ok_or_else; never runs on the success path
             DeviceError::Internal(format!("non-empty write buffer {buf_idx} has no owner"))
         })?;
         let zidx = zone_id.raw() as usize;
@@ -235,7 +244,9 @@ impl ConZone {
             if staged_len > 0 {
                 // Path ③: read the staged fragments out of SLC and
                 // invalidate them (striped blocks of Fig. 3).
-                let ppas: Vec<Ppa> = self.zones[zidx].staged.iter().map(|s| s.ppa).collect();
+                let mut ppas = std::mem::take(&mut self.scratch.ppas);
+                ppas.clear();
+                ppas.extend(self.zones[zidx].staged.iter().map(|s| s.ppa));
                 let read_start = t;
                 let out = self.flash.read_slices(t, &ppas).map_err(internal)?;
                 t = out.finish;
@@ -245,10 +256,11 @@ impl ConZone {
                     self.spans.close(t);
                 }
                 staged_data = out.data;
-                for ppa in ppas {
+                for &ppa in &ppas {
                     self.flash.invalidate(ppa).map_err(internal)?;
                     self.slc.owner.remove(&ppa);
                 }
+                self.scratch.ppas = ppas;
                 self.zones[zidx].staged.clear();
                 self.counters.slc_combines += 1;
                 self.probe.emit(
@@ -318,9 +330,12 @@ impl ConZone {
                         if matches!(e, FlashError::ProgramFailed { .. }) {
                             self.counters.program_failures += 1;
                         }
-                        let lpns: Vec<Lpn> = (0..unit).map(|i| zone_base.offset(off + i)).collect();
-                        let redo = self.program_slc_batch(t, &lpns, data_slice, false, None)?;
-                        finish = finish.max(redo);
+                        let mut lpns = std::mem::take(&mut self.scratch.lpns);
+                        lpns.clear();
+                        lpns.extend((0..unit).map(|i| zone_base.offset(off + i)));
+                        let redo = self.program_slc_batch(t, &lpns, data_slice, false, None);
+                        self.scratch.lpns = lpns;
+                        finish = finish.max(redo?);
                     }
                     Err(e) => return Err(internal(e)),
                 }
@@ -340,9 +355,9 @@ impl ConZone {
             );
             let count = run_end - patch_start;
             let pay = self.buffers[buf_idx].drain_front(count);
-            let lpns: Vec<Lpn> = (patch_start..run_end)
-                .map(|o| zone_base.offset(o))
-                .collect();
+            let mut lpns = std::mem::take(&mut self.scratch.lpns);
+            lpns.clear();
+            lpns.extend((patch_start..run_end).map(|o| zone_base.offset(o)));
             self.probe.emit(
                 t,
                 DeviceEvent::PatchSlice {
@@ -350,7 +365,9 @@ impl ConZone {
                     slices: count,
                 },
             );
-            t = self.program_slc_batch(t, &lpns, pay.as_deref(), true, None)?;
+            let programmed = self.program_slc_batch(t, &lpns, pay.as_deref(), true, None);
+            self.scratch.lpns = lpns;
+            t = programmed?;
             self.counters.patch_slices += count;
             self.zones[zidx].flushed_slices = run_end;
             self.maybe_aggregate(zone_id, patch_start, run_end);
@@ -361,9 +378,9 @@ impl ConZone {
             let start = self.buffers[buf_idx].start_offset;
             let count = self.buffers[buf_idx].slices;
             let pay = self.buffers[buf_idx].drain_front(count);
-            let lpns: Vec<Lpn> = (start..start + count)
-                .map(|o| zone_base.offset(o))
-                .collect();
+            let mut lpns = std::mem::take(&mut self.scratch.lpns);
+            lpns.clear();
+            lpns.extend((start..start + count).map(|o| zone_base.offset(o)));
             self.counters.premature_flushes += 1;
             self.probe.emit(
                 t,
@@ -373,7 +390,9 @@ impl ConZone {
                     slices: count,
                 },
             );
-            t = self.program_slc_batch(t, &lpns, pay.as_deref(), false, Some(zidx))?;
+            let programmed = self.program_slc_batch(t, &lpns, pay.as_deref(), false, Some(zidx));
+            self.scratch.lpns = lpns;
+            t = programmed?;
             self.zones[zidx].flushed_slices = start + count;
         }
 
@@ -401,6 +420,9 @@ impl ConZone {
         let mut t = now;
         let mut finish = t;
         let mut idx = 0usize;
+        // Reused chip-order scratch; GC (reachable below) uses the
+        // separate `gc_chip_order` buffer, so the two never alias.
+        let mut order = std::mem::take(&mut self.scratch.chip_order);
         while idx < lpns.len() {
             let sb = match self.slc.active {
                 Some(sb) => sb,
@@ -419,6 +441,7 @@ impl ConZone {
                                 .activate_next()
                                 .ok_or_else(|| DeviceError::NoFreeSpace {
                                     at: t,
+                                    // xtask-lint: allow(hot-path-effects) — device-full error path, not steady state
                                     what: "slc secondary buffer superblocks".to_string(),
                                 })?
                         }
@@ -427,8 +450,10 @@ impl ConZone {
             };
             // Place one page's worth per chip per round, preferring idle
             // chips so premature flushes never stall behind a long tPROG
-            // on a die that happens to be programming TLC.
-            let mut order: Vec<usize> = (0..nchips).collect();
+            // on a die that happens to be programming TLC. Stable sort:
+            // equally idle chips keep ascending order across reruns.
+            order.clear();
+            order.extend(0..nchips);
             order.sort_by_key(|&c| self.flash.chip_free_at(ChipId(c as u64)));
             let mut any = false;
             for &c in &order {
@@ -479,6 +504,7 @@ impl ConZone {
                 self.slc.retire_active();
             }
         }
+        self.scratch.chip_order = order;
         let finish = self.maybe_flush_l2p_log(finish);
         Ok(finish)
     }

@@ -29,12 +29,16 @@ pub(crate) struct Zone {
 }
 
 impl Zone {
-    pub(crate) fn new() -> Zone {
+    /// `staged_capacity` pre-sizes the staged list so steady-state writes
+    /// never grow it: the run stays below one programming unit before a
+    /// combine fires, and one premature flush adds at most a buffer's
+    /// worth of slices on top.
+    pub(crate) fn new(staged_capacity: usize) -> Zone {
         Zone {
             state: ZoneState::Empty,
             wp_slices: 0,
             flushed_slices: 0,
-            staged: Vec::new(),
+            staged: Vec::with_capacity(staged_capacity),
         }
     }
 
@@ -58,7 +62,7 @@ mod tests {
 
     #[test]
     fn new_zone_is_empty() {
-        let z = Zone::new();
+        let z = Zone::new(8);
         assert_eq!(z.state, ZoneState::Empty);
         assert_eq!(z.wp_slices, 0);
         assert_eq!(z.staged_start(), 0);
@@ -66,7 +70,7 @@ mod tests {
 
     #[test]
     fn staged_start_tracks_run() {
-        let mut z = Zone::new();
+        let mut z = Zone::new(8);
         z.wp_slices = 40;
         z.flushed_slices = 36;
         z.staged = (24..36)

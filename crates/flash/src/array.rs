@@ -95,6 +95,10 @@ pub struct FlashArray {
     stats: FlashStats,
     probe: Probe,
     fault: FaultPlane,
+    /// Scratch for `read_slices` page grouping — `(chip, block, page,
+    /// bytes)` per flash-page sense — reused across calls so the per-IO
+    /// read path performs no heap allocation in steady state.
+    read_scratch: Vec<(ChipId, usize, usize, u64)>,
 }
 
 impl FlashArray {
@@ -126,6 +130,10 @@ impl FlashArray {
             stats: FlashStats::default(),
             probe: Probe::disabled(),
             fault: FaultPlane::new(cfg.fault, g.nchips() * g.blocks_per_chip),
+            // One group per touched (chip, block, page); a whole-superblock
+            // GC read is the largest caller, so pre-size to its page count
+            // rather than growing mid-workload.
+            read_scratch: Vec::with_capacity(g.nchips() * g.pages_per_block),
         }
     }
 
@@ -215,6 +223,7 @@ impl FlashArray {
     /// * [`FlashError::BlockFull`] when the block has no room,
     /// * [`FlashError::DataLength`] when a payload of the wrong size is
     ///   given.
+    // xtask-effect: hot_path
     pub fn program_unit(
         &mut self,
         now: SimTime,
@@ -295,6 +304,7 @@ impl FlashArray {
     /// * [`FlashError::PartialProgramOnMlc`] if the block is not SLC,
     /// * [`FlashError::BlockFull`] when fewer than `count` slices remain,
     /// * [`FlashError::DataLength`] for a mis-sized payload.
+    // xtask-effect: hot_path
     pub fn program_slc(
         &mut self,
         now: SimTime,
@@ -453,30 +463,39 @@ impl FlashArray {
     /// # Errors
     ///
     /// [`FlashError::ReadDead`] if any slice is erased or invalidated.
+    // xtask-effect: hot_path
     pub fn read_slices(&mut self, now: SimTime, ppas: &[Ppa]) -> Result<ReadOutcome, FlashError> {
         // Group into flash pages preserving first-appearance order so
-        // resource reservation stays deterministic.
-        let mut order: Vec<(ChipId, usize, usize, u64)> = Vec::new(); // (chip, block, page, bytes)
-        let mut seen: std::collections::BTreeMap<(u64, usize, usize), usize> =
-            std::collections::BTreeMap::new();
+        // resource reservation stays deterministic. The group list is a
+        // reused scratch buffer and dedup is a linear scan — one IO spans
+        // at most a handful of flash pages, and the hot read path must
+        // not allocate.
+        let mut order = std::mem::take(&mut self.read_scratch);
+        order.clear();
+        let mut dead: Option<Ppa> = None;
         for &ppa in ppas {
             let parts = self.geometry.decode_ppa(ppa);
             let blk = self.block(parts.chip, parts.block);
             let in_block = parts.page * self.geometry.slices_per_page() + parts.slice;
             if !blk.is_written(in_block) || !blk.is_valid(in_block) {
-                return Err(FlashError::ReadDead { ppa });
+                dead = Some(ppa);
+                break;
             }
-            let key = (parts.chip.raw(), parts.block, parts.page);
-            match seen.get(&key) {
-                Some(&i) => order[i].3 += SLICE_BYTES,
-                None => {
-                    seen.insert(key, order.len());
-                    order.push((parts.chip, parts.block, parts.page, SLICE_BYTES));
-                }
+            let key = (parts.chip, parts.block, parts.page);
+            match order
+                .iter_mut()
+                .find(|g| (g.0, g.1, g.2) == (key.0, key.1, key.2))
+            {
+                Some(g) => g.3 += SLICE_BYTES,
+                None => order.push((parts.chip, parts.block, parts.page, SLICE_BYTES)),
             }
         }
+        if let Some(ppa) = dead {
+            self.read_scratch = order;
+            return Err(FlashError::ReadDead { ppa });
+        }
         let mut finish = now;
-        for (chip, block, _page, bytes) in order {
+        for &(chip, block, _page, bytes) in &order {
             let cell = self.cell_of_block(block);
             let plane = self.geometry.plane_of(chip, block);
             let mut sense_lat = self.timings.latency(cell).read;
@@ -504,7 +523,9 @@ impl FlashArray {
                 },
             );
         }
+        self.read_scratch = order;
         let data = if self.store.is_enabled() {
+            // xtask-lint: allow(hot-path-effects) — returned payload buffer, only built with data backing enabled; the reference workloads run timing-only and the steady-state guard holds there
             let mut buf = Vec::with_capacity(ppas.len() * SLICE_BYTES as usize);
             for &ppa in ppas {
                 match self.store.get(ppa) {
@@ -537,6 +558,7 @@ impl FlashArray {
         bytes: u64,
         ops: u64,
     ) -> (SimTime, SimTime) {
+        // xtask-lint: allow(hot-path-effects) — documented precondition: a zero-op program is a caller bug and aborting is the correct response
         assert!(ops > 0, "at least one program operation");
         self.count_program(now, cell, bytes);
         let plane = self.geometry.plane_of(chip, 0);
@@ -686,6 +708,14 @@ impl FlashArray {
     /// Physical addresses of all live slices in a superblock, chip-major.
     pub fn superblock_valid_ppas(&self, sb: SuperblockId) -> Vec<Ppa> {
         let mut out = Vec::new();
+        self.superblock_valid_ppas_into(sb, &mut out);
+        out
+    }
+
+    /// Appends all live slice addresses of a superblock to `out`,
+    /// chip-major — the allocation-free variant GC uses with a reused
+    /// scratch buffer.
+    pub fn superblock_valid_ppas_into(&self, sb: SuperblockId, out: &mut Vec<Ppa>) {
         for c in 0..self.geometry.nchips() {
             let chip = ChipId(c as u64);
             let base = self.block_base(chip, sb.raw() as usize);
@@ -693,7 +723,6 @@ impl FlashArray {
                 out.push(base.offset(idx as u64));
             }
         }
-        out
     }
 
     /// Per-region wear snapshot (the device model fills in host bytes).
@@ -760,8 +789,8 @@ impl FlashArray {
         (base..base + planes)
             .map(|p| self.planes.free_at(p))
             .min()
-            // xtask-lint: allow(unwrap-expect) — Geometry::validate rejects
-            // planes_per_chip == 0, so the range is never empty.
+            // xtask-lint: allow(unwrap-expect, hot-path-effects) — Geometry::validate
+            // rejects planes_per_chip == 0, so the range is never empty.
             .expect("chip has at least one plane")
     }
 }

@@ -35,6 +35,7 @@ impl BitVec {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn get(&self, idx: usize) -> bool {
+        // xtask-lint: allow(hot-path-effects) — bounds invariant: an out-of-range index is a harness bug and aborting is the correct response
         assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
         (self.words[idx / 64] >> (idx % 64)) & 1 == 1
     }
@@ -46,6 +47,7 @@ impl BitVec {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn set(&mut self, idx: usize, value: bool) {
+        // xtask-lint: allow(hot-path-effects) — bounds invariant: an out-of-range index is a harness bug and aborting is the correct response
         assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
         let word = &mut self.words[idx / 64];
         let mask = 1u64 << (idx % 64);

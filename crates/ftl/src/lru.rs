@@ -115,13 +115,13 @@ impl<K: Hash + Eq + Copy, V> LruCache<K, V> {
     }
 
     fn node(&self, idx: usize) -> &Node<K, V> {
-        // xtask-lint: allow(unwrap-expect) — linked-list integrity: every index
+        // xtask-lint: allow(unwrap-expect, hot-path-effects) — linked-list integrity: every index
         // reachable from the list or the map points at a live node by construction.
         self.nodes[idx].as_ref().expect("linked node must be live")
     }
 
     fn node_mut(&mut self, idx: usize) -> &mut Node<K, V> {
-        // xtask-lint: allow(unwrap-expect) — same linked-list integrity invariant
+        // xtask-lint: allow(unwrap-expect, hot-path-effects) — same linked-list integrity invariant
         self.nodes[idx].as_mut().expect("linked node must be live")
     }
 
@@ -175,7 +175,7 @@ impl<K: Hash + Eq + Copy, V> LruCache<K, V> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let idx = self.map.remove(key)?;
         self.unlink(idx);
-        // xtask-lint: allow(unwrap-expect) — the map only holds live indices
+        // xtask-lint: allow(unwrap-expect, hot-path-effects) — the map only holds live indices
         let node = self.nodes[idx].take().expect("mapped node must be live");
         self.free.push(idx);
         Some(node.value)
@@ -252,6 +252,9 @@ impl<K: Hash + Eq + Copy, V> LruCache<K, V> {
 
     /// Removes every key for which `pred` returns true; returns how many
     /// were removed.
+    // xtask-effect: cold — aggregation-eviction slow path: runs when a covering
+    // entry is promoted, not per IO, and the doomed-key list must be collected
+    // before mutating the map
     pub fn retain_not<F: FnMut(&K) -> bool>(&mut self, mut pred: F) -> usize {
         let doomed: Vec<K> = self.map.keys().filter(|k| pred(k)).copied().collect();
         let n = doomed.len();

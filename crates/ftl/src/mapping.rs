@@ -90,6 +90,7 @@ impl MappingTable {
     }
 
     /// Looks up one logical page.
+    // xtask-effect: hot_path
     pub fn get(&self, lpn: Lpn) -> Option<MapEntry> {
         let idx = lpn.raw() as usize;
         let ppa = (*self.ppas.get(idx)?)?;
@@ -97,8 +98,9 @@ impl MappingTable {
         Some(MapEntry {
             ppa,
             granularity: MapGranularity::from_bits(flags & 0b11)
-                // xtask-lint: allow(unwrap-expect) — set/unmap only write the
-                // three valid granularities, so the stored bits always decode.
+                // xtask-lint: allow(unwrap-expect, hot-path-effects) — set/unmap
+                // only write the three valid granularities, so the stored bits
+                // always decode.
                 .expect("table never stores the reserved bit pattern"),
             canonical: flags & CANONICAL_FLAG != 0,
         })
@@ -116,8 +118,10 @@ impl MappingTable {
     /// # Panics
     ///
     /// Panics if `lpn` is beyond the table capacity.
+    // xtask-effect: hot_path
     pub fn set(&mut self, lpn: Lpn, ppa: Ppa, canonical: bool) {
         let idx = lpn.raw() as usize;
+        // xtask-lint: allow(hot-path-effects) — documented precondition: a beyond-capacity lpn is a harness bug and aborting is the correct response
         assert!(idx < self.ppas.len(), "lpn {lpn} beyond capacity");
         match MapGranularity::from_bits(self.flags[idx] & 0b11) {
             Some(MapGranularity::Chunk) => {
@@ -144,6 +148,7 @@ impl MappingTable {
     /// Panics if `lpn` is unmapped.
     pub fn relocate(&mut self, lpn: Lpn, ppa: Ppa) {
         let idx = lpn.raw() as usize;
+        // xtask-lint: allow(hot-path-effects) — documented precondition: relocating an unmapped lpn is a GC bug and aborting is the correct response
         assert!(
             idx < self.ppas.len() && self.ppas[idx].is_some(),
             "relocating unmapped lpn {lpn}"

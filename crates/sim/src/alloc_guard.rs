@@ -1,0 +1,156 @@
+//! Counting global allocator for the steady-state allocation guard.
+//!
+//! With the `counting-alloc` feature enabled this module installs a
+//! `#[global_allocator]` that wraps the system allocator and counts
+//! every allocation (calls and bytes) in relaxed atomics. The bench
+//! harness samples [`allocation_count`] around a steady-state window to
+//! assert the hot path performs **zero** allocations per op — the
+//! runtime cross-check for the static `hot-path-effects` lint rule.
+//!
+//! Without the feature the API still exists but reports the guard as
+//! disabled, so callers can compile unconditionally. The counter is
+//! process-global and monotonically increasing; callers diff two
+//! samples around the window they care about.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Whether the counting allocator is compiled in and installed.
+#[must_use]
+pub fn counting_enabled() -> bool {
+    cfg!(feature = "counting-alloc")
+}
+
+/// Total allocation calls since process start (0 when disabled).
+///
+/// Includes `alloc`, `alloc_zeroed` and growing `realloc` calls;
+/// `dealloc` is free and intentionally uncounted.
+#[must_use]
+pub fn allocation_count() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested from the allocator since process start
+/// (0 when disabled).
+#[must_use]
+pub fn allocated_bytes() -> u64 {
+    ALLOC_BYTES.load(Ordering::Relaxed)
+}
+
+/// RAII scope during which this thread's allocations are *not* counted.
+///
+/// For observability infrastructure only: the `selfprof` profiler grows
+/// its call tree lazily on first visit of a new scope chain, and that
+/// bookkeeping is not part of the simulated model the steady-state guard
+/// measures. Model code must never use this.
+#[must_use = "counting resumes when the scope drops"]
+#[derive(Debug)]
+pub struct UncountedScope {
+    _not_send: core::marker::PhantomData<*const ()>,
+}
+
+/// Suspends allocation counting on this thread until the guard drops.
+pub fn uncounted() -> UncountedScope {
+    #[cfg(feature = "counting-alloc")]
+    installed::SUPPRESS.with(|c| c.set(c.get() + 1));
+    UncountedScope {
+        _not_send: core::marker::PhantomData,
+    }
+}
+
+impl Drop for UncountedScope {
+    fn drop(&mut self) {
+        #[cfg(feature = "counting-alloc")]
+        installed::SUPPRESS.with(|c| c.set(c.get() - 1));
+    }
+}
+
+#[cfg(feature = "counting-alloc")]
+#[allow(unsafe_code)] // the one place the GlobalAlloc contract requires it
+mod installed {
+    use super::{ALLOC_BYTES, ALLOC_CALLS};
+    use core::sync::atomic::Ordering;
+    use std::alloc::{GlobalAlloc, Layout, System};
+    // xtask-lint: allow(fleet-readiness) — per-thread suppression flag for the counting allocator; never sim-visible
+    use std::cell::Cell;
+
+    // Const-initialised so reading it never allocates (a lazy initialiser
+    // inside the allocator would recurse). Per-thread by design: the
+    // suppression scope must not leak across fleet workers.
+    // xtask-lint: allow(fleet-readiness) — per-thread suppression flag for the counting allocator; never sim-visible
+    thread_local! {
+        pub(super) static SUPPRESS: Cell<u32> = const { Cell::new(0) };
+    }
+
+    /// Whether this thread is inside an [`super::UncountedScope`].
+    /// `try_with`: TLS is unreachable during thread teardown, where
+    /// allocations may still happen — count those normally.
+    fn suppressed() -> bool {
+        SUPPRESS.try_with(|c| c.get() > 0).unwrap_or(false)
+    }
+
+    fn count(bytes: usize) {
+        if !suppressed() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    struct CountingAlloc;
+
+    // SAFETY: defers every allocation to `System`, which upholds the
+    // `GlobalAlloc` contract; the wrapper only bumps atomic counters.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            count(layout.size());
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            count(layout.size());
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            count(new_size);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_reflect_feature_state() {
+        if counting_enabled() {
+            let before = allocation_count();
+            let v: Vec<u64> = Vec::with_capacity(32);
+            drop(v);
+            assert!(allocation_count() > before);
+            assert!(allocated_bytes() > 0);
+        } else {
+            assert_eq!(allocation_count(), 0);
+            assert_eq!(allocated_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn uncounted_scope_suspends_counting() {
+        let _outer = uncounted();
+        let before = allocation_count();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        drop(v);
+        assert_eq!(allocation_count(), before, "scoped allocs are invisible");
+    }
+}

@@ -101,8 +101,16 @@ mod imp {
     }
 
     /// Opens a named profiling scope on the current thread.
+    // xtask-effect: cold — observability infrastructure: never feeds simulated
+    // time or state (the overhead guard proves it), bookkeeping allocations are
+    // hidden from the steady-state guard via uncounted(), and the whole module
+    // compiles out without `selfprof`
     #[inline]
     pub fn scope(name: &'static str) -> ScopeGuard {
+        // First visit of a new scope chain grows the tree — profiler
+        // bookkeeping, not model work, so the steady-state allocation
+        // guard must not see it.
+        let _uncounted = crate::alloc_guard::uncounted();
         TREE.with(|t| {
             let mut tree = t.borrow_mut();
             let cur = tree.current;

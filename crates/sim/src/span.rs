@@ -61,6 +61,9 @@ impl SpanBuffer {
 }
 
 impl SpanSink for SpanBuffer {
+    // xtask-effect: cold — observability sink: only runs with a probe attached,
+    // and the overhead guard proves attaching one never changes simulated
+    // results; the mutex orders concurrent recorders, not device state
     fn record(&self, span: SpanRecord) {
         self.recorded.fetch_add(1, Ordering::Relaxed);
         let mut guard = match self.spans.lock() {

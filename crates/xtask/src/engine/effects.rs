@@ -1,0 +1,455 @@
+//! The effect lattice and the builtin (intrinsic) effect table.
+//!
+//! Every function in the sim-visible crates gets an [`EffectSet`]: a
+//! small powerset lattice joined over the call graph until fixpoint
+//! (`graph` module). The *intrinsic* effects of a function are the ones
+//! its own tokens exhibit — constructing an owned container, calling
+//! `.unwrap()`, indexing a slice — recognised by the token patterns in
+//! this module. Everything else a function does to earn an effect is
+//! *transitive*: it calls something that has one.
+//!
+//! The hot-path contract (`hot-path-effects` rule) forbids `allocates`,
+//! `panics`, `locks` and `wall_clock` on functions marked
+//! `// xtask-effect: hot_path`. `bounds` (slice indexing, non-literal
+//! divisors) and `rng` are inferred and reported in the JSON report but
+//! not enforced: bounds checks are deterministic aborts already covered
+//! by the debug invariant checker, and the emulator's only RNG is the
+//! explicitly seeded generator the `wall-clock` rule polices.
+
+use crate::engine::tokens::FlatTok;
+use proc_macro2::Delimiter;
+
+/// A set of effects — a tiny bitflag powerset lattice (`union` is join,
+/// `EMPTY` is bottom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub(crate) struct EffectSet(u8);
+
+impl EffectSet {
+    pub(crate) const EMPTY: EffectSet = EffectSet(0);
+    /// Constructs an owned container/string/box (fresh heap memory).
+    pub(crate) const ALLOC: EffectSet = EffectSet(1);
+    /// Explicit panic family: `unwrap`, `expect`, `panic!`, `assert!*`,
+    /// `unreachable!`, `todo!`, `unimplemented!`.
+    pub(crate) const PANIC: EffectSet = EffectSet(1 << 1);
+    /// Implicit abort family: slice indexing and non-literal divisors.
+    pub(crate) const BOUNDS: EffectSet = EffectSet(1 << 2);
+    /// Takes a lock (`Mutex`, `RwLock`, `Condvar`, `.lock()`).
+    pub(crate) const LOCK: EffectSet = EffectSet(1 << 3);
+    /// Reads ambient time (`Instant::now`, `SystemTime`, `.elapsed()`).
+    pub(crate) const WALL_CLOCK: EffectSet = EffectSet(1 << 4);
+    /// Ambient randomness (`thread_rng`, `rand::random`).
+    pub(crate) const RNG: EffectSet = EffectSet(1 << 5);
+
+    /// The effects the hot-path contract forbids.
+    pub(crate) const FORBIDDEN_ON_HOT: EffectSet =
+        EffectSet(Self::ALLOC.0 | Self::PANIC.0 | Self::LOCK.0 | Self::WALL_CLOCK.0);
+
+    /// All single-effect bits with their report names, in display order.
+    pub(crate) const BITS: [(EffectSet, &'static str); 6] = [
+        (Self::ALLOC, "allocates"),
+        (Self::PANIC, "panics"),
+        (Self::BOUNDS, "bounds"),
+        (Self::LOCK, "locks"),
+        (Self::WALL_CLOCK, "wall_clock"),
+        (Self::RNG, "rng"),
+    ];
+
+    pub(crate) fn union(self, other: EffectSet) -> EffectSet {
+        EffectSet(self.0 | other.0)
+    }
+
+    pub(crate) fn contains(self, other: EffectSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    pub(crate) fn intersect(self, other: EffectSet) -> EffectSet {
+        EffectSet(self.0 & other.0)
+    }
+
+    pub(crate) fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Report names of every effect present, in stable order.
+    pub(crate) fn names(self) -> Vec<&'static str> {
+        Self::BITS
+            .iter()
+            .filter(|(bit, _)| self.contains(*bit))
+            .map(|&(_, name)| name)
+            .collect()
+    }
+
+    /// Display name of a single-effect set.
+    #[cfg(test)]
+    pub(crate) fn name(self) -> &'static str {
+        Self::BITS
+            .iter()
+            .find(|(bit, _)| *bit == self)
+            .map_or("?", |&(_, name)| name)
+    }
+}
+
+/// One intrinsic effect occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub(crate) struct EffectSite {
+    /// The single effect bit this site exhibits.
+    pub effect: EffectSet,
+    /// 0-based line of the offending token.
+    pub line: usize,
+    /// What the token pattern was (`Vec::new`, `.unwrap()`, `a[i]`, …).
+    pub what: &'static str,
+}
+
+/// Identifier-path patterns (`A::b` or bare idents) and the effect they
+/// exhibit. The seeded builtin table: how raw std calls earn effects.
+const PATH_EFFECTS: [(&str, &[&str], EffectSet); 16] = [
+    ("Vec::new", &["Vec", ":", ":", "new"], EffectSet::ALLOC),
+    (
+        "Vec::with_capacity",
+        &["Vec", ":", ":", "with_capacity"],
+        EffectSet::ALLOC,
+    ),
+    ("Box::new", &["Box", ":", ":", "new"], EffectSet::ALLOC),
+    (
+        "String::new",
+        &["String", ":", ":", "new"],
+        EffectSet::ALLOC,
+    ),
+    (
+        "String::from",
+        &["String", ":", ":", "from"],
+        EffectSet::ALLOC,
+    ),
+    (
+        "String::with_capacity",
+        &["String", ":", ":", "with_capacity"],
+        EffectSet::ALLOC,
+    ),
+    (
+        "VecDeque::new",
+        &["VecDeque", ":", ":", "new"],
+        EffectSet::ALLOC,
+    ),
+    (
+        "VecDeque::with_capacity",
+        &["VecDeque", ":", ":", "with_capacity"],
+        EffectSet::ALLOC,
+    ),
+    ("Rc::new", &["Rc", ":", ":", "new"], EffectSet::ALLOC),
+    ("Arc::new", &["Arc", ":", ":", "new"], EffectSet::ALLOC),
+    (
+        "Instant::now",
+        &["Instant", ":", ":", "now"],
+        EffectSet::WALL_CLOCK,
+    ),
+    ("SystemTime", &["SystemTime"], EffectSet::WALL_CLOCK),
+    ("thread_rng", &["thread_rng"], EffectSet::RNG),
+    (
+        "rand::random",
+        &["rand", ":", ":", "random"],
+        EffectSet::RNG,
+    ),
+    ("Mutex::new", &["Mutex", ":", ":", "new"], EffectSet::LOCK),
+    ("RwLock::new", &["RwLock", ":", ":", "new"], EffectSet::LOCK),
+];
+
+/// Method-call patterns (`.name(` on any receiver) and their effect.
+/// `.clone()` is deliberately absent: the token view cannot tell a
+/// `Copy` clone from an owned duplication, and the owned-duplication
+/// idioms (`to_vec`, `to_owned`, `to_string`) are all listed.
+const METHOD_EFFECTS: [(&str, EffectSet); 8] = [
+    ("collect", EffectSet::ALLOC),
+    ("to_vec", EffectSet::ALLOC),
+    ("to_owned", EffectSet::ALLOC),
+    ("to_string", EffectSet::ALLOC),
+    ("unwrap", EffectSet::PANIC),
+    ("expect", EffectSet::PANIC),
+    ("lock", EffectSet::LOCK),
+    ("elapsed", EffectSet::WALL_CLOCK),
+];
+
+/// Macro invocations (`name!`) and their effect. `debug_assert!*` is
+/// absent on purpose: it compiles out of release builds, and the hot
+/// contract is about release steady state.
+const MACRO_EFFECTS: [(&str, EffectSet); 10] = [
+    ("vec", EffectSet::ALLOC),
+    ("format", EffectSet::ALLOC),
+    ("panic", EffectSet::PANIC),
+    ("assert", EffectSet::PANIC),
+    ("assert_eq", EffectSet::PANIC),
+    ("assert_ne", EffectSet::PANIC),
+    ("unreachable", EffectSet::PANIC),
+    ("todo", EffectSet::PANIC),
+    ("unimplemented", EffectSet::PANIC),
+    ("matches", EffectSet::EMPTY), // common, listed to document the decision
+];
+
+/// Keyword identifiers that look like call/index receivers but are not.
+pub(crate) fn is_keyword(ident: &str) -> bool {
+    matches!(
+        ident,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "in"
+            | "as"
+            | "fn"
+            | "unsafe"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "pub"
+            | "use"
+            | "const"
+            | "static"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "mod"
+            | "self"
+            | "Self"
+            | "super"
+            | "crate"
+            | "await"
+            | "async"
+    )
+}
+
+/// Scans a flattened token window (`flat[lo..hi]`, token indices) for
+/// intrinsic effect sites, honouring `skip` *byte* ranges (the extents
+/// of nested named functions, which are symbols of their own).
+pub(crate) fn scan_intrinsics(
+    flat: &[FlatTok],
+    lo: usize,
+    hi: usize,
+    skip: &[(usize, usize)],
+    out: &mut Vec<EffectSite>,
+) {
+    let skipped = |t: &FlatTok| {
+        skip.iter()
+            .any(|&(s, e)| t.span().lo >= s && t.span().lo < e)
+    };
+    let mut i = lo;
+    while i < hi {
+        if skipped(&flat[i]) {
+            i += 1;
+            continue;
+        }
+        // Path patterns (`Vec::new`, `SystemTime`, …).
+        for (what, pattern, effect) in PATH_EFFECTS {
+            if crate::engine::tokens::matches_pattern(flat, i, pattern) {
+                // A path pattern must not be the tail of a longer path
+                // (`my::Vec::new` still counts; `MyVec::new` must not,
+                // which ident matching already guarantees).
+                out.push(EffectSite {
+                    effect,
+                    line: flat[i].line_idx(),
+                    what,
+                });
+            }
+        }
+        // Method patterns: `. name (`.
+        if flat[i].punct() == Some('.') {
+            if let (Some(name), Some(FlatTok::Open { delim, .. })) =
+                (flat.get(i + 1).and_then(FlatTok::ident), flat.get(i + 2))
+            {
+                if *delim == Delimiter::Parenthesis {
+                    for (what, effect) in METHOD_EFFECTS {
+                        if name == what && !effect.is_empty() {
+                            out.push(EffectSite {
+                                effect,
+                                line: flat[i + 1].line_idx(),
+                                what,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Macro patterns: `name !`.
+        if let (Some(name), Some('!')) = (flat[i].ident(), flat.get(i + 1).and_then(FlatTok::punct))
+        {
+            for (what, effect) in MACRO_EFFECTS {
+                if name == what && !effect.is_empty() {
+                    out.push(EffectSite {
+                        effect,
+                        line: flat[i].line_idx(),
+                        what,
+                    });
+                }
+            }
+        }
+        // Indexing: a bracket group right after a value (ident or a
+        // closed group), which is `xs[i]` / `foo()[i]` — a bounds
+        // check. Attributes (`#[...]`), types (`: [u8; 4]`) and array
+        // literals (`= [0; n]`) all have a non-value token before the
+        // bracket.
+        if let FlatTok::Open {
+            delim: Delimiter::Bracket,
+            empty: false,
+            ..
+        } = &flat[i]
+        {
+            let prev_is_value = i > lo
+                && match &flat[i - 1] {
+                    FlatTok::Tok(t) => t.as_ident().is_some_and(|id| !is_keyword(id)),
+                    FlatTok::Close { .. } => true,
+                    FlatTok::Open { .. } => false,
+                };
+            if prev_is_value {
+                out.push(EffectSite {
+                    effect: EffectSet::BOUNDS,
+                    line: flat[i].line_idx(),
+                    what: "slice indexing",
+                });
+            }
+        }
+        // Division/remainder by a non-literal divisor.
+        if matches!(flat[i].punct(), Some('/') | Some('%')) {
+            let prev_is_value = i > lo
+                && match &flat[i - 1] {
+                    FlatTok::Tok(t) => {
+                        t.as_ident().is_some_and(|id| !is_keyword(id)) || t.as_literal().is_some()
+                    }
+                    FlatTok::Close { .. } => true,
+                    FlatTok::Open { .. } => false,
+                };
+            let next_not_literal = match flat.get(i + 1) {
+                Some(FlatTok::Tok(t)) => t.as_literal().is_none(),
+                Some(FlatTok::Open { .. }) => true,
+                _ => false,
+            };
+            if prev_is_value && next_not_literal {
+                out.push(EffectSite {
+                    effect: EffectSet::BOUNDS,
+                    line: flat[i].line_idx(),
+                    what: "division by a non-literal divisor",
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// One parsed `// xtask-effect: <kind> — reason` marker occurrence.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct EffectMarker {
+    /// The marker kind text (`hot_path`, `cold`, or something unknown).
+    pub kind: String,
+    /// Whether an alphanumeric reason follows the kind.
+    pub has_reason: bool,
+}
+
+/// Extracts every effect marker on a single (comment-view) line.
+pub(crate) fn effect_markers(comment_line: &str) -> Vec<EffectMarker> {
+    const NEEDLE: &str = "xtask-effect:";
+    let mut out = Vec::new();
+    let mut rest = comment_line;
+    while let Some(pos) = rest.find(NEEDLE) {
+        let after = rest[pos + NEEDLE.len()..].trim_start();
+        let kind: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let tail = &after[kind.len()..];
+        let reason = tail.trim_start_matches([' ', '\t', '—', '–', '-', ':']);
+        let has_reason = reason.chars().any(|c| c.is_alphanumeric());
+        if !kind.is_empty() {
+            out.push(EffectMarker { kind, has_reason });
+        }
+        rest = &rest[pos + NEEDLE.len()..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::tokens::flatten;
+    use proc_macro2::TokenStream;
+
+    fn sites(src: &str) -> Vec<(&'static str, &'static str)> {
+        let ts: TokenStream = src.parse().expect("lexes");
+        let flat = flatten(&ts);
+        let mut out = Vec::new();
+        scan_intrinsics(&flat, 0, flat.len(), &[], &mut out);
+        out.iter().map(|s| (s.effect.name(), s.what)).collect()
+    }
+
+    #[test]
+    fn lattice_join_and_names() {
+        let e = EffectSet::ALLOC.union(EffectSet::LOCK);
+        assert!(e.contains(EffectSet::ALLOC));
+        assert!(!e.contains(EffectSet::PANIC));
+        assert_eq!(e.names(), ["allocates", "locks"]);
+        assert!(EffectSet::FORBIDDEN_ON_HOT.contains(EffectSet::WALL_CLOCK));
+        assert!(!EffectSet::FORBIDDEN_ON_HOT.contains(EffectSet::BOUNDS));
+    }
+
+    #[test]
+    fn builtin_paths_and_methods_are_recognised() {
+        assert_eq!(
+            sites("let v = Vec::with_capacity(4);"),
+            [("allocates", "Vec::with_capacity")]
+        );
+        assert_eq!(sites("xs.iter().collect()"), [("allocates", "collect")]);
+        assert_eq!(sites("m.lock()"), [("locks", "lock")]);
+        assert_eq!(sites("x.unwrap()"), [("panics", "unwrap")]);
+        assert_eq!(sites("panic!(\"boom\")"), [("panics", "panic")]);
+        assert_eq!(
+            sites("let t = Instant::now();"),
+            [("wall_clock", "Instant::now")]
+        );
+    }
+
+    #[test]
+    fn indexing_is_bounds_but_types_and_attrs_are_not() {
+        assert_eq!(sites("let x = xs[i];"), [("bounds", "slice indexing")]);
+        assert_eq!(sites("foo()[0]"), [("bounds", "slice indexing")]);
+        assert!(sites("let x: [u8; 4] = make();").is_empty());
+        assert!(sites("#[inline] fn f() {}").is_empty());
+        assert!(sites("let a = [0u8; 8];").is_empty());
+    }
+
+    #[test]
+    fn division_by_literal_is_exempt() {
+        assert!(sites("let x = a / 2;").is_empty());
+        assert_eq!(
+            sites("let x = a % n;"),
+            [("bounds", "division by a non-literal divisor")]
+        );
+        assert_eq!(
+            sites("let x = a / b.len();"),
+            [("bounds", "division by a non-literal divisor")]
+        );
+    }
+
+    #[test]
+    fn method_names_without_call_parens_do_not_match() {
+        // A field named `lock` or a path segment is not a lock call.
+        assert!(sites("let l = self.lock;").is_empty());
+        assert!(sites("use std::sync::atomic;").is_empty());
+    }
+
+    #[test]
+    fn effect_marker_parsing() {
+        let m = effect_markers("// xtask-effect: hot_path");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].kind, "hot_path");
+        assert!(!m[0].has_reason);
+        let m = effect_markers("// xtask-effect: cold — GC refill slow path");
+        assert_eq!(m[0].kind, "cold");
+        assert!(m[0].has_reason);
+        assert!(effect_markers("// nothing here").is_empty());
+    }
+}

@@ -10,12 +10,17 @@
 //! struct fields against their exporter mappings.
 
 pub(crate) mod allow;
+pub(crate) mod effects;
+pub(crate) mod graph;
 pub(crate) mod rules;
+pub(crate) mod symbols;
 pub(crate) mod tokens;
 
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use crate::Violation;
+use crate::{FnEffects, Report, Violation, Warning};
 use syn::visit::{self, Visit};
 use tokens::FlatTok;
 
@@ -29,6 +34,9 @@ pub(crate) struct Policy {
     pub float_determinism: bool,
     pub truncating_cast: bool,
     pub wildcard_match: bool,
+    /// Whether the crate participates in the workspace effect analysis
+    /// (`hot-path-effects` + `effect-annotation`).
+    pub effects: bool,
 }
 
 impl Policy {
@@ -40,6 +48,24 @@ impl Policy {
             || self.float_determinism
             || self.truncating_cast
             || self.wildcard_match
+            || self.effects
+    }
+
+    /// Whether a (suppressible) rule applies to this crate. Coverage
+    /// rules return false: they ignore the allowlist by design, so an
+    /// allow naming them can never be "used".
+    fn enables(&self, rule: &str) -> bool {
+        match rule {
+            "hash-collections" => self.hash_collections,
+            "wall-clock" => self.wall_clock,
+            "unwrap-expect" => self.unwrap_expect,
+            "fleet-readiness" => self.fleet_readiness,
+            "float-determinism" => self.float_determinism,
+            "truncating-cast" => self.truncating_cast,
+            "wildcard-match" => self.wildcard_match,
+            "hot-path-effects" | "effect-annotation" => self.effects,
+            _ => false,
+        }
     }
 }
 
@@ -56,6 +82,7 @@ pub(crate) fn policy_for(crate_name: &str) -> Policy {
             float_determinism: false,
             truncating_cast: false,
             wildcard_match: false,
+            effects: false,
         },
         "core" | "ftl" | "flash" | "sim" => Policy {
             hash_collections: true,
@@ -65,6 +92,7 @@ pub(crate) fn policy_for(crate_name: &str) -> Policy {
             float_determinism: true,
             truncating_cast: true,
             wildcard_match: true,
+            effects: true,
         },
         // types, legacy, femu, host and the root `conzone` package hold
         // sim-visible state but surface errors as panics at the CLI edge.
@@ -76,6 +104,7 @@ pub(crate) fn policy_for(crate_name: &str) -> Policy {
             float_determinism: true,
             truncating_cast: true,
             wildcard_match: true,
+            effects: true,
         },
     }
 }
@@ -279,6 +308,9 @@ pub(crate) struct FileCtx<'a> {
     line_starts: Vec<usize>,
     /// Extents of every item, for item-anchored allow directives.
     scopes: Vec<ItemScope>,
+    /// `(directive line, rule)` pairs that suppressed a finding, for
+    /// the unused-allow warnings.
+    used_allows: RefCell<BTreeSet<(usize, String)>>,
 }
 
 impl<'a> FileCtx<'a> {
@@ -318,6 +350,7 @@ impl<'a> FileCtx<'a> {
             in_test,
             line_starts,
             scopes: collector.scopes,
+            used_allows: RefCell::new(BTreeSet::new()),
         })
     }
 
@@ -328,9 +361,13 @@ impl<'a> FileCtx<'a> {
 
     /// Whether a valid allow directive for `rule` covers line `idx`:
     /// on the line itself, in the contiguous comment-only block
-    /// immediately above it, or anchored to any enclosing item. Returns
-    /// `Err` with a diagnostic when a directive names the rule but its
-    /// reason is missing.
+    /// immediately above it, or anchored to an enclosing item. Anchors
+    /// are consulted most-specific first — line scope, then enclosing
+    /// items innermost-outward — and the first directive naming the
+    /// rule wins, so exactly one directive is marked used per
+    /// suppression no matter how the anchors nest. Returns `Err` with
+    /// a diagnostic when a directive names the rule but its reason is
+    /// missing.
     fn allowed(&self, idx: usize, rule: &str) -> Result<bool, String> {
         let mut missing: Option<String> = None;
         match self.allowed_at(idx, rule) {
@@ -339,14 +376,20 @@ impl<'a> FileCtx<'a> {
             Err(why) => missing = Some(why),
         }
         let off = self.line_starts.get(idx).copied().unwrap_or(usize::MAX);
-        for s in &self.scopes {
-            if s.first_line != idx && off >= s.lo && off < s.hi {
-                match self.allowed_at(s.first_line, rule) {
-                    Ok(true) => return Ok(true),
-                    Ok(false) => {}
-                    Err(why) => {
-                        missing.get_or_insert(why);
-                    }
+        let mut enclosing: Vec<&ItemScope> = self
+            .scopes
+            .iter()
+            .filter(|s| s.first_line != idx && off >= s.lo && off < s.hi)
+            .collect();
+        // Innermost first: latest start, then earliest end as the
+        // tie-break, so the resolution order is total and deterministic.
+        enclosing.sort_by_key(|s| (std::cmp::Reverse(s.lo), s.hi));
+        for s in enclosing {
+            match self.allowed_at(s.first_line, rule) {
+                Ok(true) => return Ok(true),
+                Ok(false) => {}
+                Err(why) => {
+                    missing.get_or_insert(why);
                 }
             }
         }
@@ -356,25 +399,35 @@ impl<'a> FileCtx<'a> {
         }
     }
 
-    /// The line-scope directive check: line `at` itself, then the
-    /// contiguous comment-only block immediately above it.
-    fn allowed_at(&self, at: usize, rule: &str) -> Result<bool, String> {
+    /// The anchor lines a directive for line `at` may live on: the line
+    /// itself, then the contiguous comment-only block above it.
+    pub(crate) fn anchor_candidates(&self, at: usize) -> Vec<usize> {
         let mut candidates = vec![at];
         let mut l = at;
         while l > 0 {
             l -= 1;
-            let comment_only =
-                self.code_lines[l].trim().is_empty() && !self.comment_lines[l].trim().is_empty();
+            let comment_only = self.code_lines.get(l).is_some_and(|c| c.trim().is_empty())
+                && self
+                    .comment_lines
+                    .get(l)
+                    .is_some_and(|c| !c.trim().is_empty());
             if comment_only {
                 candidates.push(l);
             } else {
                 break;
             }
         }
-        for l in candidates {
+        candidates
+    }
+
+    /// The line-scope directive check over [`Self::anchor_candidates`].
+    /// A successful suppression records the directive as used.
+    fn allowed_at(&self, at: usize, rule: &str) -> Result<bool, String> {
+        for l in self.anchor_candidates(at) {
             for d in allow::directives(&self.comment_lines[l]) {
                 if d.rules.iter().any(|r| r == rule) {
                     if d.has_reason {
+                        self.used_allows.borrow_mut().insert((l, rule.to_string()));
                         return Ok(true);
                     }
                     return Err(allow::missing_reason(rule));
@@ -382,6 +435,49 @@ impl<'a> FileCtx<'a> {
             }
         }
         Ok(false)
+    }
+
+    /// Allow check for analyses that pre-filter findings (the effect
+    /// scan): true when a reasoned directive covers the line, marking
+    /// it used.
+    pub(crate) fn consume_allow(&self, idx: usize, rule: &str) -> bool {
+        matches!(self.allowed(idx, rule), Ok(true))
+    }
+
+    /// Appends a warning for every reasoned allow directive that never
+    /// suppressed anything, plus directives naming unknown or
+    /// non-suppressible rules. Test lines are skipped (every rule
+    /// already exempts them, so directives there are decoration).
+    pub(crate) fn unused_allow_warnings(&self, policy: Policy, out: &mut Vec<Warning>) {
+        let used = self.used_allows.borrow();
+        for (idx, line) in self.comment_lines.iter().enumerate() {
+            if self.in_test(idx) {
+                continue;
+            }
+            for d in allow::directives(line) {
+                for r in &d.rules {
+                    let message = if !crate::RULES.contains(&r.as_str()) {
+                        format!("allow({r}) names an unknown rule")
+                    } else if matches!(
+                        r.as_str(),
+                        "counter-coverage" | "event-coverage" | "span-coverage"
+                    ) {
+                        format!("allow({r}) has no effect: coverage rules cannot be suppressed")
+                    } else if !policy.enables(r) {
+                        format!("allow({r}) has no effect: the rule does not apply to this crate")
+                    } else if !used.contains(&(idx, r.clone())) {
+                        format!("unused allow({r}): nothing on this anchor trips the rule")
+                    } else {
+                        continue;
+                    };
+                    out.push(Warning {
+                        file: self.rel.to_path_buf(),
+                        line: idx + 1,
+                        message,
+                    });
+                }
+            }
+        }
     }
 
     /// Routes a finding through the allowlist and into `out`.
@@ -406,7 +502,9 @@ impl<'a> FileCtx<'a> {
     }
 }
 
-/// Scans one library source file with the per-file rules.
+/// Scans one library source file with the per-file rules (rule unit
+/// tests; production runs go through [`lint_workspace_report`]).
+#[cfg(test)]
 pub(crate) fn lint_file(
     rel: &Path,
     src: &str,
@@ -474,22 +572,93 @@ pub(crate) fn collect_sources(root: &Path) -> std::io::Result<Vec<(PathBuf, Stri
 /// Runs every rule over the workspace at `root`, returning the sorted
 /// violations.
 pub(crate) fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
-    let mut out = Vec::new();
+    Ok(lint_workspace_report(root, None)?.violations)
+}
+
+/// The full two-phase pass.
+///
+/// Phase 1 parses every file once and runs the per-file rules; with
+/// `changed` set (the `--changed` flag), per-file rules only run on the
+/// listed files. Phase 2 keeps every parsed file alive and runs the
+/// workspace analyses over all of them regardless of scoping — the
+/// effect analysis and the coverage cross-checks are properties of the
+/// whole tree, so a scoped run cannot skip them without losing their
+/// guarantees. Unused-allow warnings are only computed on unscoped runs
+/// (a scoped run leaves most allows legitimately unexercised).
+pub(crate) fn lint_workspace_report(
+    root: &Path,
+    changed: Option<&[PathBuf]>,
+) -> std::io::Result<Report> {
+    let mut loaded: Vec<(PathBuf, String, String)> = Vec::new();
     for (path, crate_name) in collect_sources(root)? {
-        let policy = policy_for(&crate_name);
-        if !policy.any() {
+        if !policy_for(&crate_name).any() {
             continue;
         }
         let src = std::fs::read_to_string(&path)?;
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-        lint_file(&rel, &src, policy, &mut out)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        loaded.push((rel, src, crate_name));
     }
+    let mut ctxs: Vec<(FileCtx<'_>, Policy, &str)> = Vec::with_capacity(loaded.len());
+    for (rel, src, crate_name) in &loaded {
+        let ctx = FileCtx::build(rel, src)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        ctxs.push((ctx, policy_for(crate_name), crate_name));
+    }
+    let in_scope = |rel: &Path| changed.is_none_or(|c| c.iter().any(|p| p == rel));
+
+    // Phase 1: per-file rules.
+    let mut out = Vec::new();
+    for (ctx, policy, _) in &ctxs {
+        if in_scope(ctx.rel) {
+            rules::run(ctx, *policy, &mut out);
+        }
+    }
+
+    // Phase 2: workspace analyses over every parsed file.
+    let mut syms = Vec::new();
+    for (ctx, policy, crate_name) in &ctxs {
+        if !policy.effects {
+            continue;
+        }
+        let mut issues = Vec::new();
+        symbols::collect(ctx, crate_name, &mut syms, &mut issues);
+        for issue in issues {
+            ctx.push(&mut out, issue.line, "effect-annotation", issue.message);
+        }
+    }
+    let graph = graph::build(syms);
+    graph.check_hot_paths(&mut out);
     rules::coverage::check_counter_coverage(root, &mut out);
     rules::coverage::check_event_coverage(root, &mut out);
     rules::coverage::check_span_coverage(root, &mut out);
     out.sort();
-    Ok(out)
+
+    let mut warnings = Vec::new();
+    if changed.is_none() {
+        for (ctx, policy, _) in &ctxs {
+            ctx.unused_allow_warnings(*policy, &mut warnings);
+        }
+    }
+    warnings.sort();
+
+    let functions = graph
+        .annotated_effects()
+        .into_iter()
+        .map(|f| FnEffects {
+            function: f.qualified(),
+            file: f.file.clone(),
+            line: f.line,
+            hot: f.hot,
+            cold: f.cold,
+            effects: f.effects.names(),
+        })
+        .collect();
+
+    Ok(Report {
+        violations: out,
+        warnings,
+        functions,
+    })
 }
 
 #[cfg(test)]

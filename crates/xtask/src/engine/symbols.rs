@@ -1,0 +1,717 @@
+//! Workspace symbol table: one [`FnSym`] per analysed function.
+//!
+//! The effect analysis needs to know, for every function in the
+//! sim-visible crates, *who it is* (free function, inherent method,
+//! trait method — and of which type), *what it intrinsically does*
+//! (its builtin-table effect sites) and *whom it calls* (its call
+//! sites, classified by shape so the `graph` module can resolve them).
+//! This module extracts all three from a [`FileCtx`], walking items
+//! recursively through modules, impls, traits, item-position macro
+//! invocations (macro-generated functions) and functions nested inside
+//! other function bodies.
+//!
+//! Functions also carry their effect *markers*:
+//!
+//! ```text
+//! // xtask-effect: hot_path
+//! pub fn write_range(…) { … }
+//!
+//! // xtask-effect: cold — GC refill slow path, runs off the IO path
+//! fn refill_free_list(…) { … }
+//! ```
+//!
+//! `hot_path` opts the function into the hot-path contract (the
+//! `hot-path-effects` rule); `cold` cuts effect propagation through the
+//! function (callers are not charged for what it does) and requires a
+//! reason, like an allow directive. `#[cold]` attributes count as cold
+//! markers too — the attribute already declares the same intent to the
+//! optimiser. Malformed markers are reported through the
+//! `effect-annotation` rule.
+
+use std::path::PathBuf;
+
+use crate::engine::effects::{self, EffectSet, EffectSite};
+use crate::engine::tokens::FlatTok;
+use crate::engine::FileCtx;
+use proc_macro2::{Delimiter, TokenTree};
+use syn::{Block, Expr, Item, ItemFn};
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CallKind {
+    /// `name(…)` — a free function (or tuple-struct constructor, which
+    /// resolves to nothing).
+    Bare,
+    /// `Qualifier::name(…)` — an associated function, `Self::name`, a
+    /// trait-qualified call, or a module-qualified free function.
+    Qualified(String),
+    /// `recv.name(…)` — a method on an unknown receiver type.
+    Method,
+    /// `self.name(…)` — a method on the enclosing impl type.
+    SelfMethod,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub(crate) struct CallSite {
+    pub kind: CallKind,
+    pub name: String,
+}
+
+/// One analysed function.
+#[derive(Debug)]
+pub(crate) struct FnSym {
+    pub crate_name: String,
+    /// Path relative to the linted root.
+    pub file: PathBuf,
+    /// 1-based line of the function name.
+    pub line: usize,
+    pub name: String,
+    /// The impl self type for inherent/trait-impl methods, or the trait
+    /// name for trait default bodies; `None` for free functions.
+    pub self_ty: Option<String>,
+    /// The trait an `impl Trait for Type` method implements.
+    pub trait_of: Option<String>,
+    /// Marked `// xtask-effect: hot_path`.
+    pub hot: bool,
+    /// Marked cold (`#[cold]` or a reasoned `xtask-effect: cold`):
+    /// effect propagation stops here.
+    pub cold: bool,
+    /// Builtin-table effect sites in the body (allow-filtered).
+    pub intrinsics: Vec<EffectSite>,
+    /// Call sites in the body.
+    pub calls: Vec<CallSite>,
+    /// Transitive effects, filled in by the graph fixpoint.
+    pub effects: EffectSet,
+}
+
+impl FnSym {
+    /// `crate::Type::name`-style display name.
+    pub(crate) fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{}::{}::{}", self.crate_name, ty, self.name),
+            None => format!("{}::{}", self.crate_name, self.name),
+        }
+    }
+}
+
+/// A file-local problem with an effect marker, reported through the
+/// `effect-annotation` rule.
+pub(crate) struct MarkerIssue {
+    /// 0-based line of the marker (or function).
+    pub line: usize,
+    pub message: String,
+}
+
+/// Walks one file and appends its function symbols and marker issues.
+pub(crate) fn collect(
+    ctx: &FileCtx<'_>,
+    crate_name: &str,
+    syms: &mut Vec<FnSym>,
+    issues: &mut Vec<MarkerIssue>,
+) {
+    let mut walker = Walker {
+        ctx,
+        crate_name,
+        syms,
+        issues,
+        consumed_marker_lines: Vec::new(),
+    };
+    for item in &ctx.ast.items {
+        walker.item(item, &ImplCtx::none());
+    }
+    // Any effect marker on a line no function claimed is dangling.
+    for (idx, line) in ctx.comment_lines.iter().enumerate() {
+        if effects::effect_markers(line).is_empty() {
+            continue;
+        }
+        if ctx.in_test(idx) || walker.consumed_marker_lines.contains(&idx) {
+            continue;
+        }
+        walker.issues.push(MarkerIssue {
+            line: idx,
+            message: "effect marker is not attached to a function \
+                      (write it on the line of, or directly above, a `fn`)"
+                .to_string(),
+        });
+    }
+}
+
+/// The impl/trait context a function is found in.
+#[derive(Clone, Default)]
+struct ImplCtx {
+    self_ty: Option<String>,
+    trait_of: Option<String>,
+}
+
+impl ImplCtx {
+    fn none() -> ImplCtx {
+        ImplCtx::default()
+    }
+}
+
+struct Walker<'a, 'c> {
+    ctx: &'a FileCtx<'c>,
+    crate_name: &'a str,
+    syms: &'a mut Vec<FnSym>,
+    issues: &'a mut Vec<MarkerIssue>,
+    consumed_marker_lines: Vec<usize>,
+}
+
+impl Walker<'_, '_> {
+    fn item(&mut self, item: &Item, ictx: &ImplCtx) {
+        if item.is_cfg_test() {
+            return;
+        }
+        match item {
+            Item::Fn(f) => self.function(f, ictx),
+            Item::Mod(m) => {
+                if let Some(items) = &m.content {
+                    for it in items {
+                        self.item(it, ictx);
+                    }
+                }
+            }
+            Item::Impl(imp) => {
+                let (trait_of, self_ty) = impl_context(&imp.header);
+                let ictx = ImplCtx { self_ty, trait_of };
+                for it in &imp.items {
+                    self.item(it, &ictx);
+                }
+            }
+            Item::Trait(tr) => {
+                let ictx = ImplCtx {
+                    self_ty: Some(tr.name.clone()),
+                    trait_of: None,
+                };
+                for it in &tr.items {
+                    self.item(it, &ictx);
+                }
+            }
+            // Macro-generated functions: the reduced parser exposes a
+            // macro invocation's body as parsed expressions, so `fn`
+            // items emitted literally inside one are analysable.
+            Item::Macro(m) => {
+                for e in &m.body {
+                    if let Expr::Item(it) = e {
+                        self.item(it, ictx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn function(&mut self, f: &ItemFn, ictx: &ImplCtx) {
+        let Some(body) = &f.body else {
+            return; // trait declarations carry no analysable body
+        };
+        let first_line = f
+            .attrs
+            .first()
+            .map_or(f.span.line, |a| a.span.line.min(f.span.line))
+            .saturating_sub(1);
+        if self.ctx.in_test(first_line) || f.attrs.iter().any(|a| a.is_test()) {
+            return;
+        }
+
+        // Effect markers anchor like allow directives: on the item's
+        // first line or in the contiguous comment block above it.
+        let mut hot = false;
+        let mut cold = f.attrs.iter().any(|a| a.path == "cold");
+        for l in self.ctx.anchor_candidates(first_line) {
+            let markers = effects::effect_markers(&self.ctx.comment_lines[l]);
+            if markers.is_empty() {
+                continue;
+            }
+            self.consumed_marker_lines.push(l);
+            for m in markers {
+                match m.kind.as_str() {
+                    "hot_path" => hot = true,
+                    "cold" if m.has_reason => cold = true,
+                    "cold" => self.issues.push(MarkerIssue {
+                        line: l,
+                        message: "cold marker is missing its reason (write \
+                                  `// xtask-effect: cold — <reason>`)"
+                            .to_string(),
+                    }),
+                    other => self.issues.push(MarkerIssue {
+                        line: l,
+                        message: format!(
+                            "unknown effect marker `{other}` \
+                             (expected `hot_path` or `cold`)"
+                        ),
+                    }),
+                }
+            }
+        }
+        if hot && cold {
+            self.issues.push(MarkerIssue {
+                line: first_line,
+                message: format!(
+                    "`{}` is marked both hot_path and cold — a function \
+                     cannot be on the hot path and exempt from it",
+                    f.name
+                ),
+            });
+        }
+
+        // Nested named functions are symbols of their own: exclude
+        // their byte extents from this body's scan, then recurse.
+        let mut nested: Vec<(usize, usize)> = Vec::new();
+        collect_nested_fns(body, &mut |it| {
+            let lo = it
+                .attrs()
+                .first()
+                .map_or(it.span().lo, |a| a.span.lo.min(it.span().lo));
+            nested.push((lo, it.end_byte()));
+        });
+        for e in &body.exprs {
+            self.nested_items(e);
+        }
+
+        let (start, end) = self.token_window(body, f.end_byte);
+        let mut intrinsics = Vec::new();
+        effects::scan_intrinsics(&self.ctx.flat, start, end, &nested, &mut intrinsics);
+        // The leaf-site escape hatch: an allow directive at the effect
+        // site discharges it before it ever enters the lattice.
+        intrinsics.retain(|site| !self.ctx.consume_allow(site.line, "hot-path-effects"));
+
+        let mut calls = Vec::new();
+        scan_calls(&self.ctx.flat, start, end, &nested, &mut calls);
+
+        self.syms.push(FnSym {
+            crate_name: self.crate_name.to_string(),
+            file: self.ctx.rel.to_path_buf(),
+            line: f.name_span.line,
+            name: f.name.clone(),
+            self_ty: ictx.self_ty.clone(),
+            trait_of: ictx.trait_of.clone(),
+            hot,
+            cold,
+            intrinsics,
+            calls,
+            effects: EffectSet::EMPTY,
+        });
+    }
+
+    /// Recurses into items nested inside a body (functions declared in
+    /// function scope, inline modules, …).
+    fn nested_items(&mut self, e: &Expr) {
+        match e {
+            Expr::Item(it) => self.item(it, &ImplCtx::none()),
+            Expr::Group(g) => {
+                for e in &g.exprs {
+                    self.nested_items(e);
+                }
+            }
+            Expr::Match(m) => {
+                for e in &m.scrutinee {
+                    self.nested_items(e);
+                }
+                for arm in &m.arms {
+                    for e in &arm.body {
+                        self.nested_items(e);
+                    }
+                }
+            }
+            Expr::Macro(m) => {
+                for e in &m.body {
+                    self.nested_items(e);
+                }
+            }
+            Expr::Tokens(_) => {}
+        }
+    }
+
+    /// The flat-token index window of a function body: from the body's
+    /// opening brace to the function's last token. Closures stay inside
+    /// the window (their effects are attributed to the enclosing
+    /// function); enclosing-group `Close` markers that point back
+    /// before the body end the scan.
+    fn token_window(&self, body: &Block, end_byte: usize) -> (usize, usize) {
+        let body_lo = body.span.lo;
+        let flat = &self.ctx.flat;
+        let mut start = 0;
+        while start < flat.len() && flat[start].span().lo < body_lo {
+            start += 1;
+        }
+        let mut end = start;
+        while end < flat.len() {
+            let lo = flat[end].span().lo;
+            if lo >= end_byte || (matches!(flat[end], FlatTok::Close { .. }) && lo < body_lo) {
+                break;
+            }
+            end += 1;
+        }
+        (start, end)
+    }
+}
+
+/// Finds `fn` items directly nested in a body (any depth of expression
+/// nesting, but not inside *their* bodies — recursion handles those).
+fn collect_nested_fns(body: &Block, on_fn: &mut impl FnMut(&Item)) {
+    fn walk(e: &Expr, on_fn: &mut impl FnMut(&Item)) {
+        match e {
+            Expr::Item(it) => {
+                if matches!(**it, Item::Fn(_)) {
+                    on_fn(it);
+                }
+            }
+            Expr::Group(g) => {
+                for e in &g.exprs {
+                    walk(e, on_fn);
+                }
+            }
+            Expr::Match(m) => {
+                for e in &m.scrutinee {
+                    walk(e, on_fn);
+                }
+                for arm in &m.arms {
+                    for e in &arm.body {
+                        walk(e, on_fn);
+                    }
+                }
+            }
+            Expr::Macro(m) => {
+                for e in &m.body {
+                    walk(e, on_fn);
+                }
+            }
+            Expr::Tokens(_) => {}
+        }
+    }
+    for e in &body.exprs {
+        walk(e, on_fn);
+    }
+}
+
+/// Classifies every call site in a token window. Shapes:
+///
+/// * `name(…)` → [`CallKind::Bare`]
+/// * `Qual::name(…)` → [`CallKind::Qualified`]
+/// * `self.name(…)` → [`CallKind::SelfMethod`]
+/// * `recv.name(…)` → [`CallKind::Method`]
+///
+/// `name!(…)` macro invocations are not calls (the builtin macro table
+/// covers the ones with effects, and their argument tokens are scanned
+/// like any others). Calls through closure-typed *parameters*
+/// (`f(x)` where `f: impl Fn()`) resolve to nothing — a documented
+/// limitation; closure *bodies* are charged to the defining function.
+fn scan_calls(
+    flat: &[FlatTok],
+    lo: usize,
+    hi: usize,
+    skip: &[(usize, usize)],
+    out: &mut Vec<CallSite>,
+) {
+    let skipped = |t: &FlatTok| {
+        skip.iter()
+            .any(|&(s, e)| t.span().lo >= s && t.span().lo < e)
+    };
+    for i in lo..hi {
+        if skipped(&flat[i]) {
+            continue;
+        }
+        let Some(name) = flat[i].ident() else {
+            continue;
+        };
+        if effects::is_keyword(name) {
+            continue;
+        }
+        let next_is_paren = matches!(
+            flat.get(i + 1),
+            Some(FlatTok::Open {
+                delim: Delimiter::Parenthesis,
+                ..
+            })
+        );
+        if !next_is_paren || i + 1 >= hi {
+            continue;
+        }
+        let prev = if i > lo { Some(&flat[i - 1]) } else { None };
+        let prev_punct = prev.and_then(|t| t.punct());
+        let site = match prev_punct {
+            Some('!') => continue, // macro invocation
+            Some('.') => {
+                let receiver = (i >= lo + 2).then(|| &flat[i - 2]).and_then(FlatTok::ident);
+                if receiver == Some("self") && (i < lo + 3 || flat[i - 3].punct() != Some('.')) {
+                    CallSite {
+                        kind: CallKind::SelfMethod,
+                        name: name.to_string(),
+                    }
+                } else {
+                    CallSite {
+                        kind: CallKind::Method,
+                        name: name.to_string(),
+                    }
+                }
+            }
+            Some(':') if i >= lo + 3 && flat[i - 2].punct() == Some(':') => {
+                match flat[i - 3].ident() {
+                    Some(q) => CallSite {
+                        kind: CallKind::Qualified(q.to_string()),
+                        name: name.to_string(),
+                    },
+                    // `<T as Trait>::name(…)` and similar: treat as a
+                    // plain method-by-name lookup.
+                    None => CallSite {
+                        kind: CallKind::Method,
+                        name: name.to_string(),
+                    },
+                }
+            }
+            _ => CallSite {
+                kind: CallKind::Bare,
+                name: name.to_string(),
+            },
+        };
+        out.push(site);
+    }
+}
+
+/// Parses an `impl` header token run into `(trait, self_ty)`:
+/// `impl<T> Foo<T>` → `(None, Foo)`;
+/// `impl Probe for RingBufferSink` → `(Some(Probe), RingBufferSink)`.
+fn impl_context(header: &[TokenTree]) -> (Option<String>, Option<String>) {
+    // Strip leading generic parameters `<…>`.
+    let mut toks = header;
+    if toks.first().and_then(TokenTree::as_punct) == Some('<') {
+        let mut depth = 0i32;
+        let mut cut = toks.len();
+        for (k, t) in toks.iter().enumerate() {
+            match t.as_punct() {
+                Some('<') => depth += 1,
+                Some('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        toks = &toks[cut.min(toks.len())..];
+    }
+    // Split at a top-level `for`.
+    let mut depth = 0i32;
+    let mut for_at = None;
+    for (k, t) in toks.iter().enumerate() {
+        match t.as_punct() {
+            Some('<') => depth += 1,
+            Some('>') => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 && t.as_ident() == Some("for") {
+            for_at = Some(k);
+            break;
+        }
+    }
+    match for_at {
+        Some(k) => (type_name(&toks[..k]), type_name(&toks[k + 1..])),
+        None => (None, type_name(toks)),
+    }
+}
+
+/// The principal type name of a path-ish token run: the last top-level
+/// identifier before generics/where, skipping lifetimes and `&`/`mut`.
+fn type_name(toks: &[TokenTree]) -> Option<String> {
+    let mut depth = 0i32;
+    let mut last = None;
+    let mut prev_lifetime = false;
+    for t in toks {
+        match t.as_punct() {
+            Some('<') => depth += 1,
+            Some('>') => depth -= 1,
+            Some('\'') => {
+                prev_lifetime = true;
+                continue;
+            }
+            _ => {}
+        }
+        if depth == 0 {
+            if let Some(id) = t.as_ident() {
+                if prev_lifetime {
+                    prev_lifetime = false;
+                    continue;
+                }
+                if id == "where" {
+                    break;
+                }
+                if !matches!(id, "dyn" | "mut" | "const") {
+                    last = Some(id.to_string());
+                }
+            }
+        }
+        prev_lifetime = false;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn collect_src(src: &str) -> (Vec<FnSym>, Vec<MarkerIssue>) {
+        let ctx = FileCtx::build(Path::new("crates/core/src/x.rs"), src).expect("parses");
+        let mut syms = Vec::new();
+        let mut issues = Vec::new();
+        collect(&ctx, "core", &mut syms, &mut issues);
+        (syms, issues)
+    }
+
+    #[test]
+    fn free_fns_methods_and_trait_impls_are_classified() {
+        let (syms, issues) = collect_src(
+            "fn free() {}\n\
+             struct S;\n\
+             impl S { fn m(&self) {} }\n\
+             trait T { fn d(&self) { helper() } }\n\
+             impl T for S { fn d(&self) {} }\n\
+             fn helper() {}\n",
+        );
+        assert!(issues.is_empty());
+        let names: Vec<String> = syms.iter().map(FnSym::qualified).collect();
+        assert_eq!(
+            names,
+            [
+                "core::free",
+                "core::S::m",
+                "core::T::d",
+                "core::S::d",
+                "core::helper"
+            ]
+        );
+        assert_eq!(syms[3].trait_of.as_deref(), Some("T"));
+        let decl = &syms[2];
+        assert_eq!(decl.calls.len(), 1);
+        assert_eq!(decl.calls[0].kind, CallKind::Bare);
+    }
+
+    #[test]
+    fn call_shapes_are_classified() {
+        let (syms, _) = collect_src(
+            "impl S { fn m(&mut self) {\n\
+                 free();\n\
+                 Self::assoc();\n\
+                 Other::q(1);\n\
+                 self.own();\n\
+                 recv.meth();\n\
+                 mac!(ro);\n\
+             } }\n",
+        );
+        let calls: Vec<(CallKind, &str)> = syms[0]
+            .calls
+            .iter()
+            .map(|c| (c.kind.clone(), c.name.as_str()))
+            .collect();
+        assert_eq!(
+            calls,
+            [
+                (CallKind::Bare, "free"),
+                (CallKind::Qualified("Self".to_string()), "assoc"),
+                (CallKind::Qualified("Other".to_string()), "q"),
+                (CallKind::SelfMethod, "own"),
+                (CallKind::Method, "meth"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_not_charged_to_the_encloser() {
+        let (syms, _) = collect_src(
+            "fn outer() {\n\
+                 fn inner() { let v = Vec::with_capacity(4); }\n\
+                 let x = 1;\n\
+             }\n",
+        );
+        let outer = syms.iter().find(|s| s.name == "outer").expect("outer");
+        let inner = syms.iter().find(|s| s.name == "inner").expect("inner");
+        assert!(outer.intrinsics.is_empty(), "{:?}", outer.intrinsics);
+        assert_eq!(inner.intrinsics.len(), 1);
+    }
+
+    #[test]
+    fn closure_bodies_are_charged_to_the_encloser() {
+        let (syms, _) = collect_src("fn f() { let g = || Vec::with_capacity(2); g(); }\n");
+        assert_eq!(syms.len(), 1);
+        assert_eq!(syms[0].intrinsics.len(), 1);
+    }
+
+    #[test]
+    fn markers_attach_and_dangling_markers_are_issues() {
+        let (syms, issues) = collect_src(
+            "// xtask-effect: hot_path\n\
+             fn hot() {}\n\
+             // xtask-effect: cold — refill slow path\n\
+             fn slow() {}\n\
+             #[cold]\n\
+             fn attr_cold() {}\n\
+             // xtask-effect: hot_path\n\
+             struct NotAFn;\n",
+        );
+        assert!(syms[0].hot && !syms[0].cold);
+        assert!(syms[1].cold && !syms[1].hot);
+        assert!(syms[2].cold);
+        assert_eq!(issues.len(), 1, "{:?}", issues[0].message);
+        assert!(issues[0].message.contains("not attached"));
+    }
+
+    #[test]
+    fn cold_without_reason_and_unknown_kinds_are_issues() {
+        let (_, issues) = collect_src(
+            "// xtask-effect: cold\n\
+             fn a() {}\n\
+             // xtask-effect: lukewarm — eh\n\
+             fn b() {}\n",
+        );
+        assert_eq!(issues.len(), 2);
+        assert!(issues[0].message.contains("missing its reason"));
+        assert!(issues[1].message.contains("unknown effect marker"));
+    }
+
+    #[test]
+    fn impl_header_parsing() {
+        let parse = |src: &str| {
+            let ctx = FileCtx::build(Path::new("crates/core/src/x.rs"), src).expect("parses");
+            let Item::Impl(imp) = &ctx.ast.items[0] else {
+                panic!()
+            };
+            impl_context(&imp.header)
+        };
+        assert_eq!(parse("impl Foo {}"), (None, Some("Foo".to_string())));
+        assert_eq!(
+            parse("impl<T: Clone> Foo<T> where T: Copy {}"),
+            (None, Some("Foo".to_string()))
+        );
+        assert_eq!(
+            parse("impl Probe for RingBufferSink {}"),
+            (
+                Some("Probe".to_string()),
+                Some("RingBufferSink".to_string())
+            )
+        );
+        assert_eq!(
+            parse("impl<'a> conzone_types::Probe for Sink<'a> {}"),
+            (Some("Probe".to_string()), Some("Sink".to_string()))
+        );
+    }
+
+    #[test]
+    fn macro_generated_fns_are_collected() {
+        let (syms, _) = collect_src(
+            "macro_rules! ignored { () => {} }\n\
+             emit_fns! { fn generated() { target(); } }\n\
+             fn target() {}\n",
+        );
+        let gen = syms.iter().find(|s| s.name == "generated");
+        assert!(
+            gen.is_some(),
+            "{:?}",
+            syms.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
+        assert_eq!(gen.unwrap().calls[0].name, "target");
+    }
+}

@@ -3,7 +3,7 @@
 //! ConZone's value as an emulator rests on bit-identical seeded reruns
 //! and (for fleet mode) on device state that can shard across worker
 //! threads, so this pass makes both *statically enforced* properties
-//! instead of test-observed ones. Ten rules:
+//! instead of test-observed ones. Twelve rules:
 //!
 //! * [`hash-collections`] — no `std::collections::HashMap`/`HashSet` in
 //!   crates that hold sim-visible state. Their iteration order is
@@ -40,6 +40,18 @@
 //! * [`wildcard-match`] — no `_ =>` arms on matches over `DeviceEvent`,
 //!   `SpanKind`, `InvariantKind` or `FaultKind`; a wildcard defeats the
 //!   coverage rules by silently absorbing newly added variants.
+//! * [`hot-path-effects`] — functions marked `// xtask-effect: hot_path`
+//!   must be *transitively* free of allocation, explicit panics, locks
+//!   and wall-clock reads. A workspace call graph propagates an effect
+//!   lattice (allocates, panics, bounds, locks, wall_clock, rng) from a
+//!   builtin std table to fixpoint; violations name the full call chain
+//!   and anchor at the leaf site. `#[cold]` / `// xtask-effect: cold —
+//!   <reason>` functions cut propagation (the slow-path escape hatch).
+//!   The steady-state allocation guard in `cargo xtask bench` is this
+//!   rule's runtime cross-check.
+//! * [`effect-annotation`] — the effect markers themselves must be
+//!   well-formed: attached to a function, a known kind (`hot_path` or
+//!   `cold`), `cold` carrying a reason, and never both on one function.
 //!
 //! # Engine
 //!
@@ -73,7 +85,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Rule identifiers, as used in diagnostics and allow directives.
-pub const RULES: [&str; 10] = [
+pub const RULES: [&str; 12] = [
     "hash-collections",
     "wall-clock",
     "unwrap-expect",
@@ -84,6 +96,8 @@ pub const RULES: [&str; 10] = [
     "float-determinism",
     "truncating-cast",
     "wildcard-match",
+    "hot-path-effects",
+    "effect-annotation",
 ];
 
 /// One lint finding.
@@ -112,10 +126,72 @@ impl fmt::Display for Violation {
     }
 }
 
+/// A non-fatal finding: the lint still passes, but something deserves
+/// attention — today, allow directives that no longer suppress anything.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Warning {
+    /// Path relative to the linted root.
+    pub file: PathBuf,
+    /// 1-based line number of the directive.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: warning: {}",
+            self.file.display(),
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Inferred transitive effects of one effect-annotated function, for
+/// the JSON report.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnEffects {
+    /// `crate::Type::name` (or `crate::name` for free functions).
+    pub function: String,
+    /// Path relative to the linted root.
+    pub file: PathBuf,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Marked `// xtask-effect: hot_path`.
+    pub hot: bool,
+    /// Marked cold (`#[cold]` or `// xtask-effect: cold — <reason>`).
+    pub cold: bool,
+    /// Transitive effect names, in lattice-bit order.
+    pub effects: Vec<&'static str>,
+}
+
+/// The full result of one lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Rule violations (failures), sorted.
+    pub violations: Vec<Violation>,
+    /// Non-fatal warnings, sorted. Empty on `--changed` runs: a scoped
+    /// run exercises too few rules to judge whether an allow is unused.
+    pub warnings: Vec<Warning>,
+    /// Per-function inferred effects for every annotated function.
+    pub functions: Vec<FnEffects>,
+}
+
 /// Runs every rule over the workspace at `root`, returning the sorted
 /// violations.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     engine::lint_workspace(root)
+}
+
+/// Runs the lint and returns the full report. When `changed` is given,
+/// per-file rules run only over those root-relative paths; workspace
+/// rules (coverage, effect analysis) always see the whole tree — a
+/// call-graph property cannot be judged from a partial view.
+pub fn lint_workspace_report(root: &Path, changed: Option<&[PathBuf]>) -> std::io::Result<Report> {
+    engine::lint_workspace_report(root, changed)
 }
 
 /// Renders violations as a JSON report with a stable field order
@@ -145,6 +221,81 @@ pub fn violations_to_json(violations: &[Violation]) -> String {
         );
     }
     if violations.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Renders the full report as JSON with a stable field order (`rules`,
+/// `violation_count`, `violations`, `warning_count`, `warnings`, then
+/// `functions` with per-function inferred effects), so snapshots and CI
+/// consumers can diff the output textually.
+pub fn report_to_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}{}", json_string(r));
+    }
+    let _ = write!(
+        out,
+        "],\n  \"violation_count\": {},\n  \"violations\": [",
+        report.violations.len()
+    );
+    for (i, v) in report.violations.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&v.file.display().to_string()),
+            v.line,
+            json_string(v.rule),
+            json_string(&v.message)
+        );
+    }
+    if !report.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(
+        out,
+        "],\n  \"warning_count\": {},\n  \"warnings\": [",
+        report.warnings.len()
+    );
+    for (i, w) in report.warnings.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_string(&w.file.display().to_string()),
+            w.line,
+            json_string(&w.message)
+        );
+    }
+    if !report.warnings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"functions\": [");
+    for (i, f) in report.functions.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let mut effects = String::from("[");
+        for (j, e) in f.effects.iter().enumerate() {
+            let esep = if j == 0 { "" } else { ", " };
+            let _ = write!(effects, "{esep}{}", json_string(e));
+        }
+        effects.push(']');
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"function\": {}, \"file\": {}, \"line\": {}, \
+             \"hot\": {}, \"cold\": {}, \"effects\": {effects}}}",
+            json_string(&f.function),
+            json_string(&f.file.display().to_string()),
+            f.line,
+            f.hot,
+            f.cold,
+        );
+    }
+    if report.functions.is_empty() {
         out.push_str("]\n}\n");
     } else {
         out.push_str("\n  ]\n}\n");
@@ -200,5 +351,33 @@ mod tests {
         let json = violations_to_json(&[]);
         assert!(json.contains("\"violation_count\": 0"));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn full_report_json_includes_warnings_and_functions() {
+        let report = Report {
+            violations: vec![],
+            warnings: vec![Warning {
+                file: PathBuf::from("crates/sim/src/x.rs"),
+                line: 7,
+                message: "unused allow".to_string(),
+            }],
+            functions: vec![FnEffects {
+                function: "core::ConZone::write_range".to_string(),
+                file: PathBuf::from("crates/core/src/write.rs"),
+                line: 35,
+                hot: true,
+                cold: false,
+                effects: vec!["bounds"],
+            }],
+        };
+        let json = report_to_json(&report);
+        let warn_at = json.find("\"warnings\"").expect("warnings key");
+        let fns_at = json.find("\"functions\"").expect("functions key");
+        assert!(warn_at < fns_at);
+        assert!(json.contains("\"warning_count\": 1"));
+        assert!(json.contains("\"hot\": true"));
+        assert!(json.contains("\"effects\": [\"bounds\"]"));
+        assert!(json.contains("core::ConZone::write_range"));
     }
 }

@@ -22,7 +22,7 @@ fn workspace_root() -> PathBuf {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint  [--root <path>] [--json]");
+    eprintln!("usage: cargo xtask lint  [--root <path>] [--json] [--changed]");
     eprintln!("       cargo xtask bench [--root <path>] [--smoke] [--out <path>]");
     eprintln!();
     eprintln!("lint — runs the determinism-hygiene pass over the workspace:");
@@ -30,34 +30,93 @@ fn usage() -> ExitCode {
         eprintln!("  - {rule}");
     }
     eprintln!();
+    eprintln!("--changed scopes the per-file rules to files reported modified or");
+    eprintln!("untracked by git; workspace rules (coverage, effect analysis)");
+    eprintln!("always see the whole tree. Unused-allow warnings are suppressed");
+    eprintln!("on scoped runs.");
+    eprintln!();
     eprintln!("bench — builds and runs the `bench_snapshot` binary (selfprof");
-    eprintln!("enabled), writes BENCH_<date>.json (or --out), and validates");
-    eprintln!("the emitted JSON: schema tag, required fields, and the");
+    eprintln!("and counting-alloc enabled), writes BENCH_<date>.json (or --out),");
+    eprintln!("and validates the emitted JSON: schema tag, required fields, the");
     eprintln!("observability overhead guard (attaching spans/probe must not");
-    eprintln!("change simulated results). --smoke shrinks the workloads for CI.");
+    eprintln!("change simulated results), and the steady-state allocation guard");
+    eprintln!("(hot paths must perform zero allocations per op after warmup).");
+    eprintln!("--smoke shrinks the workloads for CI.");
     ExitCode::FAILURE
 }
 
-fn cmd_lint(root: &Path, json: bool) -> ExitCode {
-    match xtask::lint_workspace(root) {
-        Ok(violations) if json => {
-            print!("{}", xtask::violations_to_json(&violations));
-            if violations.is_empty() {
+/// Root-relative paths of files git reports as modified or untracked,
+/// for `lint --changed`. Errors (not a repo, git missing) are fatal: a
+/// silently empty scope would make the lint vacuously pass.
+fn changed_paths(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut paths = Vec::new();
+    for args in [
+        &["diff", "--name-only", "HEAD"][..],
+        &["ls-files", "--others", "--exclude-standard"][..],
+    ] {
+        let out = std::process::Command::new("git")
+            .current_dir(root)
+            .args(args)
+            .output()
+            .map_err(|e| format!("failed to run git: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        for line in String::from_utf8_lossy(&out.stdout).lines() {
+            let line = line.trim();
+            if !line.is_empty() {
+                paths.push(PathBuf::from(line));
+            }
+        }
+    }
+    paths.sort();
+    paths.dedup();
+    Ok(paths)
+}
+
+fn cmd_lint(root: &Path, json: bool, changed: bool) -> ExitCode {
+    let scope = if changed {
+        match changed_paths(root) {
+            Ok(paths) => Some(paths),
+            Err(e) => {
+                eprintln!("xtask lint: --changed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    match xtask::lint_workspace_report(root, scope.as_deref()) {
+        Ok(report) if json => {
+            print!("{}", xtask::report_to_json(&report));
+            if report.violations.is_empty() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
             }
         }
-        Ok(violations) if violations.is_empty() => {
-            println!("xtask lint: clean ({} rules)", xtask::RULES.len());
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
+        Ok(report) => {
+            for v in &report.violations {
                 println!("{v}");
             }
-            println!("xtask lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            for w in &report.warnings {
+                println!("{w}");
+            }
+            if report.violations.is_empty() {
+                let scoped = scope
+                    .as_ref()
+                    .map(|s| format!(", {} changed file(s)", s.len()))
+                    .unwrap_or_default();
+                println!("xtask lint: clean ({} rules{scoped})", xtask::RULES.len());
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask lint: {} violation(s)", report.violations.len());
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("xtask lint: failed to scan {}: {e}", root.display());
@@ -132,6 +191,31 @@ fn validate_snapshot(text: &str) -> Vec<String> {
         }
         _ => errs.push("`repro.sim_identical` is missing".to_string()),
     }
+    // The steady-state allocation guard — the runtime cross-check of the
+    // static `hot-path-effects` rule. The committed snapshot must come
+    // from a counting build and must have measured zero allocations/op.
+    let guard = j.get("alloc_guard");
+    match guard.and_then(|g| g.get("enabled")) {
+        Some(Json::Bool(true)) => match guard.and_then(|g| g.get("steady_state_zero")) {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => errs.push(
+                "alloc guard FAILED: steady-state hot paths touched the global allocator"
+                    .to_string(),
+            ),
+            _ => errs.push("`alloc_guard.steady_state_zero` is missing".to_string()),
+        },
+        Some(Json::Bool(false)) => errs.push(
+            "alloc guard not compiled in: snapshot must be built with `counting-alloc`".to_string(),
+        ),
+        _ => errs.push("`alloc_guard.enabled` is missing".to_string()),
+    }
+    match guard
+        .and_then(|g| g.get("workloads"))
+        .and_then(Json::as_array)
+    {
+        Some(ws) if ws.len() >= 2 => {}
+        _ => errs.push("`alloc_guard.workloads` must cover both reference workloads".to_string()),
+    }
     for field in ["selfprof", "peak_rss_bytes"] {
         if j.get(field).is_none() {
             errs.push(format!("`{field}` is missing"));
@@ -151,7 +235,7 @@ fn cmd_bench(root: &Path, smoke: bool, out: Option<PathBuf>) -> ExitCode {
         "-p",
         "conzone-bench",
         "--features",
-        "conzone-bench/selfprof",
+        "conzone-bench/selfprof,conzone-bench/counting-alloc",
         "--bin",
         "bench_snapshot",
         "--",
@@ -212,6 +296,7 @@ fn main() -> ExitCode {
     let mut cmd = None;
     let mut smoke = false;
     let mut json = false;
+    let mut changed = false;
     let mut out = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -222,6 +307,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--json" if cmd == Some("lint") => json = true,
+            "--changed" if cmd == Some("lint") => changed = true,
             "--smoke" if cmd == Some("bench") => smoke = true,
             "--out" if cmd == Some("bench") => match it.next() {
                 Some(p) => out = Some(PathBuf::from(p)),
@@ -231,7 +317,7 @@ fn main() -> ExitCode {
         }
     }
     match cmd {
-        Some("lint") => cmd_lint(&root, json),
+        Some("lint") => cmd_lint(&root, json, changed),
         Some("bench") => cmd_bench(&root, smoke, out),
         _ => usage(),
     }
@@ -263,6 +349,8 @@ mod tests {
             "workloads": [{"name":"w","sim_ops":1,"wall_seconds":0.1,"ops_per_wall_second":10.0}],
             "repro": {"sim_identical": true, "delta_pct": 1.0},
             "overhead": {"instrumented_identical": false},
+            "alloc_guard": {"enabled": true, "steady_state_zero": true,
+                            "workloads": [{"name":"a"},{"name":"b"}]},
             "selfprof": {"enabled": false},
             "peak_rss_bytes": 1
         }"#;
@@ -274,5 +362,16 @@ mod tests {
             r#""instrumented_identical": true"#,
         );
         assert!(validate_snapshot(&ok).is_empty());
+        let alloc_fail = ok.replace(
+            r#""steady_state_zero": true"#,
+            r#""steady_state_zero": false"#,
+        );
+        let errs = validate_snapshot(&alloc_fail);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("alloc guard FAILED"), "{errs:?}");
+        let not_counting = ok.replace(r#""enabled": true"#, r#""enabled": false"#);
+        assert!(validate_snapshot(&not_counting)
+            .iter()
+            .any(|e| e.contains("counting-alloc")));
     }
 }

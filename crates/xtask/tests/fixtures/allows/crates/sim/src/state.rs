@@ -1,0 +1,14 @@
+//! Fixture for allow-directive hygiene: a nested anchor where the inner
+//! directive wins (the outer one is reported unused), plus stale allows
+//! naming an unknown rule, a coverage rule, and a rule nothing trips.
+
+// xtask-lint: allow(hash-collections) — outer anchor: the inner one wins
+pub mod inner {
+    // xtask-lint: allow(hash-collections) — keyed only, never iterated
+    pub use std::collections::HashMap;
+}
+
+// xtask-lint: allow(bogus-rule) — no such rule
+// xtask-lint: allow(counter-coverage) — coverage cannot be suppressed
+// xtask-lint: allow(wall-clock) — nothing here reads the clock
+pub fn quiet() {}

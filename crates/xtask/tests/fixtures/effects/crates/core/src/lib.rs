@@ -1,0 +1,17 @@
+//! Violating fixture: hot paths that reach forbidden effects through
+//! cross-crate method dispatch, a closure callback and a macro-generated
+//! function.
+
+// xtask-effect: hot_path
+pub fn submit(dev: &Table) {
+    dev.step()
+}
+
+// xtask-effect: hot_path
+pub fn drain(xs: &[u64]) {
+    xs.iter().for_each(|x| audit(*x))
+}
+
+fn audit(x: u64) {
+    panic!("audit failed on {x}")
+}

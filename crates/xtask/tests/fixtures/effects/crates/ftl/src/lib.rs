@@ -1,0 +1,24 @@
+//! Cross-crate callee: the trait method `core::submit` dispatches into,
+//! reaching an allocation through a macro-generated function.
+
+pub struct Table;
+
+pub trait Stepper {
+    fn step(&self);
+}
+
+impl Stepper for Table {
+    fn step(&self) {
+        refill()
+    }
+}
+
+fn refill() {
+    grow()
+}
+
+emit_helpers! {
+    fn grow() {
+        let _scratch = Vec::with_capacity(8);
+    }
+}

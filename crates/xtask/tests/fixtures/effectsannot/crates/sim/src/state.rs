@@ -1,0 +1,15 @@
+//! Violating fixture: every malformed effect-marker shape.
+
+// xtask-effect: cold
+fn missing_reason() {}
+
+// xtask-effect: warm — lukewarm is not a thing
+fn unknown_kind() {}
+
+// xtask-effect: hot_path
+// xtask-effect: cold — cannot be both
+fn conflicted() {}
+
+// xtask-effect: hot_path
+
+pub struct Dangling;

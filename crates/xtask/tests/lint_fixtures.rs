@@ -11,7 +11,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use xtask::{lint_workspace, Violation};
+use xtask::{lint_workspace, lint_workspace_report, Violation};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -194,6 +194,160 @@ fn wildcard_match_fires_with_exact_diagnostic() {
     );
 }
 
+/// The effect analysis is interprocedural and workspace-wide: the chain
+/// below crosses a crate boundary through method-union dispatch
+/// (`dev.step()` resolves to `ftl::Table::step`), passes through a
+/// macro-generated function (`grow` lives inside `emit_helpers!`), and
+/// a closure callback charges its body to the enclosing function
+/// (`drain`'s `for_each` closure calls the panicking `audit`).
+#[test]
+fn hot_path_effects_fire_with_exact_diagnostics() {
+    let v = lint("effects");
+    assert_eq!(v.len(), 2, "{v:#?}");
+
+    // Sorted by file: the panic chain anchors at `audit`'s panic! in
+    // core, the allocation chain at `grow`'s Vec::with_capacity in ftl.
+    assert_eq!(v[0].file, Path::new("crates/core/src/lib.rs"));
+    assert_eq!(v[0].line, 16, "anchored at the leaf panic! site");
+    assert_eq!(v[0].rule, "hot-path-effects");
+    assert_eq!(
+        v[0].message,
+        "hot path `core::drain` (crates/core/src/lib.rs:11) panics: \
+         core::drain → core::audit → panic — remove it, \
+         allow(hot-path-effects) at this leaf site, or mark an \
+         intermediate function `xtask-effect: cold`"
+    );
+
+    assert_eq!(v[1].file, Path::new("crates/ftl/src/lib.rs"));
+    assert_eq!(v[1].line, 22, "anchored at the macro-generated leaf");
+    assert_eq!(v[1].rule, "hot-path-effects");
+    assert_eq!(
+        v[1].message,
+        "hot path `core::submit` (crates/core/src/lib.rs:6) allocates: \
+         core::submit → ftl::Table::step → ftl::refill → ftl::grow → \
+         Vec::with_capacity — remove it, allow(hot-path-effects) at this \
+         leaf site, or mark an intermediate function `xtask-effect: cold`"
+    );
+}
+
+/// Every escape hatch discharges its effect: a reasoned cold marker, a
+/// `#[cold]` attribute, a leaf allow on an assert, `#[cfg(test)]`
+/// exclusion — and a bounds-only hot path stays clean because BOUNDS is
+/// inferred but deliberately unenforced.
+#[test]
+fn effects_clean_tree_discharges_every_effect() {
+    let report = lint_workspace_report(&fixture("effectsclean"), None).expect("tree scans");
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    assert!(
+        report.warnings.is_empty(),
+        "the leaf allow was consumed, so no unused-allow warning: {:#?}",
+        report.warnings
+    );
+
+    // The report lists every annotated function with its inferred
+    // transitive effects; cold cuts stop propagation into `submit`.
+    let summary: Vec<(String, bool, bool, &[&str])> = report
+        .functions
+        .iter()
+        .map(|f| (f.function.clone(), f.hot, f.cold, f.effects.as_slice()))
+        .collect();
+    assert_eq!(
+        summary,
+        [
+            ("core::submit".to_string(), true, false, &["bounds"][..]),
+            ("core::refill".to_string(), false, true, &["allocates"][..]),
+            ("core::evict".to_string(), false, true, &["panics"][..]),
+        ]
+    );
+}
+
+#[test]
+fn effect_annotation_fires_with_exact_diagnostics() {
+    let v = lint("effectsannot");
+    assert_eq!(v.len(), 4, "{v:#?}");
+    for violation in &v {
+        assert_eq!(violation.file, Path::new("crates/sim/src/state.rs"));
+        assert_eq!(violation.rule, "effect-annotation");
+    }
+    assert_eq!(v[0].line, 3, "the reasonless cold marker");
+    assert_eq!(
+        v[0].message,
+        "cold marker is missing its reason (write `// xtask-effect: cold — <reason>`)"
+    );
+    assert_eq!(v[1].line, 6, "the unknown marker kind");
+    assert_eq!(
+        v[1].message,
+        "unknown effect marker `warm` (expected `hot_path` or `cold`)"
+    );
+    assert_eq!(v[2].line, 11, "anchored at the conflicted fn");
+    assert_eq!(
+        v[2].message,
+        "`conflicted` is marked both hot_path and cold — a function \
+         cannot be on the hot path and exempt from it"
+    );
+    assert_eq!(v[3].line, 13, "the dangling marker above a struct");
+    assert_eq!(
+        v[3].message,
+        "effect marker is not attached to a function \
+         (write it on the line of, or directly above, a `fn`)"
+    );
+}
+
+/// Nested allow anchors: the directive closest to the offending line is
+/// the one consumed, and every directive that suppressed nothing is
+/// reported as a warning — without failing the lint.
+#[test]
+fn unused_and_stale_allows_are_reported_as_warnings() {
+    let report = lint_workspace_report(&fixture("allows"), None).expect("tree scans");
+    assert!(
+        report.violations.is_empty(),
+        "the inner allow suppresses the HashMap import: {:#?}",
+        report.violations
+    );
+    let w = &report.warnings;
+    assert_eq!(w.len(), 4, "{w:#?}");
+    for warning in w {
+        assert_eq!(warning.file, Path::new("crates/sim/src/state.rs"));
+    }
+    assert_eq!(
+        w[0].to_string(),
+        "crates/sim/src/state.rs:5: warning: unused allow(hash-collections): \
+         nothing on this anchor trips the rule"
+    );
+    assert_eq!(w[1].message, "allow(bogus-rule) names an unknown rule");
+    assert_eq!(
+        w[2].message,
+        "allow(counter-coverage) has no effect: coverage rules cannot be suppressed"
+    );
+    assert_eq!(
+        w[3].message,
+        "unused allow(wall-clock): nothing on this anchor trips the rule"
+    );
+}
+
+/// `--changed` scopes the per-file rules to the given set but the
+/// workspace-wide analyses (coverage, effect inference) always see the
+/// whole tree; unused-allow warnings are suppressed on scoped runs.
+#[test]
+fn changed_scope_limits_per_file_rules_only() {
+    // Per-file rule, file not in scope: nothing fires.
+    let report = lint_workspace_report(&fixture("hash"), Some(&[])).expect("tree scans");
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    assert!(report.warnings.is_empty(), "scoped runs skip allow hygiene");
+
+    // Same tree, file in scope: the diagnostic is identical to a full run.
+    let scoped = [PathBuf::from("crates/sim/src/state.rs")];
+    let report = lint_workspace_report(&fixture("hash"), Some(&scoped)).expect("tree scans");
+    assert_eq!(report.violations, lint("hash"));
+
+    // Workspace rules ignore the scope: coverage drift and hot-path
+    // effect violations fire even with an empty changed set.
+    let report = lint_workspace_report(&fixture("counters"), Some(&[])).expect("tree scans");
+    assert_eq!(report.violations.len(), 3, "{:#?}", report.violations);
+    let report = lint_workspace_report(&fixture("effects"), Some(&[])).expect("tree scans");
+    assert_eq!(report.violations.len(), 2, "{:#?}", report.violations);
+}
+
 /// The walker must never descend into `target/`, `vendor/`, hidden
 /// directories, or through symlinks — a stale build artifact or a link
 /// pointing outside the tree must not produce phantom violations.
@@ -249,6 +403,19 @@ fn binary_exit_status_reflects_findings() {
     assert!(clean.status.success(), "clean fixture: {stdout}");
     assert!(stdout.contains("xtask lint: clean"), "{stdout}");
 
+    // Warnings print but never affect the exit status.
+    let allows = run_binary(&fixture("allows"), false);
+    let stdout = String::from_utf8_lossy(&allows.stdout);
+    assert!(
+        allows.status.success(),
+        "warnings are not failures: {stdout}"
+    );
+    assert!(
+        stdout.contains("warning: unused allow(hash-collections)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("xtask lint: clean"), "{stdout}");
+
     for tree in [
         "hash",
         "wallclock",
@@ -260,6 +427,8 @@ fn binary_exit_status_reflects_findings() {
         "float",
         "cast",
         "wildcard",
+        "effects",
+        "effectsannot",
     ] {
         let out = run_binary(&fixture(tree), false);
         let stdout = String::from_utf8_lossy(&out.stdout);
@@ -283,14 +452,17 @@ fn json_output_matches_snapshot() {
         "  \"rules\": [\"hash-collections\", \"wall-clock\", \"unwrap-expect\", ",
         "\"counter-coverage\", \"event-coverage\", \"span-coverage\", ",
         "\"fleet-readiness\", \"float-determinism\", \"truncating-cast\", ",
-        "\"wildcard-match\"],\n",
+        "\"wildcard-match\", \"hot-path-effects\", \"effect-annotation\"],\n",
         "  \"violation_count\": 1,\n",
         "  \"violations\": [\n",
         "    {\"file\": \"crates/sim/src/state.rs\", \"line\": 3, ",
         "\"rule\": \"hash-collections\", \"message\": \"HashMap in sim-visible state: ",
         "iteration order is randomized per process and breaks seeded reruns; ",
         "use BTreeMap/BTreeSet or an insertion-ordered structure\"}\n",
-        "  ]\n",
+        "  ],\n",
+        "  \"warning_count\": 0,\n",
+        "  \"warnings\": [],\n",
+        "  \"functions\": []\n",
         "}\n",
     );
     assert_eq!(stdout, expected);
