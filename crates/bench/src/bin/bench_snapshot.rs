@@ -21,11 +21,15 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use conzone_bench::conzone_device;
-use conzone_core::ConZone;
-use conzone_host::{run_job, AccessPattern, FioJob, JobReport};
+use conzone_core::{ArbiterKind, ConZone, QueueFrontEnd};
+use conzone_host::{
+    run_job, run_tenants, AccessPattern, FioJob, JobReport, MultiReport, QdOptions, TenantSpec,
+};
 use conzone_sim::json::Json;
 use conzone_sim::{alloc_guard, profile, RingBufferSink, SpanBuffer};
-use conzone_types::{IoRequest, MapGranularity, Probe, SearchStrategy, SimTime, StorageDevice};
+use conzone_types::{
+    IoRequest, MapGranularity, Probe, SearchStrategy, SimDuration, SimTime, StorageDevice,
+};
 
 /// Schema tag of the emitted JSON; bump on any incompatible shape change.
 const SCHEMA: &str = "conzone-bench/1";
@@ -40,11 +44,14 @@ struct Scale {
     read_fill_bytes: u64,
     read_range: u64,
     read_ops: u64,
+    qd_ops_per_tenant: u64,
     reps: u32,
     guard_seq_warmup_ops: u64,
     guard_seq_ops: u64,
     guard_read_warmup_ops: u64,
     guard_read_ops: u64,
+    guard_qd_warmup_ops: u64,
+    guard_qd_ops: u64,
 }
 
 const FULL: Scale = Scale {
@@ -52,11 +59,14 @@ const FULL: Scale = Scale {
     read_fill_bytes: 256 << 20,
     read_range: 128 << 20,
     read_ops: 100_000,
+    qd_ops_per_tenant: 50_000,
     reps: 5,
     guard_seq_warmup_ops: 1900,
     guard_seq_ops: 1000,
     guard_read_warmup_ops: 20_000,
     guard_read_ops: 50_000,
+    guard_qd_warmup_ops: 20_000,
+    guard_qd_ops: 50_000,
 };
 
 const SMOKE: Scale = Scale {
@@ -64,11 +74,14 @@ const SMOKE: Scale = Scale {
     read_fill_bytes: 16 << 20,
     read_range: 8 << 20,
     read_ops: 2_000,
+    qd_ops_per_tenant: 1_000,
     reps: 1,
     guard_seq_warmup_ops: 32,
     guard_seq_ops: 32,
     guard_read_warmup_ops: 1_000,
     guard_read_ops: 1_000,
+    guard_qd_warmup_ops: 1_000,
+    guard_qd_ops: 1_000,
 };
 
 fn device() -> ConZone {
@@ -143,6 +156,41 @@ fn run_randread(scale: &Scale) -> Measured {
         report: last.expect("reps >= 1"),
         wall_seconds: total_wall / f64::from(scale.reps),
     }
+}
+
+/// The queue-pair reference workload: two tenants of 4 KiB random reads
+/// at queue depth 8 behind a round-robin front end with a non-zero fetch
+/// cost, so the snapshot tracks the asynchronous driver's wall throughput
+/// (arbitration, slab reuse and event-queue churn included), not just the
+/// synchronous path's.
+fn run_qd(scale: &Scale) -> (MultiReport, f64) {
+    let mut total_wall = 0.0;
+    let mut last: Option<MultiReport> = None;
+    for _ in 0..scale.reps {
+        let mut dev = device();
+        let zone_bytes = dev.config().zone_size_bytes();
+        let fill = run_job(&mut dev, &seq_job(scale.read_fill_bytes, zone_bytes)).expect("fill");
+        let tenant = |name: &str, seed: u64| {
+            let job = FioJob::new(AccessPattern::RandRead, 4096)
+                .region(0, scale.read_range)
+                .ops_per_thread(scale.qd_ops_per_tenant)
+                .bytes_per_thread(u64::MAX)
+                .queue_depth(8)
+                .seed(seed)
+                .start_at(fill.finished);
+            TenantSpec::new(name, job)
+        };
+        let specs = [tenant("a", 7), tenant("b", 11)];
+        let opts = QdOptions {
+            fetch_cost: SimDuration::from_nanos(500),
+            ..QdOptions::default()
+        };
+        let t0 = Instant::now();
+        let report = run_tenants(&mut dev, &specs, &opts).expect("qd randread");
+        total_wall += t0.elapsed().as_secs_f64();
+        last = Some(report);
+    }
+    (last.expect("reps >= 1"), total_wall / f64::from(scale.reps))
 }
 
 /// One steady-state allocation guard result: `warmup_ops` operations fault
@@ -255,6 +303,52 @@ fn guard_randread(scale: &Scale) -> AllocGuard {
     }
 }
 
+/// Queue-pair guard: the new submission/arbitration entry points —
+/// doorbell, arbiter pick, fetch-stage acquire, then the device submit —
+/// driven directly across two queues. After warmup (which faults in the
+/// fetch resource's history and the L2P/scratch slabs) every granted
+/// command must reach the device without touching the global allocator.
+fn guard_qd(scale: &Scale) -> AllocGuard {
+    let mut dev = device();
+    let zone_bytes = dev.config().zone_size_bytes();
+    let fill = run_job(&mut dev, &seq_job(scale.read_fill_bytes, zone_bytes)).expect("guard fill");
+    let mut fe = QueueFrontEnd::new(
+        2,
+        SimDuration::from_nanos(500),
+        ArbiterKind::RoundRobin.build(&[1, 1]),
+    );
+    let mut now = fill.finished;
+    let slots = scale.read_range / 4096;
+    let mut state = 11u64 ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut step = |dev: &mut ConZone, fe: &mut QueueFrontEnd, now: SimTime, q: usize| {
+        fe.doorbell(q);
+        let (_, at) = fe.grant(now).expect("a doorbell is pending");
+        let off = (next() % slots) * 4096;
+        let c = dev.submit(at, &IoRequest::read(off, 4096));
+        c.expect("guard qd read").finished
+    };
+    for i in 0..scale.guard_qd_warmup_ops {
+        now = step(&mut dev, &mut fe, now, (i & 1) as usize);
+    }
+    let before = alloc_guard::allocation_count();
+    for i in 0..scale.guard_qd_ops {
+        now = step(&mut dev, &mut fe, now, (i & 1) as usize);
+    }
+    AllocGuard {
+        name: "qd-arbitrate-4k",
+        warmup_ops: scale.guard_qd_warmup_ops,
+        measured_ops: scale.guard_qd_ops,
+        allocations: alloc_guard::allocation_count() - before,
+        gc_runs: 0,
+    }
+}
+
 fn ops_per_wall_second(m: &Measured) -> f64 {
     if m.wall_seconds > 0.0 {
         m.report.ops as f64 / m.wall_seconds
@@ -272,6 +366,30 @@ fn workload_json(name: &str, m: &Measured) -> Json {
         ("sim_seconds", Json::F64(sim_seconds)),
         ("wall_seconds", Json::F64(m.wall_seconds)),
         ("ops_per_wall_second", Json::F64(ops_per_wall_second(m))),
+    ])
+}
+
+/// Same shape for the queue-pair workload, plus the conservation bit
+/// (per-tenant counters summing to the device-wide delta).
+fn qd_workload_json(name: &str, m: &MultiReport, wall_seconds: f64) -> Json {
+    let sim_seconds = m.duration().as_nanos() as f64 / 1e9;
+    let ops_per_wall = if wall_seconds > 0.0 {
+        m.ops as f64 / wall_seconds
+    } else {
+        f64::INFINITY
+    };
+    Json::obj([
+        ("name", Json::from(name)),
+        ("sim_ops", Json::U64(m.ops)),
+        ("sim_bytes", Json::U64(m.bytes)),
+        ("sim_seconds", Json::F64(sim_seconds)),
+        ("wall_seconds", Json::F64(wall_seconds)),
+        ("ops_per_wall_second", Json::F64(ops_per_wall)),
+        ("tenants", Json::U64(m.tenants.len() as u64)),
+        (
+            "tenants_sum_consistent",
+            Json::Bool(m.tenants_sum_consistent()),
+        ),
     ])
 }
 
@@ -325,6 +443,8 @@ fn main() {
     // Reference workloads, null instrumentation (the headline numbers).
     let (seq, _) = run_seqwrite(scale, false);
     let read1 = run_randread(scale);
+    let (qd_report, qd_wall) = run_qd(scale);
+    let qd_consistent = qd_report.tenants_sum_consistent();
 
     // Reproducibility: the headline read workload again, fresh device,
     // same seed. Simulated results must be identical; wall throughput
@@ -365,7 +485,11 @@ fn main() {
     // hot-path effect analysis (`cargo xtask lint`). After warmup the
     // reference workloads must complete every op without touching the
     // global allocator.
-    let guards = [guard_seqwrite(scale), guard_randread(scale)];
+    let guards = [
+        guard_seqwrite(scale),
+        guard_randread(scale),
+        guard_qd(scale),
+    ];
     let guard_enabled = alloc_guard::counting_enabled();
     let steady_state_zero = guard_enabled && guards.iter().all(|g| g.allocations == 0);
 
@@ -378,6 +502,7 @@ fn main() {
             Json::Arr(vec![
                 workload_json("seqwrite-512k", &seq),
                 workload_json("randread-4k", &read1),
+                qd_workload_json("qd8-randread-4k-2t", &qd_report, qd_wall),
             ]),
         ),
         (
@@ -448,6 +573,13 @@ fn main() {
         eprintln!(
             "bench_snapshot: FAILED — observability attachment or rerun \
              changed simulated results (must be bit-identical)"
+        );
+        std::process::exit(1);
+    }
+    if !qd_consistent {
+        eprintln!(
+            "bench_snapshot: FAILED — queue-pair per-tenant counters do not \
+             sum to the device totals"
         );
         std::process::exit(1);
     }

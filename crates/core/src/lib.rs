@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arbiter;
 mod breakdown;
 mod buffer;
 mod device;
@@ -51,6 +52,7 @@ mod slc;
 mod write;
 mod zone;
 
+pub use arbiter::{Arbiter, ArbiterKind, QueueFrontEnd, RoundRobinArbiter, WeightedArbiter};
 pub use breakdown::TimeBreakdown;
 pub use device::ConZone;
 pub use heatmap::{BlockHeat, HeatmapSnapshot, ZoneHeat};

@@ -35,6 +35,7 @@ mod crash;
 mod f2fs;
 mod fio_file;
 mod job;
+mod qd;
 mod runner;
 mod trace;
 mod verify;
@@ -44,6 +45,10 @@ pub use crash::{power_cycle_and_verify, CrashVerdict};
 pub use f2fs::{F2fsLite, F2fsStats, Temperature};
 pub use fio_file::{parse_fio_jobs, NamedJob, ParseFioError};
 pub use job::{AccessPattern, FioJob};
+pub use qd::{
+    run_job_qd, run_job_qd_with, run_tenants, MultiReport, QdOptions, QueuePair, TenantReport,
+    TenantSpec,
+};
 pub use runner::{run_job, run_job_sampled, run_job_until, HostError, JobReport};
 pub use trace::{
     replay_budget, replay_counters, replay_trace, MobileTraceBuilder, ParseTraceError, Trace,

@@ -137,11 +137,12 @@ impl JobReport {
     }
 }
 
-/// Per-thread generator state.
+/// Per-thread generator state, shared between the synchronous runner and
+/// the queue-pair driver (`crate::qd`).
 #[derive(Debug)]
-struct ThreadState {
-    issued: u64,
-    limit: u64,
+pub(crate) struct ThreadState {
+    pub(crate) issued: u64,
+    pub(crate) limit: u64,
     /// Sequential cursor within the thread's stripe (byte offset).
     stripe_start: u64,
     stripe_len: u64,
@@ -152,6 +153,98 @@ struct ThreadState {
     zone_idx: usize,
     zone_off: u64,
     rng: SimRng,
+}
+
+/// A validated job: the clamped region, the zoned-write geometry, and one
+/// generator state per thread. Building the plan is the validation step
+/// both job drivers share, so a job accepted by one is accepted — with
+/// identical generator state — by the other.
+#[derive(Debug)]
+pub(crate) struct JobPlan {
+    pub(crate) region_start: u64,
+    pub(crate) region_len: u64,
+    pub(crate) zone_bytes: u64,
+    pub(crate) threads: Vec<ThreadState>,
+}
+
+pub(crate) fn plan_job(capacity: u64, job: &FioJob) -> Result<JobPlan, HostError> {
+    let region_start = job.region_offset;
+    let region_len = job.region_bytes.min(capacity.saturating_sub(region_start));
+    if region_len < job.block_bytes {
+        return Err(HostError::BadJob(format!(
+            "region of {region_len} bytes smaller than one {}-byte block",
+            job.block_bytes
+        )));
+    }
+    if job.block_bytes == 0 || !job.block_bytes.is_multiple_of(SLICE_BYTES) {
+        return Err(HostError::BadJob(format!(
+            "block size {} not a multiple of 4 KiB",
+            job.block_bytes
+        )));
+    }
+    if job.threads == 0 {
+        return Err(HostError::BadJob("zero threads".to_string()));
+    }
+    if job.queue_depth == 0 {
+        return Err(HostError::BadJob("zero queue depth".to_string()));
+    }
+    if job.queue_depth > 1 && job.pattern == AccessPattern::SeqWrite && job.zone_bytes.is_some() {
+        // Deep queues of zoned sequential writes would race the write
+        // pointer on a real device; keep the model honest.
+        return Err(HostError::BadJob(
+            "queue_depth > 1 is not supported for zoned sequential writes".to_string(),
+        ));
+    }
+    if job.arrival_iops.is_some() && !job.pattern.is_read() {
+        return Err(HostError::BadJob(
+            "open-loop arrivals require a read pattern (writes must stay ordered)".to_string(),
+        ));
+    }
+    if let Some(iops) = job.arrival_iops {
+        if iops.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(HostError::BadJob(format!("bad arrival rate {iops}")));
+        }
+    }
+    let zone_bytes = job.zone_bytes.unwrap_or(0);
+
+    let limit = job.requests_per_thread();
+    let threads: Vec<ThreadState> = (0..job.threads)
+        .map(|i| {
+            let stripe_len =
+                (region_len / job.threads as u64 / job.block_bytes).max(1) * job.block_bytes;
+            let stripe_start = region_start + i as u64 * stripe_len;
+            let zones = match (&job.thread_zones, zone_bytes) {
+                (Some(z), _) => z.get(i).cloned().unwrap_or_default(),
+                (None, zb) if zb > 0 => {
+                    // Round-robin zones of the region across threads.
+                    let first_zone = region_start / zb;
+                    let nzones = region_len / zb;
+                    (0..nzones)
+                        .filter(|z| (*z as usize) % job.threads == i)
+                        .map(|z| first_zone + z)
+                        .collect()
+                }
+                _ => Vec::new(),
+            };
+            ThreadState {
+                issued: 0,
+                limit,
+                stripe_start,
+                stripe_len,
+                cursor: 0,
+                zones,
+                zone_idx: 0,
+                zone_off: 0,
+                rng: SimRng::new(job.seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1))),
+            }
+        })
+        .collect();
+    Ok(JobPlan {
+        region_start,
+        region_len,
+        zone_bytes,
+        threads,
+    })
 }
 
 /// Runs a job against any device model and collects a [`JobReport`].
@@ -206,78 +299,14 @@ fn run_job_inner<D: StorageDevice + ?Sized>(
     sample_interval: Option<SimDuration>,
     stop_at: Option<SimTime>,
 ) -> Result<JobReport, HostError> {
-    let capacity = dev.capacity_bytes();
-    let region_start = job.region_offset;
-    let region_len = job.region_bytes.min(capacity.saturating_sub(region_start));
-    if region_len < job.block_bytes {
-        return Err(HostError::BadJob(format!(
-            "region of {region_len} bytes smaller than one {}-byte block",
-            job.block_bytes
-        )));
-    }
-    if job.block_bytes == 0 || !job.block_bytes.is_multiple_of(SLICE_BYTES) {
-        return Err(HostError::BadJob(format!(
-            "block size {} not a multiple of 4 KiB",
-            job.block_bytes
-        )));
-    }
-    if job.threads == 0 {
-        return Err(HostError::BadJob("zero threads".to_string()));
-    }
-    if job.queue_depth == 0 {
-        return Err(HostError::BadJob("zero queue depth".to_string()));
-    }
-    if job.queue_depth > 1 && job.pattern == AccessPattern::SeqWrite && job.zone_bytes.is_some() {
-        // Deep queues of zoned sequential writes would race the write
-        // pointer on a real device; keep the model honest.
-        return Err(HostError::BadJob(
-            "queue_depth > 1 is not supported for zoned sequential writes".to_string(),
-        ));
-    }
-    if job.arrival_iops.is_some() && !job.pattern.is_read() {
-        return Err(HostError::BadJob(
-            "open-loop arrivals require a read pattern (writes must stay ordered)".to_string(),
-        ));
-    }
-    if let Some(iops) = job.arrival_iops {
-        if iops.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            return Err(HostError::BadJob(format!("bad arrival rate {iops}")));
-        }
-    }
-    let zone_bytes = job.zone_bytes.unwrap_or(0);
-
+    let plan = plan_job(dev.capacity_bytes(), job)?;
+    let JobPlan {
+        region_start,
+        region_len,
+        zone_bytes,
+        mut threads,
+    } = plan;
     let limit = job.requests_per_thread();
-    let mut threads: Vec<ThreadState> = (0..job.threads)
-        .map(|i| {
-            let stripe_len =
-                (region_len / job.threads as u64 / job.block_bytes).max(1) * job.block_bytes;
-            let stripe_start = region_start + i as u64 * stripe_len;
-            let zones = match (&job.thread_zones, zone_bytes) {
-                (Some(z), _) => z.get(i).cloned().unwrap_or_default(),
-                (None, zb) if zb > 0 => {
-                    // Round-robin zones of the region across threads.
-                    let first_zone = region_start / zb;
-                    let nzones = region_len / zb;
-                    (0..nzones)
-                        .filter(|z| (*z as usize) % job.threads == i)
-                        .map(|z| first_zone + z)
-                        .collect()
-                }
-                _ => Vec::new(),
-            };
-            ThreadState {
-                issued: 0,
-                limit,
-                stripe_start,
-                stripe_len,
-                cursor: 0,
-                zones,
-                zone_idx: 0,
-                zone_off: 0,
-                rng: SimRng::new(job.seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1))),
-            }
-        })
-        .collect();
 
     let before = dev.counters();
     let mut queue: EventQueue<usize> = EventQueue::new();
@@ -405,7 +434,7 @@ fn run_job_inner<D: StorageDevice + ?Sized>(
 
 /// Produces the next request offset for a thread, or `None` when a zoned
 /// writer has exhausted its zones.
-fn next_offset(
+pub(crate) fn next_offset(
     job: &FioJob,
     state: &mut ThreadState,
     zone_bytes: u64,

@@ -103,6 +103,16 @@ fn event_args(event: &DeviceEvent) -> Vec<(&'static str, Json)> {
             ("recovered_slices", Json::U64(recovered_slices)),
             ("lost_slices", Json::U64(lost_slices)),
         ],
+        DeviceEvent::QueueSubmit { queue, backlog } => {
+            vec![("queue", Json::U64(queue)), ("backlog", Json::U64(backlog))]
+        }
+        DeviceEvent::QueueArbitrate { queue, wait_ns } => {
+            vec![("queue", Json::U64(queue)), ("wait_ns", Json::U64(wait_ns))]
+        }
+        DeviceEvent::QueueComplete { queue, inflight } => vec![
+            ("queue", Json::U64(queue)),
+            ("inflight", Json::U64(inflight)),
+        ],
     }
 }
 

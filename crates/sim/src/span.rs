@@ -102,6 +102,8 @@ const ALL_KINDS: [SpanKind; SpanKind::KIND_COUNT] = [
     SpanKind::GcStall,
     SpanKind::L2pLog,
     SpanKind::Erase,
+    SpanKind::QueueCmd,
+    SpanKind::QueueWait,
 ];
 
 /// Folds closed spans into one [`KindAttribution`] per kind, in

@@ -95,6 +95,9 @@ fn encode(event: DeviceEvent) -> (u64, u64, u64) {
             recovered_slices,
             lost_slices,
         } => (tag, recovered_slices, lost_slices),
+        DeviceEvent::QueueSubmit { queue, backlog } => (tag, queue, backlog),
+        DeviceEvent::QueueArbitrate { queue, wait_ns } => (tag, queue, wait_ns),
+        DeviceEvent::QueueComplete { queue, inflight } => (tag, queue, inflight),
     }
 }
 
@@ -167,6 +170,18 @@ fn decode(tag_word: u64, a: u64, b: u64) -> Option<DeviceEvent> {
         19 => DeviceEvent::RecoveryReplay {
             recovered_slices: a,
             lost_slices: b,
+        },
+        20 => DeviceEvent::QueueSubmit {
+            queue: a,
+            backlog: b,
+        },
+        21 => DeviceEvent::QueueArbitrate {
+            queue: a,
+            wait_ns: b,
+        },
+        22 => DeviceEvent::QueueComplete {
+            queue: a,
+            inflight: b,
         },
         _ => return None,
     })

@@ -184,6 +184,51 @@ impl Counters {
         )
     }
 
+    /// Adds `delta` into `self`, field by field — the accumulation dual of
+    /// [`since`](Self::since), used by the queue-pair host model to fold
+    /// per-command device deltas into per-tenant totals. The exhaustive
+    /// struct literal (no `..` rest) makes a missed field a compile error.
+    pub fn merge(&mut self, delta: &Counters) {
+        macro_rules! acc {
+            ($($f:ident),* $(,)?) => {
+                *self = Counters { $($f: self.$f + delta.$f),* };
+            };
+        }
+        acc!(
+            host_read_bytes,
+            host_write_bytes,
+            host_read_ops,
+            host_write_ops,
+            flash_program_bytes_slc,
+            flash_program_bytes_tlc,
+            flash_program_bytes_qlc,
+            flash_data_reads,
+            flash_mapping_reads,
+            erases_slc,
+            erases_normal,
+            l2p_hits_zone,
+            l2p_hits_chunk,
+            l2p_hits_page,
+            l2p_misses,
+            l2p_evictions,
+            premature_flushes,
+            full_flushes,
+            buffer_conflicts,
+            slc_combines,
+            patch_slices,
+            l2p_log_flushes,
+            conventional_updates,
+            gc_runs,
+            gc_migrated_slices,
+            zone_resets,
+            read_retries,
+            program_failures,
+            blocks_retired,
+            recovered_slices,
+            lost_slices,
+        );
+    }
+
     /// Difference `self - earlier`, for interval statistics.
     ///
     /// # Panics
@@ -343,6 +388,25 @@ mod tests {
         let d = c.since(&Counters::new());
         let total: u64 = d.named_fields().iter().map(|(_, v)| v).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn merge_is_the_inverse_of_since() {
+        let mut early = Counters::new();
+        early.host_write_bytes = 10;
+        early.gc_runs = 1;
+        let mut late = early;
+        late.host_write_bytes = 25;
+        late.gc_runs = 3;
+        late.zone_resets = 2;
+        // early + (late - early) == late, field for field.
+        let mut acc = early;
+        acc.merge(&late.since(&early));
+        assert_eq!(acc, late);
+        // Merging a delta into zero reproduces the delta.
+        let mut zero = Counters::new();
+        zero.merge(&late);
+        assert_eq!(zero, late);
     }
 
     #[test]

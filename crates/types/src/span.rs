@@ -57,11 +57,17 @@ pub enum SpanKind {
     L2pLog,
     /// A zone-reset superblock erase.
     Erase,
+    /// Root: one queued host command's full lifecycle on the queue-pair
+    /// host model, submission-queue doorbell to completion posting.
+    QueueCmd,
+    /// Time a queued command spent waiting between its doorbell and the
+    /// arbitration grant that dispatched it to the device.
+    QueueWait,
 }
 
 impl SpanKind {
     /// Number of distinct span kinds (indexable via [`SpanKind::index`]).
-    pub const KIND_COUNT: usize = 12;
+    pub const KIND_COUNT: usize = 14;
 
     /// Stable short name of the kind, used by every exporter.
     pub fn name(&self) -> &'static str {
@@ -78,6 +84,8 @@ impl SpanKind {
             SpanKind::GcStall => "gc_stall",
             SpanKind::L2pLog => "l2p_log",
             SpanKind::Erase => "erase",
+            SpanKind::QueueCmd => "queue_cmd",
+            SpanKind::QueueWait => "queue_wait",
         }
     }
 
@@ -96,6 +104,8 @@ impl SpanKind {
             SpanKind::GcStall => 9,
             SpanKind::L2pLog => 10,
             SpanKind::Erase => 11,
+            SpanKind::QueueCmd => 12,
+            SpanKind::QueueWait => 13,
         }
     }
 
@@ -108,6 +118,7 @@ impl SpanKind {
                 | SpanKind::IoAppend
                 | SpanKind::IoFlush
                 | SpanKind::ZoneReset
+                | SpanKind::QueueCmd
         )
     }
 
@@ -128,6 +139,8 @@ impl SpanKind {
             SpanKind::GcStall => Some("gc"),
             SpanKind::L2pLog => Some("l2p_log"),
             SpanKind::Erase => Some("erase"),
+            SpanKind::QueueCmd => None,
+            SpanKind::QueueWait => Some("queue_wait"),
         }
     }
 }
@@ -313,6 +326,8 @@ mod tests {
         SpanKind::GcStall,
         SpanKind::L2pLog,
         SpanKind::Erase,
+        SpanKind::QueueCmd,
+        SpanKind::QueueWait,
     ];
 
     #[test]

@@ -177,6 +177,30 @@ pub enum DeviceEvent {
         /// Slices confirmed lost (they only existed in volatile buffers).
         lost_slices: u64,
     },
+    /// A host command entered a submission queue — the NVMe-like doorbell
+    /// of the queue-pair host model.
+    QueueSubmit {
+        /// Submission queue the command entered.
+        queue: u64,
+        /// Commands waiting in that queue after this one joined.
+        backlog: u64,
+    },
+    /// The controller's serial command-fetch stage granted one queue's
+    /// head command after arbitration.
+    QueueArbitrate {
+        /// Queue whose head command won arbitration.
+        queue: u64,
+        /// Nanoseconds the command waited between doorbell and grant.
+        wait_ns: u64,
+    },
+    /// A queued command finished and its completion was posted to the
+    /// completion queue.
+    QueueComplete {
+        /// Queue the command belonged to.
+        queue: u64,
+        /// Commands still outstanding on that queue pair afterwards.
+        inflight: u64,
+    },
 }
 
 impl DeviceEvent {
@@ -214,6 +238,9 @@ impl DeviceEvent {
             DeviceEvent::ReadRetry { .. } => "read_retry",
             DeviceEvent::PowerCut { .. } => "power_cut",
             DeviceEvent::RecoveryReplay { .. } => "recovery_replay",
+            DeviceEvent::QueueSubmit { .. } => "queue_submit",
+            DeviceEvent::QueueArbitrate { .. } => "queue_arbitrate",
+            DeviceEvent::QueueComplete { .. } => "queue_complete",
         }
     }
 
@@ -255,11 +282,14 @@ impl DeviceEvent {
             DeviceEvent::ReadRetry { .. } => 17,
             DeviceEvent::PowerCut { .. } => 18,
             DeviceEvent::RecoveryReplay { .. } => 19,
+            DeviceEvent::QueueSubmit { .. } => 20,
+            DeviceEvent::QueueArbitrate { .. } => 21,
+            DeviceEvent::QueueComplete { .. } => 22,
         }
     }
 
     /// Number of distinct [`DeviceEvent::kind_index`] buckets.
-    pub const KIND_COUNT: usize = 20;
+    pub const KIND_COUNT: usize = 23;
 }
 
 /// A timestamped event as stored by collecting sinks.
@@ -471,6 +501,18 @@ mod tests {
             DeviceEvent::RecoveryReplay {
                 recovered_slices: 5,
                 lost_slices: 7,
+            },
+            DeviceEvent::QueueSubmit {
+                queue: 0,
+                backlog: 2,
+            },
+            DeviceEvent::QueueArbitrate {
+                queue: 1,
+                wait_ns: 350,
+            },
+            DeviceEvent::QueueComplete {
+                queue: 0,
+                inflight: 3,
             },
         ];
         let mut seen_idx = std::collections::HashSet::new();

@@ -213,8 +213,12 @@ fn validate_snapshot(text: &str) -> Vec<String> {
         .and_then(|g| g.get("workloads"))
         .and_then(Json::as_array)
     {
-        Some(ws) if ws.len() >= 2 => {}
-        _ => errs.push("`alloc_guard.workloads` must cover both reference workloads".to_string()),
+        Some(ws) if ws.len() >= 3 => {}
+        _ => errs.push(
+            "`alloc_guard.workloads` must cover all three reference workloads \
+             (seqwrite, randread, qd-arbitrate)"
+                .to_string(),
+        ),
     }
     for field in ["selfprof", "peak_rss_bytes"] {
         if j.get(field).is_none() {
@@ -350,7 +354,7 @@ mod tests {
             "repro": {"sim_identical": true, "delta_pct": 1.0},
             "overhead": {"instrumented_identical": false},
             "alloc_guard": {"enabled": true, "steady_state_zero": true,
-                            "workloads": [{"name":"a"},{"name":"b"}]},
+                            "workloads": [{"name":"a"},{"name":"b"},{"name":"c"}]},
             "selfprof": {"enabled": false},
             "peak_rss_bytes": 1
         }"#;

@@ -7,6 +7,8 @@
 //!               [--bs 512k] [--threads 4] [--size 256m] [--region 1g]
 //!               [--strategy bitmap|multiple|pinned] [--aggregation page|chunk|zone]
 //!               [--cache 12k] [--buffers 2] [--seed N]
+//!               [--qd 8] [--tenants 2] [--tenant-weights 3,1] [--arbiter rr|wrr]
+//! conzone scenario <qd-sweep|interference|mixed|flash-cache>
 //! conzone replay <trace-file> [--device ...] [--open-loop]
 //! conzone gen-trace [--bursts 8] [--burst-bytes 8m] [--reads 5000] [--out trace.txt]
 //! ```
@@ -16,7 +18,8 @@ use std::sync::Arc;
 
 use conzone::host::{
     parse_fio_jobs, power_cycle_and_verify, replay_trace, run_job, run_job_sampled, run_job_until,
-    AccessPattern, FioJob, JobReport, MobileTraceBuilder, Trace, WorkloadPreset,
+    run_tenants, AccessPattern, FioJob, JobReport, MobileTraceBuilder, MultiReport, QdOptions,
+    TenantReport, TenantSpec, Trace, WorkloadPreset,
 };
 use conzone::sim::json::Json;
 use conzone::sim::{
@@ -24,9 +27,9 @@ use conzone::sim::{
 };
 use conzone::types::{
     DeviceConfig, FaultConfig, Geometry, MapGranularity, Probe, SearchStrategy, SimDuration,
-    SimTime, SpanRecord, StorageDevice, ZoneId, ZonedDevice,
+    SimTime, SpanRecord, SpanSink, StorageDevice, ZoneId, ZonedDevice,
 };
-use conzone::{ConZone, FemuZns, LegacyDevice};
+use conzone::{ArbiterKind, ConZone, FemuZns, LegacyDevice};
 
 /// Parses "4k", "512K", "16m", "1g" or plain bytes.
 fn parse_size(s: &str) -> Result<u64, String> {
@@ -64,7 +67,7 @@ fn parse_duration(s: &str) -> Result<SimDuration, String> {
 }
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Args {
     positional: Vec<String>,
     flags: Vec<(String, String)>,
@@ -192,6 +195,65 @@ fn parse_fault(args: &Args) -> Result<Option<FaultConfig>, String> {
     Ok(Some(fault))
 }
 
+/// Parses `--pattern` (shared by the synchronous and queue-pair run paths).
+fn parse_pattern(args: &Args) -> Result<AccessPattern, String> {
+    match args.get("pattern").unwrap_or("seqwrite") {
+        "seqwrite" => Ok(AccessPattern::SeqWrite),
+        "seqread" => Ok(AccessPattern::SeqRead),
+        "randread" => Ok(AccessPattern::RandRead),
+        "randwrite" => Ok(AccessPattern::RandWrite),
+        other => match other.strip_prefix("mixed") {
+            // e.g. --pattern mixed70 = 70 % reads (fio rwmixread=70).
+            Some(pct) => Ok(AccessPattern::Mixed {
+                read_percent: pct
+                    .parse::<u8>()
+                    .ok()
+                    .filter(|p| *p <= 100)
+                    .ok_or_else(|| format!("bad mixed percentage in '{other}'"))?,
+            }),
+            None => Err(format!("unknown --pattern '{other}'")),
+        },
+    }
+}
+
+/// Parses `--arbiter rr|wrr` into the queue front-end policy.
+fn parse_arbiter(args: &Args) -> Result<ArbiterKind, String> {
+    match args.get("arbiter").unwrap_or("rr") {
+        "rr" | "round-robin" => Ok(ArbiterKind::RoundRobin),
+        "wrr" | "weighted" => Ok(ArbiterKind::Weighted),
+        other => Err(format!("unknown --arbiter '{other}' (rr|wrr)")),
+    }
+}
+
+/// Parses `--tenant-weights 3,1` into exactly one weight per tenant;
+/// every tenant weighs 1 when the flag is absent.
+fn parse_tenant_weights(args: &Args, tenants: usize) -> Result<Vec<u32>, String> {
+    let Some(v) = args.get("tenant-weights") else {
+        return Ok(vec![1; tenants]);
+    };
+    let weights = v
+        .split(',')
+        .map(|p| p.trim().parse::<u32>())
+        .collect::<Result<Vec<u32>, _>>()
+        .map_err(|e| format!("bad --tenant-weights '{v}': {e}"))?;
+    if weights.len() != tenants {
+        return Err(format!(
+            "--tenant-weights lists {} weights for {tenants} tenants",
+            weights.len()
+        ));
+    }
+    Ok(weights)
+}
+
+/// `--fetch-cost 25us`, defaulting to a transparent (zero-cost) fetch
+/// stage when absent.
+fn parse_fetch_cost(args: &Args) -> Result<SimDuration, String> {
+    match args.get("fetch-cost") {
+        Some(v) => parse_duration(v),
+        None => Ok(SimDuration::ZERO),
+    }
+}
+
 fn cmd_info(args: &Args) -> Result<(), String> {
     let cfg = build_config(args)?;
     let g = &cfg.geometry;
@@ -302,7 +364,7 @@ fn run_measured<D: StorageDevice + ?Sized>(
 fn write_observability(
     obs: &ObsOpts,
     sink: Option<&RingBufferSink>,
-    spans: Option<&SpanBuffer>,
+    spans_dropped: Option<u64>,
     span_records: &[SpanRecord],
     samples: &[MetricsSample],
 ) -> Result<(), String> {
@@ -323,7 +385,7 @@ fn write_observability(
             );
         }
     }
-    if let (Some(path), Some(spans)) = (&obs.span_out, spans) {
+    if let (Some(path), Some(dropped)) = (&obs.span_out, spans_dropped) {
         let text = if path.ends_with(".jsonl") {
             export::span_jsonl(span_records)
         } else {
@@ -331,15 +393,13 @@ fn write_observability(
         };
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
         eprintln!(
-            "spans    : {} spans to {path} ({} dropped)",
-            span_records.len(),
-            spans.dropped()
+            "spans    : {} spans to {path} ({dropped} dropped)",
+            span_records.len()
         );
-        if spans.dropped() > 0 {
+        if dropped > 0 {
             eprintln!(
-                "warning  : the span buffer dropped {} spans — attribution \
-                 and the dump are truncated; profile a shorter phase",
-                spans.dropped()
+                "warning  : the span buffer dropped {dropped} spans — attribution \
+                 and the dump are truncated; profile a shorter phase"
             );
         }
     }
@@ -362,7 +422,7 @@ fn trace_counts_json(sink: &RingBufferSink) -> Json {
 /// The `spans` member of a stats object: per-kind counts and inclusive /
 /// self sim-time, plus the self-time rollup per breakdown category (which
 /// reconciles with `breakdown_ns` — see `tests/observability.rs`).
-fn span_stats_json(spans: &SpanBuffer, records: &[SpanRecord]) -> Json {
+fn span_stats_json(recorded: u64, dropped: u64, records: &[SpanRecord]) -> Json {
     let per_kind = Json::Obj(
         attribute_spans(records)
             .iter()
@@ -386,8 +446,8 @@ fn span_stats_json(spans: &SpanBuffer, records: &[SpanRecord]) -> Json {
             .collect(),
     );
     Json::obj([
-        ("recorded", Json::U64(spans.recorded())),
-        ("dropped", Json::U64(spans.dropped())),
+        ("recorded", Json::U64(recorded)),
+        ("dropped", Json::U64(dropped)),
         ("per_kind", per_kind),
         ("breakdown_ns", breakdown),
     ])
@@ -511,12 +571,337 @@ fn print_report(report: &conzone::host::JobReport) {
     );
 }
 
+/// One tenant's slice of the machine-readable multi-tenant stats.
+fn tenant_json(t: &TenantReport) -> Json {
+    Json::obj([
+        ("name", Json::from(t.name.as_str())),
+        ("weight", Json::U64(u64::from(t.weight))),
+        ("bytes", Json::U64(t.bytes)),
+        ("ops", Json::U64(t.ops)),
+        ("finished_ns", Json::U64(t.finished.as_nanos())),
+        ("latency", export::latency_summary_json(&t.latency)),
+        (
+            "read_latency",
+            export::latency_summary_json(&t.read_latency),
+        ),
+        (
+            "write_latency",
+            export::latency_summary_json(&t.write_latency),
+        ),
+        ("queue_wait", export::latency_summary_json(&t.queue_wait)),
+        ("counters", export::counters_json(&t.counters)),
+    ])
+}
+
+/// The machine-readable blob of a queue-pair run: aggregate throughput,
+/// the conservation check (per-tenant counters must sum to the device
+/// totals) and one entry per tenant.
+fn multi_stats_json(m: &MultiReport, breakdown: Option<&conzone::TimeBreakdown>) -> Json {
+    let mut pairs = vec![
+        ("model", Json::from(m.model)),
+        ("arbiter", Json::from(m.arbiter)),
+        ("started_ns", Json::U64(m.started.as_nanos())),
+        ("finished_ns", Json::U64(m.finished.as_nanos())),
+        ("bytes", Json::U64(m.bytes)),
+        ("ops", Json::U64(m.ops)),
+        ("bandwidth_mibs", Json::F64(m.bandwidth_mibs())),
+        ("kiops", Json::F64(m.kiops())),
+        (
+            "tenants_sum_consistent",
+            Json::Bool(m.tenants_sum_consistent()),
+        ),
+        ("latency", export::latency_summary_json(&m.latency)),
+        ("counters", export::counters_json(&m.counters)),
+        (
+            "tenants",
+            Json::Arr(m.tenants.iter().map(tenant_json).collect()),
+        ),
+    ];
+    if let Some(b) = breakdown {
+        pairs.push((
+            "breakdown_ns",
+            Json::obj(
+                b.categories()
+                    .into_iter()
+                    .map(|(name, d)| (name, Json::U64(d.as_nanos()))),
+            ),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+fn print_multi_report(m: &MultiReport) {
+    println!(
+        "{}: {:.0} MiB/s, {:.1} KIOPS over {} ({} arbiter, {} tenants)",
+        m.model,
+        m.bandwidth_mibs(),
+        m.kiops(),
+        m.duration(),
+        m.arbiter,
+        m.tenants.len()
+    );
+    println!(
+        "latency  : mean {} p50 {} p99 {} p99.9 {}",
+        m.latency.mean, m.latency.p50, m.latency.p99, m.latency.p999
+    );
+    for t in &m.tenants {
+        println!(
+            "tenant   : {:<10} w{} {:>7} ops {:>8.1} KIOPS mean {} p99 {} wait-p99 {}",
+            t.name,
+            t.weight,
+            t.ops,
+            t.kiops_over(m.duration()),
+            t.latency.mean,
+            t.latency.p99,
+            t.queue_wait.p99
+        );
+    }
+    let c = &m.counters;
+    println!(
+        "device   : waf {:.3}, l2p miss {:.1}%, {} conflicts, {} premature, {} gc runs",
+        c.write_amplification(),
+        c.l2p_miss_rate() * 100.0,
+        c.buffer_conflicts,
+        c.premature_flushes,
+        c.gc_runs
+    );
+    if !m.tenants_sum_consistent() {
+        println!("warning  : per-tenant counters do not sum to the device totals");
+    }
+}
+
+/// Builds one closed-loop job per tenant from the shared `run` flags.
+/// Sequential-write tenants get disjoint (zone-aligned, on zoned devices)
+/// slices of the region so their streams do not race each other's write
+/// pointers; read and random-write tenants share the whole region.
+fn build_tenant_specs(
+    args: &Args,
+    pattern: AccessPattern,
+    zoned_zone_bytes: Option<u64>,
+    qd: usize,
+    tenants_n: usize,
+) -> Result<Vec<TenantSpec>, String> {
+    let bs = args.size("bs", 512 * 1024)?;
+    let size = args.size("size", 256 << 20)?;
+    let region = args.size("region", size)?;
+    let threads = args.num("threads", 1)? as usize;
+    let wl_seed = args.num("seed", 7)?;
+    let weights = parse_tenant_weights(args, tenants_n)?;
+    let per_tenant_bytes = size / tenants_n as u64 / threads.max(1) as u64;
+    let mut specs = Vec::with_capacity(tenants_n);
+    for (i, &w) in weights.iter().enumerate() {
+        // Distinct streams per tenant, reproducible from the one --seed.
+        let seed_i = wl_seed ^ ((i as u64 + 1).wrapping_mul(0x517c_c1b7_2722_0a95));
+        let mut job = FioJob::new(pattern, bs)
+            .threads(threads)
+            .queue_depth(qd)
+            .seed(seed_i)
+            .bytes_per_thread(per_tenant_bytes);
+        if pattern == AccessPattern::SeqWrite && tenants_n > 1 {
+            let mut share = region / tenants_n as u64;
+            if let Some(zb) = zoned_zone_bytes {
+                share = (share / zb) * zb;
+                if share == 0 {
+                    return Err(format!(
+                        "--region {region} too small to give {tenants_n} \
+                         sequential writers a zone-aligned share"
+                    ));
+                }
+            }
+            job = job.region(i as u64 * share, share);
+        } else {
+            job = job.region(0, region);
+        }
+        if let Some(zb) = zoned_zone_bytes {
+            job = job.zone_bytes(zb);
+        }
+        specs.push(TenantSpec::new(format!("t{i}"), job).weight(w));
+    }
+    Ok(specs)
+}
+
+/// The `run` path for queue depths above one or multiple tenants: the
+/// NVMe-like queue-pair driver with per-queue arbitration at the device
+/// boundary.
+fn cmd_run_qd(args: &Args, obs: &ObsOpts, qd: usize, tenants_n: usize) -> Result<(), String> {
+    if obs.metrics_out.is_some() {
+        return Err(
+            "--metrics-out is not supported with --qd/--tenants (no interval sampler on \
+             the queue-pair path)"
+                .to_string(),
+        );
+    }
+    let cfg = build_config(args)?;
+    let pattern = parse_pattern(args)?;
+    let region = args.size("region", args.size("size", 256 << 20)?)?;
+    let arbiter = parse_arbiter(args)?;
+    let fetch_cost = parse_fetch_cost(args)?;
+    let device = args.get("device").unwrap_or("conzone");
+    if (obs.span_out.is_some() || obs.heatmap) && device != "conzone" {
+        return Err("--span-out and --heatmap are only supported for --device conzone".to_string());
+    }
+    let needs_fill = pattern.is_read();
+    let sink = obs.make_sink();
+    // Host queue spans land in their own buffer; device spans (ConZone
+    // only) keep their own. The dump merges both with disjoint ids.
+    let host_spans = obs
+        .span_out
+        .as_ref()
+        .map(|_| Arc::new(SpanBuffer::with_capacity(1 << 20)));
+    let qd_opts = QdOptions {
+        fetch_cost,
+        arbiter,
+        probe: match &sink {
+            Some(s) => Probe::attached(s.clone()),
+            None => Probe::disabled(),
+        },
+        spans: host_spans
+            .clone()
+            .map(|s| s as Arc<dyn SpanSink + Send + Sync>),
+    };
+    let mut span_records: Vec<SpanRecord> = Vec::new();
+    let mut span_counts: Option<(u64, u64)> = None;
+    let mut heatmap: Option<Json> = None;
+    let mut breakdown: Option<conzone::TimeBreakdown> = None;
+    let report = match device {
+        "conzone" => {
+            let zone_bytes = cfg.zone_size_bytes();
+            let mut specs = build_tenant_specs(args, pattern, Some(zone_bytes), qd, tenants_n)?;
+            let mut dev = ConZone::new(cfg);
+            let mut start = SimTime::ZERO;
+            if needs_fill {
+                let fill = FioJob::new(AccessPattern::SeqWrite, 512 * 1024)
+                    .zone_bytes(zone_bytes)
+                    .region(0, region)
+                    .bytes_per_thread(region);
+                start = run_job(&mut dev, &fill)
+                    .map_err(|e| e.to_string())?
+                    .finished;
+            }
+            for s in &mut specs {
+                s.job = s.job.clone().start_at(start);
+            }
+            if let Some(s) = &sink {
+                dev.set_probe(Probe::attached(s.clone()));
+            }
+            let dev_spans = obs.make_span_sink();
+            if let Some(s) = &dev_spans {
+                dev.set_span_sink(s.clone());
+            }
+            let m = run_tenants(&mut dev, &specs, &qd_opts).map_err(|e| e.to_string())?;
+            breakdown = Some(dev.time_breakdown());
+            if let (Some(db), Some(hb)) = (&dev_spans, &host_spans) {
+                span_records = merge_span_dumps(db.drain(), hb.drain());
+                span_counts = Some((db.recorded() + hb.recorded(), db.dropped() + hb.dropped()));
+            }
+            if obs.heatmap {
+                heatmap = Some(heatmap_json(&dev.heatmap_snapshot()));
+            }
+            if !obs.stats_json {
+                println!("time     : {}", dev.time_breakdown());
+            }
+            m
+        }
+        "legacy" => {
+            let mut specs = build_tenant_specs(args, pattern, None, qd, tenants_n)?;
+            let mut dev = LegacyDevice::new(cfg);
+            let mut start = SimTime::ZERO;
+            if needs_fill {
+                let fill = FioJob::new(AccessPattern::SeqWrite, 512 * 1024)
+                    .region(0, region)
+                    .bytes_per_thread(region);
+                start = run_job(&mut dev, &fill)
+                    .map_err(|e| e.to_string())?
+                    .finished;
+            }
+            for s in &mut specs {
+                s.job = s.job.clone().start_at(start);
+            }
+            if let Some(s) = &sink {
+                dev.set_probe(Probe::attached(s.clone()));
+            }
+            run_tenants(&mut dev, &specs, &qd_opts).map_err(|e| e.to_string())?
+        }
+        other => {
+            return Err(format!(
+                "--qd/--tenants support --device conzone|legacy, not '{other}'"
+            ))
+        }
+    };
+    if obs.stats_json {
+        let mut j = multi_stats_json(&report, breakdown.as_ref());
+        if let Json::Obj(pairs) = &mut j {
+            if let Some(s) = &sink {
+                pairs.push(("trace".to_string(), trace_counts_json(s)));
+            }
+            if let Some((recorded, dropped)) = span_counts {
+                pairs.push((
+                    "spans".to_string(),
+                    span_stats_json(recorded, dropped, &span_records),
+                ));
+            }
+            if let Some(h) = heatmap.take() {
+                pairs.push(("heatmap".to_string(), h));
+            }
+        }
+        println!("{j}");
+    } else {
+        print_multi_report(&report);
+    }
+    write_observability(
+        obs,
+        sink.as_deref(),
+        span_counts.map(|(_, dropped)| dropped),
+        &span_records,
+        &[],
+    )?;
+    Ok(())
+}
+
+/// Concatenates the device and host span dumps into one id space.
+/// Span ids are 1-based and dense per recorder, and a parent id is always
+/// smaller than its children's, so offsetting the host records by the
+/// device maxima preserves both invariants.
+fn merge_span_dumps(mut dev: Vec<SpanRecord>, host: Vec<SpanRecord>) -> Vec<SpanRecord> {
+    let id_base = dev.iter().map(|r| r.id).max().unwrap_or(0);
+    let io_base = dev.iter().map(|r| r.io).max().unwrap_or(0);
+    dev.extend(host.into_iter().map(|mut r| {
+        r.id += id_base;
+        if r.parent != 0 {
+            r.parent += id_base;
+        }
+        r.io += io_base;
+        r
+    }));
+    dev
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let obs = ObsOpts::from_args(args)?;
     let power_cut = match args.get("power-cut-at") {
         Some(v) => Some(parse_duration(v)?),
         None => None,
     };
+    // Any queue-pair flag routes to the NVMe-like asynchronous driver.
+    let qd = args.num("qd", 1)? as usize;
+    let tenants_n = args.num("tenants", 1)? as usize;
+    let qd_path = qd > 1
+        || tenants_n > 1
+        || args.get("arbiter").is_some()
+        || args.get("fetch-cost").is_some()
+        || args.get("tenant-weights").is_some();
+    if qd_path {
+        if args.get("job").is_some() {
+            return Err("--qd/--tenants are not supported with --job".to_string());
+        }
+        if power_cut.is_some() {
+            return Err("--power-cut-at is not supported with --qd/--tenants".to_string());
+        }
+        if qd == 0 || tenants_n == 0 {
+            return Err("--qd and --tenants must be at least 1".to_string());
+        }
+        return cmd_run_qd(args, &obs, qd, tenants_n);
+    }
     // A fio-style INI job file runs every section in order on one device.
     if let Some(path) = args.get("job") {
         if power_cut.is_some() {
@@ -572,7 +957,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         write_observability(
             &obs,
             sink.as_deref(),
-            span_buf.as_deref(),
+            span_buf.as_ref().map(|b| b.dropped()),
             &span_records,
             &all_samples,
         )?;
@@ -584,23 +969,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         // device to actually store payloads.
         cfg.data_backing = true;
     }
-    let pattern = match args.get("pattern").unwrap_or("seqwrite") {
-        "seqwrite" => AccessPattern::SeqWrite,
-        "seqread" => AccessPattern::SeqRead,
-        "randread" => AccessPattern::RandRead,
-        "randwrite" => AccessPattern::RandWrite,
-        other => match other.strip_prefix("mixed") {
-            // e.g. --pattern mixed70 = 70 % reads (fio rwmixread=70).
-            Some(pct) => AccessPattern::Mixed {
-                read_percent: pct
-                    .parse::<u8>()
-                    .ok()
-                    .filter(|p| *p <= 100)
-                    .ok_or_else(|| format!("bad mixed percentage in '{other}'"))?,
-            },
-            None => return Err(format!("unknown --pattern '{other}'")),
-        },
-    };
+    let pattern = parse_pattern(args)?;
     let bs = args.size("bs", 512 * 1024)?;
     let size = args.size("size", 256 << 20)?;
     let region = args.size("region", size)?;
@@ -721,7 +1090,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 pairs.push(("trace".to_string(), trace_counts_json(s)));
             }
             if let Some(b) = &span_buf {
-                pairs.push(("spans".to_string(), span_stats_json(b, &span_records)));
+                pairs.push((
+                    "spans".to_string(),
+                    span_stats_json(b.recorded(), b.dropped(), &span_records),
+                ));
             }
             if let Some(h) = heatmap.take() {
                 pairs.push(("heatmap".to_string(), h));
@@ -734,7 +1106,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     write_observability(
         &obs,
         sink.as_deref(),
-        span_buf.as_deref(),
+        span_buf.as_ref().map(|b| b.dropped()),
         &span_records,
         &report.metrics,
     )?;
@@ -862,6 +1234,239 @@ fn cmd_gen_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// A copy of `args` with `--config` defaulted to `cfg` — scenarios run on
+/// the tiny geometry unless the user asks otherwise, so sweeps stay fast.
+fn with_default_config(args: &Args, cfg: &str) -> Args {
+    let mut out = args.clone();
+    if out.get("config").is_none() {
+        out.flags.push(("config".to_string(), cfg.to_string()));
+    }
+    out
+}
+
+/// Builds a fresh ConZone from the CLI flags, fills `fill_region` bytes
+/// sequentially when asked (reads need data), then drives the tenant set
+/// through the queue-pair front end. Sequential-write tenants must already
+/// carry their own regions; the helper only stamps zone size and start
+/// time onto every job.
+fn run_scenario_tenants(
+    args: &Args,
+    specs: &mut [TenantSpec],
+    opts: &QdOptions,
+    fill_region: Option<u64>,
+) -> Result<MultiReport, String> {
+    let cfg = build_config(args)?;
+    let zone_bytes = cfg.zone_size_bytes();
+    let mut dev = ConZone::new(cfg);
+    let mut start = SimTime::ZERO;
+    if let Some(region) = fill_region {
+        let fill = FioJob::new(AccessPattern::SeqWrite, 512 * 1024)
+            .zone_bytes(zone_bytes)
+            .region(0, region)
+            .bytes_per_thread(region);
+        start = run_job(&mut dev, &fill)
+            .map_err(|e| e.to_string())?
+            .finished;
+    }
+    for s in specs.iter_mut() {
+        s.job = s.job.clone().zone_bytes(zone_bytes).start_at(start);
+    }
+    run_tenants(&mut dev, specs, opts).map_err(|e| e.to_string())
+}
+
+/// Prints a finished scenario either as the human table or, under
+/// `--stats-json`, as the machine-readable multi-tenant blob.
+fn emit_scenario_report(args: &Args, m: &MultiReport) {
+    if args.has("stats-json") {
+        println!("{}", multi_stats_json(m, None));
+    } else {
+        print_multi_report(m);
+    }
+}
+
+/// Queue-depth sweep: one fresh prefilled device per depth, random 4 KiB
+/// reads, reporting the throughput curve (and optionally a CSV for CI to
+/// assert the curve rises until the chips saturate).
+fn scenario_qd_sweep(args: &Args) -> Result<(), String> {
+    let bs = args.size("bs", 4 * 1024)?;
+    let region = args.size("region", 4 << 20)?;
+    let ops = args.num("ops", 512)?;
+    let wl_seed = args.num("seed", 7)?;
+    let depths = [1usize, 2, 4, 8, 16, 32];
+    let mut rows: Vec<(usize, MultiReport)> = Vec::with_capacity(depths.len());
+    println!("  qd     KIOPS     MiB/s       mean        p99");
+    for &qd in &depths {
+        let job = FioJob::new(AccessPattern::RandRead, bs)
+            .region(0, region)
+            .ops_per_thread(ops)
+            .bytes_per_thread(u64::MAX)
+            .queue_depth(qd)
+            .seed(wl_seed);
+        let mut specs = vec![TenantSpec::new("sweep", job)];
+        let m = run_scenario_tenants(args, &mut specs, &QdOptions::default(), Some(region))?;
+        println!(
+            "{qd:>4} {:>9.1} {:>9.1} {:>10} {:>10}",
+            m.kiops(),
+            m.bandwidth_mibs(),
+            m.latency.mean.to_string(),
+            m.latency.p99.to_string()
+        );
+        rows.push((qd, m));
+    }
+    if let Some(path) = args.get("csv") {
+        let mut text = String::from("qd,kiops,bandwidth_mibs,mean_ns,p99_ns\n");
+        for (qd, m) in &rows {
+            text.push_str(&format!(
+                "{qd},{:.3},{:.3},{},{}\n",
+                m.kiops(),
+                m.bandwidth_mibs(),
+                m.latency.mean.as_nanos(),
+                m.latency.p99.as_nanos()
+            ));
+        }
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("csv      : {} rows to {path}", rows.len());
+    }
+    Ok(())
+}
+
+/// Two random-read tenants share one device behind a costly fetch stage;
+/// weighted round-robin (3:1 by default) shows arbitration dividing the
+/// device while per-tenant counters keep summing to the device totals.
+fn scenario_interference(args: &Args) -> Result<(), String> {
+    let bs = args.size("bs", 4 * 1024)?;
+    let region = args.size("region", 4 << 20)?;
+    let qd = args.num("qd", 8)? as usize;
+    let ops = args.num("ops", 1024)?;
+    let wl_seed = args.num("seed", 7)?;
+    let weights = match args.get("tenant-weights") {
+        Some(_) => parse_tenant_weights(args, 2)?,
+        None => vec![3, 1],
+    };
+    let arbiter = match args.get("arbiter") {
+        Some(_) => parse_arbiter(args)?,
+        None => ArbiterKind::Weighted,
+    };
+    let fetch_cost = match args.get("fetch-cost") {
+        Some(v) => parse_duration(v)?,
+        None => SimDuration::from_micros(25),
+    };
+    let mk = |name: &str, salt: u64, w: u32| {
+        let job = FioJob::new(AccessPattern::RandRead, bs)
+            .region(0, region)
+            .ops_per_thread(ops)
+            .bytes_per_thread(u64::MAX)
+            .queue_depth(qd)
+            .seed(wl_seed ^ salt);
+        TenantSpec::new(name, job).weight(w)
+    };
+    let mut specs = vec![
+        mk("hog", 0x9e37, weights[0]),
+        mk("victim", 0x79b9, weights[1]),
+    ];
+    let opts = QdOptions {
+        fetch_cost,
+        arbiter,
+        ..QdOptions::default()
+    };
+    let m = run_scenario_tenants(args, &mut specs, &opts, Some(region))?;
+    emit_scenario_report(args, &m);
+    Ok(())
+}
+
+/// A random reader at depth `--qd` against a zoned sequential writer at
+/// depth 1 in disjoint halves of the region: readers and writers contend
+/// for chips and channels, not for zones.
+fn scenario_mixed(args: &Args) -> Result<(), String> {
+    let region = args.size("region", 8 << 20)?;
+    let qd = args.num("qd", 8)? as usize;
+    let ops = args.num("ops", 1024)?;
+    let wl_seed = args.num("seed", 7)?;
+    let zone_bytes = build_config(args)?.zone_size_bytes();
+    let half = (region / 2 / zone_bytes) * zone_bytes;
+    if half == 0 {
+        return Err(format!("--region {region} smaller than two zones"));
+    }
+    let reader = FioJob::new(AccessPattern::RandRead, 4 * 1024)
+        .region(0, half)
+        .ops_per_thread(ops)
+        .bytes_per_thread(u64::MAX)
+        .queue_depth(qd)
+        .seed(wl_seed ^ 0x9e37);
+    let writer = FioJob::new(AccessPattern::SeqWrite, 64 * 1024)
+        .region(half, half)
+        .bytes_per_thread(half.min(2 << 20))
+        .seed(wl_seed ^ 0x79b9);
+    let mut specs = vec![
+        TenantSpec::new("reader", reader),
+        TenantSpec::new("writer", writer),
+    ];
+    let opts = QdOptions {
+        fetch_cost: parse_fetch_cost(args)?,
+        arbiter: parse_arbiter(args)?,
+        ..QdOptions::default()
+    };
+    let m = run_scenario_tenants(args, &mut specs, &opts, Some(half))?;
+    emit_scenario_report(args, &m);
+    Ok(())
+}
+
+/// ZNS-style flash cache: a deep hot-read stream over cached data while a
+/// write-back stream appends sequentially, fsyncing every 8 writes the way
+/// a cache's metadata journal would.
+fn scenario_flash_cache(args: &Args) -> Result<(), String> {
+    let region = args.size("region", 8 << 20)?;
+    let qd = args.num("qd", 16)? as usize;
+    let ops = args.num("ops", 2048)?;
+    let wl_seed = args.num("seed", 7)?;
+    let zone_bytes = build_config(args)?.zone_size_bytes();
+    let half = (region / 2 / zone_bytes) * zone_bytes;
+    if half == 0 {
+        return Err(format!("--region {region} smaller than two zones"));
+    }
+    let hot_reads = FioJob::new(AccessPattern::RandRead, 4 * 1024)
+        .region(0, half)
+        .ops_per_thread(ops)
+        .bytes_per_thread(u64::MAX)
+        .queue_depth(qd)
+        .seed(wl_seed ^ 0x9e37);
+    let writeback = FioJob::new(AccessPattern::SeqWrite, 256 * 1024)
+        .region(half, half)
+        .bytes_per_thread(half.min(2 << 20))
+        .fsync_every(8)
+        .seed(wl_seed ^ 0x79b9);
+    let mut specs = vec![
+        TenantSpec::new("hot-reads", hot_reads),
+        TenantSpec::new("writeback", writeback),
+    ];
+    let opts = QdOptions {
+        fetch_cost: parse_fetch_cost(args)?,
+        arbiter: parse_arbiter(args)?,
+        ..QdOptions::default()
+    };
+    let m = run_scenario_tenants(args, &mut specs, &opts, Some(half))?;
+    emit_scenario_report(args, &m);
+    Ok(())
+}
+
+fn cmd_scenario(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("usage: conzone scenario <qd-sweep|interference|mixed|flash-cache>")?;
+    let args = with_default_config(args, "tiny");
+    match name {
+        "qd-sweep" => scenario_qd_sweep(&args),
+        "interference" => scenario_interference(&args),
+        "mixed" => scenario_mixed(&args),
+        "flash-cache" => scenario_flash_cache(&args),
+        other => Err(format!(
+            "unknown scenario '{other}' (qd-sweep|interference|mixed|flash-cache)"
+        )),
+    }
+}
+
 const USAGE: &str = "\
 conzone — zoned flash storage emulator for consumer devices
 
@@ -878,6 +1483,13 @@ usage:
                     [--metrics-interval 100ms] [--stats-json]
                     [--fault-seed N] [--fault-rates 0.01,0.001,0.05]
                     [--power-cut-at 400us]
+                    [--qd 8] [--tenants 2] [--tenant-weights 3,1]
+                    [--arbiter rr|wrr] [--fetch-cost 25us]
+  conzone scenario  qd-sweep     [--bs 4k] [--region 4m] [--ops 512] [--csv sweep.csv]
+  conzone scenario  interference [--qd 8] [--tenant-weights 3,1] [--arbiter rr|wrr]
+                                 [--fetch-cost 25us] [--stats-json]
+  conzone scenario  mixed        [--qd 8] [--region 8m] [--stats-json]
+  conzone scenario  flash-cache  [--qd 16] [--region 8m] [--stats-json]
   conzone replay    <trace-file> [--device conzone|femu] [--open-loop]
   conzone gen-trace [--preset boot|app-install|camera-burst|social-scroll]
                     [--bursts 8] [--burst-bytes 8m] [--reads 5000] [--out trace.txt]
@@ -896,6 +1508,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args),
         Some("zones") => cmd_zones(&args),
         Some("run") => cmd_run(&args),
+        Some("scenario") => cmd_scenario(&args),
         Some("replay") => cmd_replay(&args),
         Some("gen-trace") => cmd_gen_trace(&args),
         Some("help") | None => {
@@ -1127,6 +1740,134 @@ mod tests {
             "2m",
         ]);
         cmd_run(&a).expect("randread ok");
+    }
+
+    #[test]
+    fn run_qd_multi_tenant_smoke() {
+        // The queue-pair path through the real command parser: two
+        // weighted tenants, a costly fetch stage, machine-readable stats.
+        let a = args(&[
+            "run",
+            "--config",
+            "tiny",
+            "--pattern",
+            "randread",
+            "--bs",
+            "4k",
+            "--size",
+            "512k",
+            "--region",
+            "2m",
+            "--qd",
+            "4",
+            "--tenants",
+            "2",
+            "--arbiter",
+            "wrr",
+            "--tenant-weights",
+            "3,1",
+            "--fetch-cost",
+            "5us",
+            "--stats-json",
+        ]);
+        cmd_run(&a).expect("qd run ok");
+    }
+
+    #[test]
+    fn qd_flags_are_validated() {
+        // Queue flags are incompatible with job files and power cuts...
+        let a = args(&["run", "--qd", "4", "--job", "x.fio"]);
+        assert!(cmd_run(&a).is_err());
+        let a = args(&["run", "--qd", "4", "--power-cut-at", "400us"]);
+        assert!(cmd_run(&a).is_err());
+        // ...and with the femu baseline and the interval sampler.
+        let a = args(&["run", "--config", "tiny", "--qd", "2", "--device", "femu"]);
+        assert!(cmd_run(&a).is_err());
+        let a = args(&["run", "--qd", "2", "--metrics-out", "m.jsonl"]);
+        assert!(cmd_run(&a).is_err());
+        // Weight lists must match the tenant count; policies must exist.
+        let a = args(&["run", "--tenants", "2", "--tenant-weights", "1,2,3"]);
+        assert!(cmd_run(&a).is_err());
+        let a = args(&["run", "--qd", "2", "--arbiter", "fifo"]);
+        assert!(cmd_run(&a).is_err());
+        assert!(parse_tenant_weights(&args(&["run"]), 3).unwrap() == vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn scenario_qd_sweep_writes_a_rising_curve() {
+        let dir = std::env::temp_dir().join("conzone-cli-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("sweep.csv");
+        let a = args(&[
+            "scenario",
+            "qd-sweep",
+            "--region",
+            "2m",
+            "--ops",
+            "128",
+            "--csv",
+            csv_path.to_str().unwrap(),
+        ]);
+        cmd_scenario(&a).expect("sweep ok");
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        let kiops: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(kiops.len(), 6);
+        // Depth buys throughput until the chips saturate.
+        assert!(kiops[2] > kiops[0], "qd4 {} <= qd1 {}", kiops[2], kiops[0]);
+        assert!(kiops[5] >= kiops[2] * 0.8, "deep queues collapsed");
+        std::fs::remove_file(csv_path).ok();
+    }
+
+    #[test]
+    fn scenario_interference_smoke() {
+        let a = args(&[
+            "scenario",
+            "interference",
+            "--region",
+            "2m",
+            "--ops",
+            "128",
+            "--stats-json",
+        ]);
+        cmd_scenario(&a).expect("interference ok");
+        let a = args(&["scenario", "nope"]);
+        assert!(cmd_scenario(&a).is_err());
+    }
+
+    #[test]
+    fn merged_span_dumps_keep_parent_before_child() {
+        use conzone::types::SpanKind;
+        let rec = |id: u64, parent: u64, io: u64, kind: SpanKind| SpanRecord {
+            id,
+            parent,
+            io,
+            kind,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+        };
+        let dev = vec![
+            rec(1, 0, 1, SpanKind::IoRead),
+            rec(2, 1, 1, SpanKind::DataRead),
+        ];
+        let host = vec![
+            rec(2, 1, 1, SpanKind::QueueWait),
+            rec(1, 0, 1, SpanKind::QueueCmd),
+        ];
+        let merged = merge_span_dumps(dev, host);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged[2].id, 4);
+        assert_eq!(merged[2].parent, 3);
+        assert_eq!(merged[2].io, 2);
+        assert_eq!(merged[3].id, 3);
+        assert_eq!(merged[3].parent, 0);
+        // Every parent id stays smaller than its children's.
+        for r in &merged {
+            assert!(r.parent < r.id);
+        }
     }
 
     #[test]

@@ -39,7 +39,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use conzone_core::{BlockHeat, ConZone, HeatmapSnapshot, TimeBreakdown, ZoneHeat};
+pub use conzone_core::{
+    Arbiter, ArbiterKind, BlockHeat, ConZone, HeatmapSnapshot, QueueFrontEnd, RoundRobinArbiter,
+    TimeBreakdown, WeightedArbiter, ZoneHeat,
+};
 pub use conzone_femu::FemuZns;
 pub use conzone_legacy::LegacyDevice;
 
